@@ -1,0 +1,568 @@
+(* Regenerates every table and figure of the paper's evaluation (see
+   DESIGN.md's experiment index), printing measured latencies in units
+   of D, then runs bechamel micro-benchmarks — one per experiment
+   family — measuring simulator wall-clock throughput.
+
+   Paper reference points (Table I):
+     [19] dc-aso   : UPDATE O(D),        SCAN O(n D)
+     [12] sc-aso   : UPDATE O(n D),      SCAN O(n D)
+     [29] scd-aso  : UPDATE O(k D),      SCAN O(k D)   (amortized O(D))
+     EQ-ASO        : UPDATE O(sqrt k D), SCAN O(sqrt k D) (amortized O(D))
+     SSO-Fast-Scan : UPDATE O(sqrt k D), SCAN O(1) *)
+
+let seed = 424242L
+
+let algos = Harness.Algo.all
+
+(* ------------------------------------------------------------------ *)
+(* Table I: worst-case and amortized operation time under the failure-
+   chain adversary (k = 6 faults, n = 15). Worst = single (UPDATE; SCAN)
+   round racing the chains; amortized = mean over a 12-round closed
+   loop against the same adversary. *)
+
+let table1 () =
+  let k = 12 in
+  let rows =
+    List.map
+      (fun algo ->
+        let worst = Harness.Scenario.chain_storm ~algo ~k ~rounds:1 ~seed in
+        let amort = Harness.Scenario.chain_storm ~algo ~k ~rounds:12 ~seed in
+        [
+          algo.Harness.Algo.name;
+          algo.Harness.Algo.paper_row;
+          Harness.Table.cell_f worst.worst_update;
+          Harness.Table.cell_f amort.mean_update;
+          Harness.Table.cell_f worst.worst_scan;
+          Harness.Table.cell_f amort.mean_scan;
+        ])
+      algos
+  in
+  Harness.Table.print
+    ~title:
+      (Printf.sprintf
+         "Table I — operation time under failure chains (k=%d, n=%d, f=%d)" k
+         ((2 * k) + 3)
+         (((2 * k) + 3 - 1) / 2))
+    ~header:
+      [ "algorithm"; "paper row"; "upd worst"; "upd amortized"; "scan worst";
+        "scan amortized" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Derived figure A: worst-case latency as a function of k. The claimed
+   shapes: EQ-ASO grows ~sqrt(k); scd-aso ~k; dc-aso scan flat in k but
+   linear in concurrency; SSO scans pinned at 0. *)
+
+let fig_latency_vs_k () =
+  let ks = [ 0; 2; 4; 8; 12; 18; 25; 33; 42 ] in
+  List.iter
+    (fun algo ->
+      let rows =
+        List.map
+          (fun k ->
+            let r = Harness.Scenario.chain_storm ~algo ~k ~rounds:1 ~seed in
+            [
+              string_of_int k;
+              Harness.Table.cell_f r.worst_update;
+              Harness.Table.cell_f r.worst_scan;
+              string_of_int r.messages;
+            ])
+          ks
+      in
+      Harness.Table.print
+        ~title:
+          (Printf.sprintf "Fig A — worst-case latency vs k (%s)"
+             algo.Harness.Algo.name)
+        ~header:[ "k"; "upd worst"; "scan worst"; "msgs" ]
+        rows)
+    algos
+
+(* ------------------------------------------------------------------ *)
+(* Derived figure B: amortized latency vs number of operations at fixed
+   k — the paper's amortized-constant claim: once an execution holds
+   Omega(sqrt k) operations the mean settles to a constant. *)
+
+let fig_amortized () =
+  let k = 12 in
+  let rounds = [ 1; 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun algo ->
+      let rows =
+        List.map
+          (fun r ->
+            let row = Harness.Scenario.chain_storm ~algo ~k ~rounds:r ~seed in
+            [
+              string_of_int r;
+              Harness.Table.cell_f row.mean_update;
+              Harness.Table.cell_f row.mean_scan;
+            ])
+          rounds
+      in
+      Harness.Table.print
+        ~title:
+          (Printf.sprintf "Fig B — amortized latency vs rounds (k=%d, %s)" k
+             algo.Harness.Algo.name)
+        ~header:[ "rounds"; "upd mean"; "scan mean" ]
+        rows)
+    [ Harness.Algo.eq_aso; Harness.Algo.scd_aso; Harness.Algo.sso ]
+
+(* ------------------------------------------------------------------ *)
+(* Derived figure C: failure-free constants — every algorithm is
+   constant-time at k = 0; the constants differ and define the
+   failure-free ranking. *)
+
+let fig_failure_free () =
+  let rows =
+    List.concat_map
+      (fun algo ->
+        List.map
+          (fun n ->
+            let r = Harness.Scenario.failure_free ~algo ~n ~rounds:4 ~seed in
+            [
+              algo.Harness.Algo.name;
+              string_of_int n;
+              Harness.Table.cell_f r.mean_update;
+              Harness.Table.cell_f r.mean_scan;
+              string_of_int r.messages;
+            ])
+          [ 4; 8; 16 ])
+      algos
+  in
+  Harness.Table.print
+    ~title:"Fig C — failure-free mean latency (closed loop, 4 rounds)"
+    ~header:[ "algorithm"; "n"; "upd mean"; "scan mean"; "msgs" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Derived figure D: scan latency vs concurrent writers (failure-free).
+   This is the O(n·D)-scan axis of Table I: double collect retries once
+   per staggered concurrent write, while the equivalence-quorum scan
+   needs no re-collection. *)
+
+let fig_scan_vs_contention () =
+  let scan_latency (algo : Harness.Algo.t) ~n ~writers =
+    let workload = Array.make n [] in
+    let rec stagger w acc =
+      if w >= writers then acc
+      else begin
+        workload.(w) <-
+          List.init 3 (fun i ->
+              {
+                Harness.Workload.gap = (if i = 0 then 0.5 *. float_of_int w else 1.0);
+                op = Harness.Workload.Update;
+              });
+        stagger (w + 1) acc
+      end
+    in
+    ignore (stagger 0 ());
+    workload.(n - 1) <- [ { gap = 0.2; op = Harness.Workload.Scan } ];
+    let config =
+      { Harness.Runner.n; f = (n - 1) / 2; delay = Harness.Runner.Fixed_d 1.0;
+        seed }
+    in
+    let outcome =
+      Harness.Scenario.run_and_check ~algo ~config ~workload
+        ~adversary:Harness.Adversary.No_faults ~seed
+    in
+    Harness.Runner.max_latency (Harness.Runner.scan_latencies outcome)
+  in
+  let n = 26 in
+  let rows =
+    List.map
+      (fun writers ->
+        string_of_int writers
+        :: List.map
+             (fun algo ->
+               Harness.Table.cell_f (scan_latency algo ~n ~writers))
+             [ Harness.Algo.dc_aso; Harness.Algo.sc_aso; Harness.Algo.scd_aso;
+               Harness.Algo.la_aso; Harness.Algo.eq_aso ])
+      [ 0; 2; 4; 8; 12; 16; 20; 24 ]
+  in
+  Harness.Table.print
+    ~title:
+      (Printf.sprintf
+         "Fig D — scan latency vs concurrent writers (n=%d, failure-free)" n)
+    ~header:[ "writers"; "dc-aso"; "sc-aso"; "scd-aso"; "la-aso"; "eq-aso" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Derived figure F: mean operation latency vs workload mixture — the
+   read-mostly regime is where the SSO's free scans pay for their
+   update machinery, and the write-mostly regime is where dc-aso's bare
+   writes win. *)
+
+let fig_mixture () =
+  let mixtures = [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
+  let rows =
+    List.map
+      (fun scan_fraction ->
+        Printf.sprintf "%.0f%% scans" (scan_fraction *. 100.)
+        :: List.map
+             (fun (algo : Harness.Algo.t) ->
+               let n = 8 in
+               let rng = Sim.Rng.create 777L in
+               let workload =
+                 Harness.Workload.random rng ~n ~ops_per_node:8
+                   ~scan_fraction ~max_gap:3.0
+               in
+               let config =
+                 { Harness.Runner.n; f = 3;
+                   delay = Harness.Runner.Fixed_d 1.0; seed }
+               in
+               let outcome =
+                 Harness.Scenario.run_and_check ~algo ~config ~workload
+                   ~adversary:Harness.Adversary.No_faults ~seed
+               in
+               let all =
+                 Harness.Runner.update_latencies outcome
+                 @ Harness.Runner.scan_latencies outcome
+               in
+               Harness.Table.cell_f (Harness.Runner.mean_latency all))
+             algos)
+      mixtures
+  in
+  Harness.Table.print
+    ~title:"Fig F — mean op latency vs workload mixture (n=8, failure-free)"
+    ~header:("mixture" :: List.map (fun (a : Harness.Algo.t) -> a.name) algos)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Realistic-network table: latency percentiles under iid uniform
+   delays in [0.05 D, D] with a mixed random workload — the practical
+   (non-adversarial) ranking, with tails. *)
+
+let table_realistic () =
+  let rows =
+    List.map
+      (fun (algo : Harness.Algo.t) ->
+        let n = 8 in
+        let rng = Sim.Rng.create 5151L in
+        let workload =
+          Harness.Workload.random rng ~n ~ops_per_node:8 ~scan_fraction:0.5
+            ~max_gap:3.0
+        in
+        let config =
+          {
+            Harness.Runner.n;
+            f = 3;
+            delay = Harness.Runner.Uniform_d { lo = 0.05; hi = 1.0; d = 1.0 };
+            seed;
+          }
+        in
+        let outcome =
+          Harness.Scenario.run_and_check ~algo ~config ~workload
+            ~adversary:Harness.Adversary.No_faults ~seed
+        in
+        let cell sample =
+          match Harness.Stats.summarize sample with
+          | None -> "-"
+          | Some s -> Printf.sprintf "%.1f / %.1f / %.1f" s.p50 s.p90 s.max
+        in
+        [
+          algo.name;
+          cell (Harness.Runner.update_latencies outcome);
+          cell (Harness.Runner.scan_latencies outcome);
+        ])
+      algos
+  in
+  Harness.Table.print
+    ~title:
+      "Realistic network — latency p50 / p90 / max in D (uniform delays, \
+       mixed workload, n=8)"
+    ~header:[ "algorithm"; "update"; "scan" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Derived figure E: message complexity — messages per operation as a
+   function of n (failure-free closed loop). Collect-based baselines
+   are O(n) per op; the forwarding-based EQ family pays O(n^2) for its
+   proactive value dissemination — the price of contention-oblivious
+   scans. *)
+
+let fig_messages_vs_n () =
+  let rows =
+    List.map
+      (fun n ->
+        let per_op (algo : Harness.Algo.t) =
+          let r = Harness.Scenario.failure_free ~algo ~n ~rounds:3 ~seed in
+          float_of_int r.messages /. float_of_int (2 * 3 * n)
+        in
+        string_of_int n
+        :: List.map
+             (fun algo -> Printf.sprintf "%.0f" (per_op algo))
+             algos)
+      [ 4; 8; 16; 32 ]
+  in
+  Harness.Table.print
+    ~title:"Fig E — messages per operation vs n (failure-free)"
+    ~header:("n" :: List.map (fun (a : Harness.Algo.t) -> a.name) algos)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine table: byz-eq-aso with b silent Byzantine nodes (n = 10,
+   f = 3): worst and mean op latency; linearizability checked inside. *)
+
+let table_byz () =
+  let n = 10 and f = 3 in
+  let n1 = n - 1 in
+  let run (label, behave) =
+    let engine = Sim.Engine.create ~seed () in
+    let t =
+      Byzantine.Byz_eq_aso.create engine ~n ~f ~delay:(Sim.Delay.fixed 1.0)
+    in
+    let b = behave engine t in
+    let history = Proto.History.create () in
+    let next = ref 1 in
+    for node = 0 to n - 1 - b do
+      Sim.Fiber.spawn engine (fun () ->
+          for _ = 1 to 3 do
+            let v = !next in
+            incr next;
+            let op =
+              Proto.History.begin_update history ~now:(Sim.Engine.now engine)
+                ~node ~value:v
+            in
+            Byzantine.Byz_eq_aso.update t ~node v;
+            Proto.History.finish_update history ~now:(Sim.Engine.now engine) op;
+            let op =
+              Proto.History.begin_scan history ~now:(Sim.Engine.now engine)
+                ~node
+            in
+            let snap = Byzantine.Byz_eq_aso.scan t ~node in
+            Proto.History.finish_scan history ~now:(Sim.Engine.now engine) op
+              ~snap
+          done)
+    done;
+    Sim.Engine.run_until_quiescent engine;
+    (match Checker.Conditions.check_atomic ~n history with
+    | Ok () -> ()
+    | Error v ->
+        failwith
+          (Format.asprintf "byz run not linearizable: %a"
+             Checker.Conditions.pp_violation v));
+    let durations op_filter =
+      List.filter_map
+        (fun op -> if op_filter op then Proto.History.duration op else None)
+        (Proto.History.completed history)
+    in
+    let max_l = List.fold_left Float.max 0. in
+    let mean_l = function
+      | [] -> Float.nan
+      | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+    in
+    let u = durations Proto.History.is_update
+    and s = durations Proto.History.is_scan in
+    ignore b;
+    [
+      label;
+      Harness.Table.cell_f (max_l u);
+      Harness.Table.cell_f (mean_l u);
+      Harness.Table.cell_f (max_l s);
+      Harness.Table.cell_f (mean_l s);
+      string_of_int (Byzantine.Byz_eq_aso.lattice_attempts t);
+    ]
+  in
+  let silent b =
+    ( (if b = 0 then "honest" else Printf.sprintf "%d silent" b),
+      fun _engine t ->
+        for node = n - b to n - 1 do
+          Byzantine.Behaviors.silent t ~node
+        done;
+        b )
+  in
+  let flooder =
+    ( "1 tag flooder",
+      fun engine t ->
+        Byzantine.Behaviors.tag_flooder t engine ~node:n1 ~bursts:8 ~gap:2.0;
+        1 )
+  in
+  let phantom =
+    ( "1 phantom fwd",
+      fun _engine t ->
+        Byzantine.Behaviors.phantom_forwarder t ~node:n1;
+        1 )
+  in
+  Harness.Table.print
+    ~title:"Byzantine EQ-ASO — latency under adversaries (n=10, f=3)"
+    ~header:
+      [ "adversary"; "upd worst"; "upd mean"; "scan worst"; "scan mean";
+        "lattice ops" ]
+    (List.map run [ silent 0; silent 1; silent 2; silent 3; flooder; phantom ])
+
+(* ------------------------------------------------------------------ *)
+(* Early-stopping lattice agreement: decision latency of a live
+   proposer vs k, under the same chain adversary. *)
+
+let la_early_stopping () =
+  let rows =
+    List.map
+      (fun k ->
+        let n = max 5 ((2 * k) + 3) in
+        let f = (n - 1) / 2 in
+        let engine = Sim.Engine.create ~seed () in
+        let t =
+          Aso_core.Lattice_agreement.create engine ~n ~f
+            ~delay:(Sim.Delay.fixed 1.0)
+        in
+        let net = Aso_core.Lattice_agreement.net t in
+        let live = n - 1 in
+        let chains =
+          if k = 0 then []
+          else
+            Harness.Adversary.chains_for_budget ~min_len:1 ~n ~k ~scanner:live
+              ()
+        in
+        (* Arm each chain link to crash while relaying specifically the
+           chain's own value (matching on the writer), so forwarding a
+           bystander's value does not burn the crash. *)
+        List.iter
+          (fun c ->
+            let head = c.Harness.Adversary.updater in
+            let match_ (Aso_core.Lattice_agreement.Msg.Value { ts; _ }) =
+              Proto.Timestamp.writer ts = head
+            in
+            let rec hops src = function
+              | [] ->
+                  Sim.Network.crash_during_next_broadcast_matching net src
+                    ~match_ ~deliver_to:[ c.Harness.Adversary.final ]
+              | next :: rest ->
+                  Sim.Network.crash_during_next_broadcast_matching net src
+                    ~match_ ~deliver_to:[ next ];
+                  hops next rest
+            in
+            hops head c.Harness.Adversary.relays)
+          chains;
+        (* Proposal starts are phase-shifted so exposures land 1.5 D
+           apart starting at ~1.3 D: the live proposer is the exposure
+           target, so each value disturbs its equivalence wait for 2 D
+           — a continuous train from before the earliest possible
+           decision (2 D) to ~1.5·m D. *)
+        List.iteri
+          (fun idx c ->
+            let u = c.Harness.Adversary.updater in
+            Sim.Fiber.spawn engine (fun () ->
+                Sim.Fiber.sleep engine (0.3 +. (0.5 *. float_of_int idx));
+                ignore (Aso_core.Lattice_agreement.propose t ~node:u [ u ])))
+          chains;
+        let latency = ref Float.nan in
+        Sim.Fiber.spawn engine (fun () ->
+            let start = Sim.Engine.now engine in
+            ignore
+              (Aso_core.Lattice_agreement.propose t ~node:live [ 1000 + live ]);
+            latency := Sim.Engine.now engine -. start);
+        Sim.Engine.run_until_quiescent engine;
+        [ string_of_int k; string_of_int n; Harness.Table.cell_f !latency ])
+      [ 0; 1; 2; 4; 8; 12; 18; 25; 33; 42 ]
+  in
+  Harness.Table.print
+    ~title:"Early-stopping lattice agreement — decision latency vs k"
+    ~header:[ "k"; "n"; "propose latency" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablation of technique (T2), view borrowing: a slow node (all of its
+   links at the full delay D) scans while fast writers (links at D/20)
+   churn tags. With borrowing the scan adopts an indirect view after
+   three failed lattice operations — constant latency; without it the
+   scan chases ever-larger tags for as long as the writers keep
+   going. *)
+
+let ablation_renewal () =
+  let run ~borrowing ~rounds =
+    let n = 9 in
+    let f = (n - 1) / 2 in
+    let scanner = n - 1 in
+    let engine = Sim.Engine.create ~seed () in
+    let delay =
+      Sim.Delay.custom ~d:1.0 (fun ~src ~dst ~now:_ ->
+          if src = scanner || dst = scanner then 1.0 else 0.05)
+    in
+    let t = Aso_core.Eq_aso.create engine ~n ~f ~delay in
+    Aso_core.Lattice_core.set_borrowing (Aso_core.Eq_aso.core t) borrowing;
+    for node = 0 to n - 2 do
+      Sim.Fiber.spawn engine (fun () ->
+          for i = 1 to rounds do
+            Aso_core.Eq_aso.update t ~node ((1000 * node) + i)
+          done)
+    done;
+    let latency = ref Float.nan in
+    Sim.Fiber.spawn engine (fun () ->
+        let start = Sim.Engine.now engine in
+        ignore (Aso_core.Eq_aso.scan t ~node:scanner);
+        latency := Sim.Engine.now engine -. start);
+    Sim.Engine.run_until_quiescent engine;
+    let stats = Aso_core.Lattice_core.stats (Aso_core.Eq_aso.core t) in
+    [
+      (if borrowing then "on" else "off");
+      string_of_int rounds;
+      Harness.Table.cell_f !latency;
+      string_of_int stats.lattice_ops;
+      string_of_int stats.indirect_views;
+    ]
+  in
+  Harness.Table.print
+    ~title:
+      "Ablation — technique (T2) borrowing: slow scanner vs fast writers"
+    ~header:
+      [ "borrowing"; "writer rounds"; "scan latency"; "lattice ops";
+        "indirect views" ]
+    [
+      run ~borrowing:true ~rounds:10;
+      run ~borrowing:true ~rounds:40;
+      run ~borrowing:true ~rounds:160;
+      run ~borrowing:false ~rounds:10;
+      run ~borrowing:false ~rounds:40;
+      run ~borrowing:false ~rounds:160;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: wall-clock cost of simulating one
+   standard experiment per algorithm. *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map
+      (fun (algo : Harness.Algo.t) ->
+        Test.make ~name:algo.name
+          (Staged.stage (fun () ->
+               ignore
+                 (Harness.Scenario.failure_free ~algo ~n:8 ~rounds:2 ~seed))))
+      algos
+  in
+  let grouped = Test.make_grouped ~name:"failure-free-n8" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.3) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns_per_run ] ->
+          Printf.printf "bench %-32s  %10.2f ms / experiment\n%!" name
+            (ns_per_run /. 1e6)
+      | _ -> Printf.printf "bench %-32s  (no estimate)\n%!" name)
+    results
+
+let () =
+  let t0 = Sys.time () in
+  table1 ();
+  fig_latency_vs_k ();
+  fig_amortized ();
+  fig_failure_free ();
+  fig_scan_vs_contention ();
+  fig_messages_vs_n ();
+  fig_mixture ();
+  table_realistic ();
+  table_byz ();
+  la_early_stopping ();
+  ablation_renewal ();
+  print_endline "== Simulator throughput (bechamel, OLS ns/run) ==";
+  bechamel_suite ();
+  Printf.printf "\nTotal bench CPU time: %.1f s\n" (Sys.time () -. t0)

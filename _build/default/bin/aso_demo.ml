@@ -1,0 +1,370 @@
+(* Command-line driver: run any snapshot algorithm on configurable
+   workloads with configurable adversaries, check the resulting history,
+   and replay the paper's worked examples (Figures 1 and 2).
+
+     aso_demo run --algo eq-aso --nodes 9 --crashes 3 --ops 6
+     aso_demo fig1
+     aso_demo fig2
+     aso_demo table1
+     aso_demo sweep --algo eq-aso *)
+
+open Cmdliner
+
+let algo_conv =
+  let parse s =
+    match Harness.Algo.find s with
+    | a -> Ok a
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown algorithm %S (try: %s)" s
+               (String.concat ", "
+                  (List.map (fun (a : Harness.Algo.t) -> a.name) Harness.Algo.all))))
+  in
+  let print ppf (a : Harness.Algo.t) = Format.fprintf ppf "%s" a.name in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Harness.Algo.eq_aso
+    & info [ "a"; "algo" ] ~docv:"ALGO"
+        ~doc:"Algorithm: dc-aso, sc-aso, scd-aso, eq-aso, sso-fast-scan.")
+
+let nodes_arg =
+  Arg.(value & opt int 7 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"System size.")
+
+let crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "k"; "crashes" ] ~docv:"K" ~doc:"Random crash faults to inject.")
+
+let ops_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per node.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let scan_frac_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "scan-fraction" ] ~docv:"P" ~doc:"Probability an op is a SCAN.")
+
+(* ---- run: generic workload ----------------------------------------- *)
+
+let run_cmd_impl (algo : Harness.Algo.t) n k ops seed scan_fraction =
+  let f = Quorum.max_crash_faults n in
+  if k > f then (
+    Format.eprintf "error: k=%d exceeds f=%d for n=%d@." k f n;
+    exit 1);
+  let seed64 = Int64.of_int seed in
+  let rng = Sim.Rng.create seed64 in
+  let workload =
+    Harness.Workload.random rng ~n ~ops_per_node:ops
+      ~scan_fraction ~max_gap:4.0
+  in
+  let adversary =
+    if k = 0 then Harness.Adversary.No_faults
+    else Harness.Adversary.Crash_k_random { k; window = 10.0 }
+  in
+  let config =
+    { Harness.Runner.n; f; delay = Harness.Runner.Fixed_d 1.0; seed = seed64 }
+  in
+  let outcome =
+    Harness.Runner.run ~workload_seed:seed64 ~make:algo.make config ~workload
+      ~adversary
+  in
+  Format.printf "algorithm   : %s (%s)@." outcome.algorithm algo.paper_row;
+  Format.printf "nodes       : n=%d f=%d crashed=%d@." n f
+    (List.length outcome.crashed);
+  Format.printf "operations  : %d completed, %d pending (crashed nodes)@."
+    (List.length (History.completed outcome.history))
+    (List.length (History.pending outcome.history));
+  Format.printf "messages    : %d@." outcome.messages;
+  Format.printf "makespan    : %.1f D@." (outcome.end_time /. outcome.d);
+  let upd = Harness.Runner.update_latencies outcome in
+  let scn = Harness.Runner.scan_latencies outcome in
+  Format.printf "update      : worst %.1f D, mean %.1f D (%d ops)@."
+    (Harness.Runner.max_latency upd)
+    (Harness.Runner.mean_latency upd)
+    (List.length upd);
+  Format.printf "scan        : worst %.1f D, mean %.1f D (%d ops)@."
+    (Harness.Runner.max_latency scn)
+    (Harness.Runner.mean_latency scn)
+    (List.length scn);
+  let verdict =
+    match algo.consistency with
+    | Harness.Algo.Atomic -> (Harness.Runner.check_linearizable outcome, "linearizable")
+    | Harness.Algo.Sequential ->
+        (Harness.Runner.check_sequential outcome, "sequentially consistent")
+  in
+  match verdict with
+  | Ok (), label -> Format.printf "history     : %s (checked)@." label
+  | Error e, label ->
+      Format.printf "history     : NOT %s — %s@." label e;
+      exit 1
+
+let run_cmd =
+  let doc = "Run a random workload against an algorithm and check it." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_cmd_impl $ algo_arg $ nodes_arg $ crashes_arg $ ops_arg
+      $ seed_arg $ scan_frac_arg)
+
+(* ---- fig1: history + linearization --------------------------------- *)
+
+let fig1_impl () =
+  Format.printf
+    "Figure 1 — a real EQ-ASO history, its conditions, and its@.";
+  Format.printf "linearization (Steps I-II of Theorem 1).@.@.";
+  let n = 2 and f = 0 in
+  let engine = Sim.Engine.create ~seed:1L () in
+  let t = Aso_core.Eq_aso.create engine ~n ~f ~delay:(Sim.Delay.fixed 1.0) in
+  let history = History.create () in
+  let update node v =
+    let op = History.begin_update history ~now:(Sim.Engine.now engine) ~node ~value:v in
+    Aso_core.Eq_aso.update t ~node v;
+    History.finish_update history ~now:(Sim.Engine.now engine) op
+  in
+  let scan node =
+    let op = History.begin_scan history ~now:(Sim.Engine.now engine) ~node in
+    let snap = Aso_core.Eq_aso.scan t ~node in
+    History.finish_scan history ~now:(Sim.Engine.now engine) op ~snap
+  in
+  (* Node 0 plays "node 1" of the figure: UPDATE(1) ... UPDATE(4), SCAN;
+     node 1 plays "node 2": UPDATE(2), UPDATE(3), SCAN. *)
+  Sim.Fiber.spawn engine (fun () ->
+      update 0 1;
+      Sim.Fiber.sleep engine 6.0;
+      update 0 4;
+      scan 0);
+  Sim.Fiber.spawn engine (fun () ->
+      Sim.Fiber.sleep engine 7.0;
+      update 1 2;
+      update 1 3;
+      scan 1);
+  Sim.Engine.run_until_quiescent engine;
+  Format.printf "History H (invocation order):@.%a@.@." History.pp history;
+  Format.printf "Timeline (one lane per node, as in the paper's figure):@.%s@."
+    (Checker.Timeline.render ~width:64 history);
+  (match Checker.Conditions.check_atomic ~n history with
+  | Ok () -> Format.printf "Conditions (A1)-(A4): satisfied.@.@."
+  | Error v ->
+      Format.printf "Conditions violated: %a@." Checker.Conditions.pp_violation v);
+  (match Checker.Linearize.linearize ~n history with
+  | Ok order ->
+      Format.printf "A linearization L (legal + real-time checked):@.";
+      Format.printf "  %s@." (Checker.Timeline.render_order order)
+  | Error e -> Format.printf "No linearization: %s@." e);
+  match Checker.Linearize.sequentialize ~n history with
+  | Ok _ -> Format.printf "@.A sequentialization also exists (S ≃ H).@."
+  | Error e -> Format.printf "@.No sequentialization: %s@." e
+
+let fig1_cmd =
+  Cmd.v (Cmd.info "fig1" ~doc:"Replay the paper's Figure 1 worked example.")
+    Term.(const fig1_impl $ const ())
+
+(* ---- fig2: one-shot ASO worked example ------------------------------ *)
+
+let fig2_impl () =
+  Format.printf "Figure 2 — one-shot ASO: views, EQ predicate, bases.@.@.";
+  let n = 3 and f = 1 in
+  let engine = Sim.Engine.create ~seed:2L () in
+  let t = Aso_core.One_shot.create engine ~n ~f ~delay:(Sim.Delay.fixed 1.0) in
+  let show label view =
+    Format.printf "  %-24s view %a@." label View.pp view
+  in
+  (* op1: scan by node 2 before any update — returns the empty base. *)
+  Sim.Fiber.spawn engine (fun () ->
+      let v = Aso_core.One_shot.scan_view t ~node:2 in
+      show "op1 = SCAN() by 2" v);
+  (* op2/op3: updates u, v by nodes 0 and 1 (the figure's nodes 1, 2). *)
+  Sim.Fiber.spawn engine (fun () ->
+      Sim.Fiber.sleep engine 0.5;
+      Aso_core.One_shot.update t ~node:0 101;
+      Format.printf "  op2 = UPDATE(101) by 0  done at t=%.1f@."
+        (Sim.Engine.now engine);
+      (* op4: scan by node 0 right after its update. *)
+      let v = Aso_core.One_shot.scan_view t ~node:0 in
+      show "op4 = SCAN() by 0" v);
+  Sim.Fiber.spawn engine (fun () ->
+      Sim.Fiber.sleep engine 0.5;
+      Aso_core.One_shot.update t ~node:1 202;
+      Format.printf "  op3 = UPDATE(202) by 1  done at t=%.1f@."
+        (Sim.Engine.now engine);
+      (* op5: node 1's own late update w, then op6: scan must wait for
+         the EQ predicate before returning {u, v, w}. *)
+      Sim.Fiber.sleep engine 2.0;
+      let v = Aso_core.One_shot.scan_view t ~node:1 in
+      show "op6 = SCAN() by 1" v);
+  Sim.Engine.run_until_quiescent engine;
+  Format.printf
+    "@.All scan views are pairwise comparable (Lemma 1): the returned@.";
+  Format.printf
+    "equivalence sets embed into a single chain, which is what makes@.";
+  Format.printf "the bases of the scans comparable (condition A1).@."
+
+let fig2_cmd =
+  Cmd.v (Cmd.info "fig2" ~doc:"Replay the paper's Figure 2 worked example.")
+    Term.(const fig2_impl $ const ())
+
+(* ---- table1 / sweep -------------------------------------------------- *)
+
+let table1_impl () =
+  let k = 6 in
+  let seed = 424242L in
+  let rows =
+    List.map
+      (fun (algo : Harness.Algo.t) ->
+        let worst = Harness.Scenario.chain_storm ~algo ~k ~rounds:1 ~seed in
+        let amort = Harness.Scenario.chain_storm ~algo ~k ~rounds:12 ~seed in
+        [
+          algo.name;
+          algo.paper_row;
+          Harness.Table.cell_f worst.worst_update;
+          Harness.Table.cell_f amort.mean_update;
+          Harness.Table.cell_f worst.worst_scan;
+          Harness.Table.cell_f amort.mean_scan;
+        ])
+      Harness.Algo.all
+  in
+  Harness.Table.print
+    ~title:(Printf.sprintf "Table I — failure-chain adversary, k=%d" k)
+    ~header:
+      [ "algorithm"; "paper row"; "upd worst"; "upd amortized"; "scan worst";
+        "scan amortized" ]
+    rows
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate Table I (worst and amortized times).")
+    Term.(const table1_impl $ const ())
+
+let sweep_impl (algo : Harness.Algo.t) csv =
+  let header = [ "k_budget"; "k_actual"; "upd_worst_D"; "scan_worst_D"; "msgs" ] in
+  let raw =
+    List.map
+      (fun k ->
+        let r = Harness.Scenario.chain_storm ~algo ~k ~rounds:1 ~seed:424242L in
+        [
+          string_of_int k;
+          string_of_int r.k;
+          Printf.sprintf "%.2f" r.worst_update;
+          Printf.sprintf "%.2f" r.worst_scan;
+          string_of_int r.messages;
+        ])
+      [ 0; 2; 4; 8; 12; 18; 25; 33; 42 ]
+  in
+  if csv then Harness.Stats.csv ~header raw
+  else
+    Harness.Table.print
+      ~title:(Printf.sprintf "latency vs k sweep (%s)" algo.name)
+      ~header raw
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Worst-case latency as a function of the number of failures k. \
+          --csv emits machine-readable output for plotting.")
+    Term.(
+      const sweep_impl $ algo_arg
+      $ Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table."))
+
+(* ---- trace: wire-level view of one EQ-ASO operation pair ------------ *)
+
+let trace_impl n =
+  let f = Quorum.max_crash_faults n in
+  let engine = Sim.Engine.create ~seed:1L () in
+  let t = Aso_core.Eq_aso.create engine ~n ~f ~delay:(Sim.Delay.fixed 1.0) in
+  let net = Aso_core.Lattice_core.net (Aso_core.Eq_aso.core t) in
+  let per_kind = Hashtbl.create 8 in
+  let timeline = ref [] in
+  Sim.Network.set_tracer net (function
+    | Sim.Network.Sent { src; dst; at; msg } ->
+        let kind = Aso_core.Lattice_core.Msg.kind msg in
+        Hashtbl.replace per_kind kind
+          (1 + Option.value (Hashtbl.find_opt per_kind kind) ~default:0);
+        if src <> dst then timeline := (at, src, dst, kind) :: !timeline
+    | Sim.Network.Delivered _ | Sim.Network.Dropped _ -> ());
+  Sim.Fiber.spawn engine (fun () ->
+      Aso_core.Eq_aso.update t ~node:0 7;
+      ignore (Aso_core.Eq_aso.scan t ~node:1));
+  Sim.Engine.run_until_quiescent engine;
+  Format.printf
+    "Wire trace: one UPDATE (node 0) followed by one SCAN (node 1), n=%d@.@."
+    n;
+  Format.printf "%-8s %-5s %s@." "t (D)" "kind" "flow";
+  let by_time =
+    List.sort
+      (fun (t1, _, _, _) (t2, _, _, _) -> Float.compare t1 t2)
+      (List.rev !timeline)
+  in
+  (* Summarize broadcasts: group (time, kind, src) into one line. *)
+  let grouped = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (at, src, dst, kind) ->
+      let key = (at, src, kind) in
+      match Hashtbl.find_opt grouped key with
+      | Some dsts -> dsts := dst :: !dsts
+      | None ->
+          Hashtbl.replace grouped key (ref [ dst ]);
+          order := key :: !order)
+    by_time;
+  List.iter
+    (fun ((at, src, kind) as key) ->
+      let dsts = !(Hashtbl.find grouped key) in
+      let flow =
+        if List.length dsts >= n - 1 then Printf.sprintf "%d -> all" src
+        else
+          Printf.sprintf "%d -> {%s}" src
+            (String.concat "," (List.map string_of_int (List.rev dsts)))
+      in
+      Format.printf "%-8.2f %-9s %s@." at kind flow)
+    (List.rev !order);
+  Format.printf "@.Message totals by kind:@.";
+  Hashtbl.iter (fun kind c -> Format.printf "  %-9s %4d@." kind c) per_kind;
+  Format.printf "  %-9s %4d@." "total" (Sim.Network.messages_sent net)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the wire-level message flow of one UPDATE + SCAN pair.")
+    Term.(const trace_impl $ Arg.(value & opt int 4 & info [ "n"; "nodes" ]))
+
+(* ---- fuzz: randomized verification campaign -------------------------- *)
+
+let fuzz_impl runs seed all =
+  let algos = if all then Harness.Algo.all else [ Harness.Algo.eq_aso ] in
+  let report =
+    Harness.Campaign.run ~algos ~runs ~seed:(Int64.of_int seed)
+  in
+  Format.printf "%a@." Harness.Campaign.pp report;
+  if report.failures <> [] then exit 1
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Randomized verification campaign: random configurations, random \
+          adversaries, every history checked. Non-zero exit on any \
+          violation.")
+    Term.(
+      const fuzz_impl
+      $ Arg.(value & opt int 25 & info [ "runs" ] ~docv:"N")
+      $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "all" ] ~doc:"Fuzz every algorithm, not just eq-aso."))
+
+let main_cmd =
+  let doc = "fault-tolerant snapshot objects in message-passing systems" in
+  Cmd.group
+    (Cmd.info "aso_demo" ~version:"1.0.0" ~doc)
+    [ run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd; fuzz_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

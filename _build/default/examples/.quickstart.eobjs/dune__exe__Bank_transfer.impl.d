@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Apps Aso_core Format Instance List Sim String

@@ -1,0 +1,1 @@
+examples/crdt_dashboard.ml: Apps Aso_core Format List Sim String

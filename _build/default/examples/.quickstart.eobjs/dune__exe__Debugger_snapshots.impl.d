@@ -1,0 +1,1 @@
+examples/debugger_snapshots.ml: Array Aso_core Format List Sim

@@ -1,0 +1,1 @@
+examples/debugger_snapshots.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Aso_core Format Sim

@@ -1,0 +1,1 @@
+examples/service_directory.ml: Apps Aso_core Format Instance List Printf Sim String

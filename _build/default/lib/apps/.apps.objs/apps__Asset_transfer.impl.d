@@ -1,0 +1,1 @@
+lib/apps/asset_transfer.ml: Array Instance List Option

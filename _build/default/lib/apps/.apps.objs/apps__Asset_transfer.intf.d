@@ -1,0 +1,1 @@
+lib/apps/asset_transfer.mli: Instance

@@ -1,0 +1,1 @@
+lib/apps/crdt.ml: Array Instance Int List Option

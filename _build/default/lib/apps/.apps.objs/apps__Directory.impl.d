@@ -1,0 +1,1 @@
+lib/apps/directory.ml: Array Instance List

@@ -1,0 +1,1 @@
+lib/apps/state_machine.ml: Array Instance List Option

@@ -1,0 +1,1 @@
+lib/apps/state_machine.mli: Instance

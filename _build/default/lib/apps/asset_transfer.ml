@@ -1,0 +1,61 @@
+type transfer = { source : int; target : int; amount : int; seq : int }
+
+type t = {
+  instance : transfer list Instance.t;
+  initial : int array;
+  (* Owner-side cache of own outgoing history (single-writer: only this
+     node appends, so the cache is authoritative). *)
+  outgoing : transfer list array;
+}
+
+let create ~instance ~initial =
+  if Array.length initial <> instance.Instance.n then
+    invalid_arg "Asset_transfer.create: initial balances must cover all nodes";
+  Array.iter
+    (fun b -> if b < 0 then invalid_arg "Asset_transfer.create: negative")
+    initial;
+  {
+    instance;
+    initial = Array.copy initial;
+    outgoing = Array.make instance.Instance.n [];
+  }
+
+let balance_in t snap ~who =
+  let incoming = ref 0 and outgoing = ref 0 in
+  Array.iter
+    (fun segment ->
+      Option.iter
+        (List.iter (fun tr ->
+             if tr.target = who then incoming := !incoming + tr.amount;
+             if tr.source = who then outgoing := !outgoing + tr.amount))
+        segment)
+    snap;
+  t.initial.(who) + !incoming - !outgoing
+
+let balance t ~node ~who =
+  let snap = t.instance.Instance.scan node in
+  balance_in t snap ~who
+
+let transfer t ~source ~target ~amount =
+  if amount <= 0 then invalid_arg "Asset_transfer.transfer: amount <= 0";
+  if source = target then invalid_arg "Asset_transfer.transfer: self-transfer";
+  let snap = t.instance.Instance.scan source in
+  (* Incoming funds come from the scan (may lag: safe, under-reports);
+     outgoing spend comes from the owner's authoritative local history
+     (never under-reports). The difference is a certain lower bound. *)
+  snap.(source) <- Some t.outgoing.(source);
+  let funds = balance_in t snap ~who:source in
+  if funds < amount then false
+  else begin
+    let seq = List.length t.outgoing.(source) + 1 in
+    let tr = { source; target; amount; seq } in
+    t.outgoing.(source) <- t.outgoing.(source) @ [ tr ];
+    t.instance.Instance.update source t.outgoing.(source);
+    true
+  end
+
+let history_of t ~node ~who =
+  let snap = t.instance.Instance.scan node in
+  Option.value snap.(who) ~default:[]
+
+let total_supply t = Array.fold_left ( + ) 0 t.initial

@@ -1,0 +1,39 @@
+(** Asset transfer object (cryptocurrency) over a snapshot object, after
+    Guerraoui et al., "The consensus number of a cryptocurrency"
+    (PODC 2019) — the application the paper's introduction highlights.
+
+    One account per node (single-owner). Node [i]'s segment holds [i]'s
+    outgoing transfer history; a balance is computed from a scan as
+    initial + incoming - outgoing. Because only the owner extends its own
+    history and histories are append-only, a linearizable snapshot
+    suffices — no consensus. A concurrent scan may under-report incoming
+    funds but never over-reports the spendable balance, so overdrafts
+    are impossible (safety), which the tests check by construction and
+    by replay.
+
+    Works over any ['v Instance.t] with [`v = transfer list]; plug in
+    EQ-ASO for linearizable transfers or the SSO for sequentially
+    consistent ones. *)
+
+type transfer = { source : int; target : int; amount : int; seq : int }
+
+type t
+
+val create : instance:transfer list Instance.t -> initial:int array -> t
+(** [initial.(i)] is account [i]'s opening balance; its length must be
+    the instance's [n]. *)
+
+val transfer : t -> source:int -> target:int -> amount:int -> bool
+(** Attempt a transfer (blocking; run in a fiber). Returns [false] —
+    with no update issued — when the scanned balance cannot cover
+    [amount]. Requires [amount > 0] and [source <> target]. *)
+
+val balance : t -> node:int -> who:int -> int
+(** Balance of [who] as observed by [node] (blocking scan). *)
+
+val history_of : t -> node:int -> who:int -> transfer list
+(** [who]'s outgoing transfers as observed by a scan at [node]. *)
+
+val total_supply : t -> int
+(** Sum of initial balances — conserved by construction; the tests
+    assert every observed global state sums to it. *)

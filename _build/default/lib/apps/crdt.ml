@@ -1,0 +1,61 @@
+module G_counter = struct
+  type t = { instance : int Instance.t; local : int array }
+
+  let create ~instance =
+    { instance; local = Array.make instance.Instance.n 0 }
+
+  let increment t ~node ~by =
+    if by < 0 then invalid_arg "G_counter.increment: negative";
+    t.local.(node) <- t.local.(node) + by;
+    t.instance.Instance.update node t.local.(node)
+
+  let value t ~node =
+    let snap = t.instance.Instance.scan node in
+    Array.fold_left (fun acc c -> acc + Option.value c ~default:0) 0 snap
+
+  let local_count t ~node = t.local.(node)
+end
+
+module Pn_counter = struct
+  type t = { instance : (int * int) Instance.t; local : (int * int) array }
+
+  let create ~instance =
+    { instance; local = Array.make instance.Instance.n (0, 0) }
+
+  let add t ~node amount =
+    let pos, neg = t.local.(node) in
+    let updated =
+      if amount >= 0 then (pos + amount, neg) else (pos, neg - amount)
+    in
+    t.local.(node) <- updated;
+    t.instance.Instance.update node updated
+
+  let value t ~node =
+    let snap = t.instance.Instance.scan node in
+    Array.fold_left
+      (fun acc slot ->
+        let pos, neg = Option.value slot ~default:(0, 0) in
+        acc + pos - neg)
+      0 snap
+end
+
+module G_set = struct
+  type t = { instance : int list Instance.t; local : int list array }
+
+  let create ~instance = { instance; local = Array.make instance.Instance.n [] }
+
+  let add t ~node x =
+    if not (List.mem x t.local.(node)) then begin
+      t.local.(node) <- x :: t.local.(node);
+      t.instance.Instance.update node t.local.(node)
+    end
+
+  let elements t ~node =
+    let snap = t.instance.Instance.scan node in
+    Array.fold_left
+      (fun acc slot -> List.rev_append (Option.value slot ~default:[]) acc)
+      [] snap
+    |> List.sort_uniq Int.compare
+
+  let mem t ~node x = List.mem x (elements t ~node)
+end

@@ -1,0 +1,48 @@
+(** Linearizable CRDTs over a snapshot object (the paper cites
+    Skrzypczak et al.'s linearizable state-based CRDT replication as a
+    target application).
+
+    The construction: each node's segment holds that node's {e own}
+    contribution (a grow-only sub-state); queries scan and merge. An
+    atomic snapshot makes the composed object {e linearizable} — the
+    strongest consistency a CRDT interface can get — while updates stay
+    conflict-free because segments are single-writer.
+
+    Three classics are provided: grow-only counter, positive-negative
+    counter, and grow-only set. *)
+
+module G_counter : sig
+  type t
+
+  val create : instance:int Instance.t -> t
+
+  val increment : t -> node:int -> by:int -> unit
+  (** Blocking (fiber). Requires [by >= 0]. *)
+
+  val value : t -> node:int -> int
+  (** Blocking scan + sum. *)
+
+  val local_count : t -> node:int -> int
+  (** This node's own contribution (no communication). *)
+end
+
+module Pn_counter : sig
+  type t
+
+  val create : instance:(int * int) Instance.t -> t
+  val add : t -> node:int -> int -> unit
+  (** Positive or negative amounts. Blocking (fiber). *)
+
+  val value : t -> node:int -> int
+end
+
+module G_set : sig
+  type t
+
+  val create : instance:int list Instance.t -> t
+  val add : t -> node:int -> int -> unit
+  val elements : t -> node:int -> int list
+  (** Sorted, deduplicated. *)
+
+  val mem : t -> node:int -> int -> bool
+end

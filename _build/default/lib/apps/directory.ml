@@ -1,0 +1,31 @@
+type record = { endpoint : string; healthy : bool; incarnation : int }
+
+type t = { instance : record Instance.t; incarnations : int array }
+
+let create ~instance =
+  { instance; incarnations = Array.make instance.Instance.n 0 }
+
+let publish t ~node ~endpoint ~healthy =
+  t.incarnations.(node) <- t.incarnations.(node) + 1;
+  t.instance.Instance.update node
+    { endpoint; healthy; incarnation = t.incarnations.(node) }
+
+let lookup t ~node ~who =
+  let snap = t.instance.Instance.scan node in
+  snap.(who)
+
+let healthy_services t ~node =
+  let snap = t.instance.Instance.scan node in
+  Array.to_list snap
+  |> List.mapi (fun who slot -> (who, slot))
+  |> List.filter_map (fun (who, slot) ->
+         match slot with
+         | Some r when r.healthy -> Some (who, r)
+         | _ -> None)
+
+let roster_version t ~node =
+  let snap = t.instance.Instance.scan node in
+  Array.fold_left
+    (fun acc slot ->
+      acc + match slot with None -> 0 | Some r -> r.incarnation)
+    0 snap

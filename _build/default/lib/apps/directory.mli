@@ -1,0 +1,35 @@
+(** Service directory over a snapshot object.
+
+    Each node owns one directory segment and publishes its own service
+    record (endpoint + status + incarnation); consumers SCAN to obtain a
+    {e mutually consistent} view of the whole fleet — the thing
+    per-node polling cannot give (two observers polling can each see a
+    configuration the other never saw; two snapshot scans are always
+    ordered).
+
+    Single-writer segments make this a textbook snapshot use: no
+    registration service, no consensus, crash-tolerant for free. *)
+
+type record = {
+  endpoint : string;
+  healthy : bool;
+  incarnation : int;  (** bumped by every publish *)
+}
+
+type t
+
+val create : instance:record Instance.t -> t
+
+val publish : t -> node:int -> endpoint:string -> healthy:bool -> unit
+(** Publish/refresh this node's record (blocking; fiber). Increments the
+    incarnation. *)
+
+val lookup : t -> node:int -> who:int -> record option
+(** [who]'s record as seen from [node] (blocking scan). *)
+
+val healthy_services : t -> node:int -> (int * record) list
+(** Consistent roster of healthy services, ascending node id. *)
+
+val roster_version : t -> node:int -> int
+(** Sum of observed incarnations — a monotone version of the roster;
+    two scans' versions order the same way as their contents. *)

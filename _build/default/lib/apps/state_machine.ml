@@ -1,0 +1,33 @@
+module Make (M : sig
+  type command
+  type state
+
+  val initial : state
+  val apply : state -> command -> state
+end) =
+struct
+  type t = {
+    instance : M.command list Instance.t;
+    logs : M.command list array;  (* own log per node, newest first *)
+  }
+
+  let create ~instance = { instance; logs = Array.make instance.Instance.n [] }
+
+  let submit t ~node command =
+    t.logs.(node) <- command :: t.logs.(node);
+    t.instance.Instance.update node t.logs.(node)
+
+  let merged_commands snap =
+    (* Deterministic merge: by node id, then submission order. Commuting
+       commands make any merge order equivalent; this one is canonical. *)
+    Array.to_list snap
+    |> List.concat_map (fun slot -> List.rev (Option.value slot ~default:[]))
+
+  let query t ~node =
+    let snap = t.instance.Instance.scan node in
+    List.fold_left M.apply M.initial (merged_commands snap)
+
+  let commands_seen t ~node =
+    let snap = t.instance.Instance.scan node in
+    List.length (merged_commands snap)
+end

@@ -1,0 +1,34 @@
+(** Update-query state machines over a snapshot object, after Faleiro et
+    al., "Generalized lattice agreement" (PODC 2012).
+
+    An update-query state machine separates {e updates} (which must
+    commute) from {e queries} (read-only). Each node's segment carries
+    its own command log; a query scans, merges all logs in a
+    deterministic order, and folds the transition function. With an
+    atomic snapshot underneath, queries are linearizable; with the SSO,
+    they are sequentially consistent — at query-local cost.
+
+    Commands must commute for this to define one coherent state (the
+    standard requirement of the construction); the functor does not —
+    cannot — check that. *)
+
+module Make (M : sig
+  type command
+  type state
+
+  val initial : state
+  val apply : state -> command -> state
+end) : sig
+  type t
+
+  val create : instance:M.command list Instance.t -> t
+
+  val submit : t -> node:int -> M.command -> unit
+  (** Append a command to this node's log (blocking; fiber). *)
+
+  val query : t -> node:int -> M.state
+  (** Scan, merge logs (by node id, then log position), fold. *)
+
+  val commands_seen : t -> node:int -> int
+  (** Number of commands visible to a query at [node]. *)
+end

@@ -1,0 +1,1 @@
+lib/baselines/dc_aso.ml: Array Aso_core Collector Hashtbl Int Option Quorum Reg_store Sim Timestamp

@@ -1,0 +1,1 @@
+lib/baselines/dc_aso.mli: Instance Reg_store Sim

@@ -1,0 +1,1 @@
+lib/baselines/la_aso.ml: Array Aso_core Collector Hashtbl Int List Option Quorum Sim Timestamp View

@@ -1,0 +1,1 @@
+lib/baselines/la_aso.mli: Instance Sim Timestamp

@@ -1,0 +1,1 @@
+lib/baselines/sc_aso.mli: Instance Reg_store Sim

@@ -1,0 +1,1 @@
+lib/baselines/scd_aso.ml: Array Aso_core Int List Option Reg_store Scd_broadcast Sim Timestamp

@@ -1,0 +1,1 @@
+lib/baselines/scd_aso.mli: Instance Reg_store Sim

@@ -1,0 +1,1 @@
+lib/baselines/scd_broadcast.ml: Array Format Hashtbl Int List Map Quorum Sim

@@ -1,0 +1,1 @@
+lib/baselines/scd_broadcast.mli: Format Sim

@@ -1,0 +1,42 @@
+(** Double-collect snapshot, Delporte-Gallet et al. (2018) style — the
+    [O(D)] UPDATE / [O(n·D)] SCAN row of Table I.
+
+    UPDATE(v): stamp [v] with a per-writer sequence number, broadcast it,
+    wait for [n - f] acknowledgements — one round trip, [O(D)].
+
+    SCAN(): repeated {e collects} (query [n - f] servers for their full
+    register vectors, merge) until two successive collects return the
+    same vector; then {e write back} the vector to [n - f] servers before
+    returning. The write-back is what makes double-collect atomic over a
+    message-passing quorum system (it plays the role the atomicity of
+    SWMR registers plays in shared memory): a later scan's collect
+    quorum intersects the write-back quorum, so scans never suffer
+    new-old inversion.
+
+    The scan retries once per concurrent update burst: [O(c · D)] with
+    [c] concurrent writers, [O(n · D)] in the Table I workloads. Unlike
+    the store-collect variant there is no helping, so a single manic
+    writer can starve a scan — the trade-off for the constant-time
+    UPDATE, and exactly the behaviour the ablation bench shows. *)
+
+module Msg : sig
+  type 'v t =
+    | Write of { req : int; entry : 'v Reg_store.entry }
+    | Write_ack of { req : int }
+    | Collect_req of { req : int }
+    | Collect_reply of { req : int; vector : 'v Reg_store.vector }
+    | Write_back of { req : int; vector : 'v Reg_store.vector }
+    | Write_back_ack of { req : int }
+end
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val update : 'v t -> node:int -> 'v -> unit
+val scan : 'v t -> node:int -> 'v option array
+val collect_rounds : 'v t -> int
+(** Total collect phases executed — the ablation metric. *)
+
+val instance : 'v t -> 'v Instance.t

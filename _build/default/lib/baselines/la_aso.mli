@@ -1,0 +1,55 @@
+(** Snapshot object from lattice agreement — the "[41], [42] + [11]"
+    row of Table I: the transform of Attiya, Herlihy and Rachman
+    (Distributed Computing 1995) rendered over message-passing quorums,
+    with our equivalence-quorum one-shot lattice operation as the LA
+    black box.
+
+    Structure (per operation):
+
+    - values are disseminated and forwarded exactly as in EQ-ASO;
+    - a monotone {e round} counter plays the role of AHR's generation:
+      read/written through [n - f] quorums like EQ-ASO's tags;
+    - a SCAN {e collects} the sets committed by earlier scans from a
+      quorum, proposes their union plus everything it knows to the
+      current round's one-shot LA instance, learns, {e commits} the
+      learned set to a quorum, re-reads the round, and returns only if
+      the round did not move (otherwise it retries at the new round).
+      The commit/collect write-backs are what make outputs of different
+      rounds comparable — the glue AHR gets for free from shared memory.
+    - an UPDATE reads the round, disseminates its value, bumps the
+      round, and runs the scan path until its own value is learned.
+
+    Costs: each attempt is a constant number of quorum phases on top of
+    one LA instance, but there is {e no renewal/borrowing}: a retry
+    storm under concurrent updates makes operations Θ(concurrency · D) —
+    precisely the amortized gap between "use an LA algorithm as a black
+    box" and the paper's integrated framework (Related Work, last
+    paragraph). The benches measure that gap. *)
+
+module Msg : sig
+  type 'v t =
+    | Value of { req : int option; ts : Timestamp.t; value : 'v }
+    | Value_ack of { req : int }
+    | Prop of { round : int; ts : Timestamp.t }
+    | Read_round of { req : int }
+    | Round_ack of { req : int; round : int }
+    | Write_round of { req : int; round : int }
+    | Write_round_ack of { req : int }
+    | Commit of { req : int; view : Timestamp.t list }
+    | Commit_ack of { req : int }
+    | Collect_req of { req : int }
+    | Collect_reply of { req : int; committed : Timestamp.t list }
+end
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val update : 'v t -> node:int -> 'v -> unit
+val scan : 'v t -> node:int -> 'v option array
+
+val rounds_retried : 'v t -> int
+(** Scan attempts beyond the first — the transform's retry overhead. *)
+
+val instance : 'v t -> 'v Instance.t

@@ -1,0 +1,45 @@
+(** Store-collect snapshot, Attiya et al. (2020) style with Afek-style
+    helping — the [O(n·D)] UPDATE / [O(n·D)] SCAN row of Table I.
+
+    The underlying object is store/collect over majority quorums (a
+    store is one round trip; a collect queries [n - f] servers and
+    merges). On top of it, the classic embedded-scan construction of
+    Afek et al.:
+
+    - UPDATE(v): run an embedded SCAN, then store [(v, that scan)] —
+      [O(n·D)] because of the embedded scan;
+    - SCAN(): repeated collects until either two successive collects
+      agree (direct), or some writer is seen to {e move twice}, in which
+      case its second value's embedded scan happened entirely inside
+      this scan's interval and is {e borrowed}. Either way at most
+      [n + 1] collects: [O(n·D)] wait-free, even against writers that
+      never pause (which is what distinguishes it from {!Dc_aso}).
+
+    Returned vectors are written back to a quorum before returning, the
+    message-passing substitute for register atomicity. *)
+
+(** Stored payloads carry the embedded scan. *)
+type 'v payload = { value : 'v; embedded : 'v payload Reg_store.vector }
+
+module Msg : sig
+  type 'v t =
+    | Store of { req : int; entry : 'v payload Reg_store.entry }
+    | Store_ack of { req : int }
+    | Collect_req of { req : int }
+    | Collect_reply of { req : int; vector : 'v payload Reg_store.vector }
+    | Write_back of { req : int; vector : 'v payload Reg_store.vector }
+    | Write_back_ack of { req : int }
+end
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val update : 'v t -> node:int -> 'v -> unit
+val scan : 'v t -> node:int -> 'v option array
+
+val borrowed_scans : 'v t -> int
+(** Scans resolved through helping rather than a clean double collect. *)
+
+val instance : 'v t -> 'v Instance.t

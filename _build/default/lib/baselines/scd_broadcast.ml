@@ -1,0 +1,161 @@
+module Mid = struct
+  type t = { origin : int; seq : int }
+
+  let compare a b =
+    match Int.compare a.origin b.origin with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+
+  let pp ppf t = Format.fprintf ppf "m(%d,%d)" t.origin t.seq
+end
+
+module Wire = struct
+  type 'p t = Forward of { id : Mid.t; payload : 'p; stamper : int; sd : int }
+end
+
+module Mid_map = Map.Make (Mid)
+
+type 'p info = {
+  payload : 'p;
+  stamps : (int, int) Hashtbl.t;  (* stamper -> local counter *)
+  mutable delivered : bool;
+}
+
+type 'p node = {
+  id : int;
+  mutable msgs : 'p info Mid_map.t;
+  mutable sd : int;  (* local stamp counter *)
+  mutable next_seq : int;  (* sequence for own broadcasts *)
+  mutable n_delivered : int;
+  changed : Sim.Condition.t;
+}
+
+type 'p t = {
+  net : 'p Wire.t Sim.Network.t;
+  n : int;
+  f : int;
+  nodes : 'p node array;
+  deliver : node:int -> (Mid.t * 'p) list -> unit;
+}
+
+let create engine ~n ~f ~delay ~deliver =
+  Quorum.check_crash ~n ~f;
+  let net = Sim.Network.create engine ~n ~delay in
+  let make_node id =
+    {
+      id;
+      msgs = Mid_map.empty;
+      sd = 0;
+      next_seq = 0;
+      n_delivered = 0;
+      changed = Sim.Condition.create ();
+    }
+  in
+  let t = { net; n; f; nodes = Array.init n make_node; deliver } in
+  t
+
+(* [m1] has any evidence of preceding [m2]: some process stamped both
+   and stamped [m1] first. (If a stamper of [m2] has no known stamp for
+   [m1], FIFO channels guarantee it stamped [m1] later or never, so
+   "unknown" is never hidden earlier evidence.) *)
+let maybe_precedes info1 info2 =
+  Hashtbl.fold
+    (fun stamper sd1 acc ->
+      acc
+      ||
+      match Hashtbl.find_opt info2.stamps stamper with
+      | Some sd2 -> sd1 < sd2
+      | None -> false)
+    info1.stamps false
+
+let try_deliver t nd =
+  let rec round () =
+    let undelivered =
+      Mid_map.filter (fun _ info -> not info.delivered) nd.msgs
+    in
+    let stable _id info = Hashtbl.length info.stamps >= t.n - t.f in
+    (* Start from the stable undelivered messages; drop any that must
+       wait for an unstable predecessor, to a fixpoint. *)
+    let batch = ref (Mid_map.filter stable undelivered) in
+    let removed = ref true in
+    while !removed do
+      removed := false;
+      Mid_map.iter
+        (fun id info ->
+          let blocked =
+            Mid_map.exists
+              (fun id' info' ->
+                (not (Mid_map.mem id' !batch))
+                && Mid.compare id' id <> 0
+                && maybe_precedes info' info)
+              undelivered
+          in
+          if blocked then begin
+            batch := Mid_map.remove id !batch;
+            removed := true
+          end)
+        !batch
+    done;
+    if not (Mid_map.is_empty !batch) then begin
+      Mid_map.iter (fun _ info -> info.delivered <- true) !batch;
+      nd.n_delivered <- nd.n_delivered + Mid_map.cardinal !batch;
+      t.deliver ~node:nd.id
+        (Mid_map.fold (fun id info acc -> (id, info.payload) :: acc) !batch []
+        |> List.rev);
+      round ()
+    end
+  in
+  round ()
+
+let stamp_and_forward t nd id payload =
+  nd.sd <- nd.sd + 1;
+  Sim.Network.broadcast t.net ~src:nd.id
+    (Wire.Forward { id; payload; stamper = nd.id; sd = nd.sd })
+
+let handle t nd ~src:_ (Wire.Forward { id; payload; stamper; sd }) =
+  let info =
+    match Mid_map.find_opt id nd.msgs with
+    | Some info -> info
+    | None ->
+        let info =
+          { payload; stamps = Hashtbl.create 8; delivered = false }
+        in
+        nd.msgs <- Mid_map.add id info nd.msgs;
+        (* First sighting: add our own stamp and tell everyone. *)
+        stamp_and_forward t nd id payload;
+        info
+  in
+  if not (Hashtbl.mem info.stamps stamper) then
+    Hashtbl.replace info.stamps stamper sd;
+  try_deliver t nd;
+  Sim.Condition.signal nd.changed
+
+let wire_handlers t =
+  Array.iter
+    (fun nd -> Sim.Network.set_handler t.net nd.id (handle t nd))
+    t.nodes
+
+let broadcast t ~node payload =
+  let nd = t.nodes.(node) in
+  let id = { Mid.origin = node; seq = nd.next_seq } in
+  nd.next_seq <- nd.next_seq + 1;
+  (* The origin's own stamp-and-forward doubles as the initial send. *)
+  let info = { payload; stamps = Hashtbl.create 8; delivered = false } in
+  nd.msgs <- Mid_map.add id info nd.msgs;
+  stamp_and_forward t nd id payload;
+  id
+
+let delivered t ~node id =
+  match Mid_map.find_opt id t.nodes.(node).msgs with
+  | None -> false
+  | Some info -> info.delivered
+
+let changed t ~node = t.nodes.(node).changed
+let delivered_count t ~node = t.nodes.(node).n_delivered
+let net t = t.net
+
+(* Handlers must be wired after [t] exists. *)
+let create engine ~n ~f ~delay ~deliver =
+  let t = create engine ~n ~f ~delay ~deliver in
+  wire_handlers t;
+  t

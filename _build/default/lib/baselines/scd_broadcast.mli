@@ -1,0 +1,68 @@
+(** Set-Constrained Delivery broadcast, after Imbs, Mostéfaoui, Perrin
+    and Raynal (ICDCN 2018) — the communication abstraction behind the
+    [O(k·D)] snapshot row of Table I.
+
+    Processes scd-broadcast messages and deliver {e sets} of messages.
+    The one safety rule (beyond validity/integrity/termination): if a
+    process delivers a set containing [m] strictly before a set
+    containing [m'], then no process delivers [m'] strictly before [m].
+
+    Implementation (reconstruction preserving the published message
+    pattern and complexity; the delivery predicate is stated slightly
+    differently but provably enforces the same constraint):
+
+    - on first sighting of a message, a process {e stamps} it with its
+      local counter and forwards the stamp to all (one forward per
+      process per message, like the paper's [FORWARD] phase);
+    - a message is {e stable} once stamps from [n - f] processes are in;
+    - a stable message is delivered once every known undelivered message
+      with {e any} stamp-order evidence of preceding it ([∃j] that
+      stamped it earlier) is delivered with it or before it.
+
+    Safety sketch: if [p] delivers [m] without [m'] and [q] delivers
+    [m'] without [m], their stability quorums intersect in a stamper [j]
+    of both; FIFO channels make [j]'s earlier stamp known to whichever
+    of [p], [q] knows the later one, forcing the earlier message into
+    that batch — contradiction. Crashing forwarders delay stability the
+    way exposed values do in EQ-ASO, hence the [O(k·D)] behaviour. *)
+
+(** Message identity: origin and per-origin sequence number. *)
+module Mid : sig
+  type t = { origin : int; seq : int }
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Wire messages. *)
+module Wire : sig
+  type 'p t = Forward of { id : Mid.t; payload : 'p; stamper : int; sd : int }
+end
+
+type 'p t
+
+val create :
+  Sim.Engine.t ->
+  n:int ->
+  f:int ->
+  delay:Sim.Delay.t ->
+  deliver:(node:int -> (Mid.t * 'p) list -> unit) ->
+  'p t
+(** [deliver] is invoked once per delivered batch, under handler
+    atomicity; batches are internally ordered by {!Mid.compare} for
+    determinism. Requires [n > 2f]. *)
+
+val broadcast : 'p t -> node:int -> 'p -> Mid.t
+(** scd-broadcast a payload; non-blocking; returns the message id. *)
+
+val delivered : 'p t -> node:int -> Mid.t -> bool
+(** Has this node delivered the message yet? (What an operation awaits.) *)
+
+val changed : 'p t -> node:int -> Sim.Condition.t
+(** Signalled on every state change at the node, for fibers awaiting
+    {!delivered}. *)
+
+val delivered_count : 'p t -> node:int -> int
+
+val net : 'p t -> 'p Wire.t Sim.Network.t
+(** Underlying network, for fault injection. *)

@@ -1,0 +1,1 @@
+lib/byzantine/behaviors.ml: Byz_eq_aso Rbc Sim Timestamp

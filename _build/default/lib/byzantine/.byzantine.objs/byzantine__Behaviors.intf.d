@@ -1,0 +1,1 @@
+lib/byzantine/behaviors.mli: Byz_eq_aso Sim

@@ -1,0 +1,1 @@
+lib/byzantine/byz_eq_aso.ml: Array Aso_core Collector Fun Hashtbl Int List Option Quorum Rbc Sim Timestamp View

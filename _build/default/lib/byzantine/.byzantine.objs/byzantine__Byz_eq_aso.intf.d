@@ -1,0 +1,1 @@
+lib/byzantine/byz_eq_aso.mli: Instance Rbc Sim Timestamp View

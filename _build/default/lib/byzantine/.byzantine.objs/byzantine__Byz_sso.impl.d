@@ -1,0 +1,1 @@
+lib/byzantine/byz_sso.ml: Array Byz_eq_aso View

@@ -1,0 +1,1 @@
+lib/byzantine/byz_sso.mli: Byz_eq_aso Sim

@@ -1,0 +1,1 @@
+lib/byzantine/rbc.ml: Array Hashtbl List Quorum

@@ -1,0 +1,43 @@
+let silent t ~node =
+  Sim.Network.set_handler (Byz_eq_aso.net t) node (fun ~src:_ _ -> ())
+
+let tag_flooder t engine ~node ~bursts ~gap =
+  silent t ~node;
+  let net = Byz_eq_aso.net t in
+  Sim.Fiber.spawn engine (fun () ->
+      for burst = 1 to bursts do
+        Sim.Fiber.sleep engine gap;
+        let tag = 1_000_000 * burst in
+        Sim.Network.broadcast net ~src:node
+          (Byz_eq_aso.Msg.Write_tag { req = burst; tag });
+        Sim.Network.broadcast net ~src:node (Byz_eq_aso.Msg.Echo_tag { tag })
+      done)
+
+let equivocator t ~node ~value_a ~value_b =
+  silent t ~node;
+  let net = Byz_eq_aso.net t in
+  let n = Sim.Network.size net in
+  let ts = Timestamp.make ~tag:1 ~writer:node in
+  for dst = 0 to n - 1 do
+    let value = if dst * 2 < n then value_a else value_b in
+    Sim.Network.send net ~src:node ~dst
+      (Byz_eq_aso.Msg.Rbc
+         (Rbc.Send { seq = 0; payload = Byz_eq_aso.Value { ts; value } }))
+  done
+
+let forger t ~node ~victim ~value =
+  silent t ~node;
+  let net = Byz_eq_aso.net t in
+  let ts = Timestamp.make ~tag:1 ~writer:victim in
+  Sim.Network.broadcast net ~src:node
+    (Byz_eq_aso.Msg.Rbc
+       (Rbc.Send { seq = 0; payload = Byz_eq_aso.Value { ts; value } }))
+
+let phantom_forwarder t ~node =
+  silent t ~node;
+  let net = Byz_eq_aso.net t in
+  for k = 1 to 5 do
+    let ts = Timestamp.make ~tag:k ~writer:node in
+    Sim.Network.broadcast net ~src:node
+      (Byz_eq_aso.Msg.Rbc (Rbc.Send { seq = k - 1; payload = Byz_eq_aso.Fwd { ts } }))
+  done

@@ -1,0 +1,33 @@
+(** Scripted Byzantine adversaries for {!Byz_eq_aso}.
+
+    Each behaviour takes over one node: its protocol handler is replaced
+    (the node stops following the algorithm) and, where relevant, an
+    active fiber injects malicious traffic. Tests run the correct nodes'
+    histories through the linearizability checker against each
+    behaviour. *)
+
+val silent : 'v Byz_eq_aso.t -> node:int -> unit
+(** The node never answers anything — indistinguishable from a crash to
+    the rest of the system (but it is {e not} marked crashed, so the
+    harness still counts it against [f]). *)
+
+val tag_flooder :
+  'v Byz_eq_aso.t -> Sim.Engine.t -> node:int -> bursts:int -> gap:float -> unit
+(** Repeatedly announces enormous tags through writeTag/echoTag traffic,
+    forcing every pending lattice operation to fail its line-17 check
+    and retry. Bounded by [bursts], mirroring the paper's position that
+    unbounded Byzantine interference degrades time, never safety. *)
+
+val equivocator :
+  'v Byz_eq_aso.t -> node:int -> value_a:'v -> value_b:'v -> unit
+(** Sends conflicting reliable-broadcast [Send]s for the same slot: half
+    the nodes are told [value_a], half [value_b]. Bracha's quorums force
+    all correct nodes to agree on at most one of them. *)
+
+val forger : 'v Byz_eq_aso.t -> node:int -> victim:int -> value:'v -> unit
+(** Reliably broadcasts a value whose timestamp claims [victim] wrote
+    it. Correct nodes must refuse to anchor it. *)
+
+val phantom_forwarder : 'v Byz_eq_aso.t -> node:int -> unit
+(** Forwards timestamps that no writer ever issued; correct nodes buffer
+    them forever and never let them into a view. *)

@@ -1,0 +1,26 @@
+type 'v t = {
+  inner : 'v Byz_eq_aso.t;
+  n : int;
+  local_views : View.t array;
+}
+
+let create ?max_attempts engine ~n ~f ~delay =
+  {
+    inner = Byz_eq_aso.create ?max_attempts engine ~n ~f ~delay;
+    n;
+    local_views = Array.make n View.empty;
+  }
+
+let adopt t node view =
+  t.local_views.(node) <- View.union t.local_views.(node) view
+
+let update t ~node v =
+  adopt t node (Byz_eq_aso.update_with_view t.inner ~node v)
+
+let refresh t ~node = adopt t node (Byz_eq_aso.scan_view t.inner ~node)
+
+let scan t ~node =
+  View.extract t.local_views.(node) ~n:t.n
+    ~value_of:(Byz_eq_aso.value_of t.inner ~node)
+
+let inner t = t.inner

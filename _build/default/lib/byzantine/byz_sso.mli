@@ -1,0 +1,43 @@
+(** Byzantine-tolerant sequentially consistent snapshot object with
+    communication-free scans — the Byzantine member of the SSO family
+    the paper's technical report completes the framework with.
+
+    Construction over {!Byz_eq_aso}: every view a node returns or
+    adopts is one of its {e own} good lattice operations (all good
+    views are mutually comparable, and in the Byzantine variant a
+    node's own good views are the only ones it can trust — see the
+    borrowing discussion in {!Byz_eq_aso}). The node's local view is
+    the union of the good views it has adopted:
+
+    - UPDATE(v): run the Byzantine update pipeline; adopt the good view
+      that made the update visible — read-your-writes;
+    - SCAN(): extract the local view: [O(1)], zero messages;
+    - {!refresh}: optionally run a renewal to pull in other nodes'
+      recent updates (a scan's freshness is otherwise bounded by the
+      node's own update rate — the price of not trusting announcements).
+
+    Correct nodes' histories are sequentially consistent; the test
+    suite checks this under every scripted Byzantine behaviour. *)
+
+type 'v t
+
+val create :
+  ?max_attempts:int ->
+  Sim.Engine.t ->
+  n:int ->
+  f:int ->
+  delay:Sim.Delay.t ->
+  'v t
+(** Requires [n > 3f]. *)
+
+val update : 'v t -> node:int -> 'v -> unit
+(** Blocking; must run in a fiber. *)
+
+val scan : 'v t -> node:int -> 'v option array
+(** Local, message-free, non-blocking. *)
+
+val refresh : 'v t -> node:int -> unit
+(** Blocking renewal that freshens the local view. *)
+
+val inner : 'v t -> 'v Byz_eq_aso.t
+(** The underlying Byzantine EQ-ASO (for fault injection in tests). *)

@@ -1,0 +1,147 @@
+type 'p wire =
+  | Send of { seq : int; payload : 'p }
+  | Echo of { origin : int; seq : int; payload : 'p }
+  | Ready of { origin : int; seq : int; payload : 'p }
+
+(* Per (origin, seq) slot: vote counts per candidate payload. Payload
+   equality is structural; candidates are kept in a small list because a
+   Byzantine origin can introduce at most a handful before the quorum
+   rules exclude the rest. *)
+type 'p candidate = {
+  payload : 'p;
+  mutable echoes : int list;  (* distinct echoers *)
+  mutable readies : int list;  (* distinct ready-senders *)
+}
+
+type 'p slot = {
+  mutable candidates : 'p candidate list;
+  mutable echoed : bool;  (* this node already echoed some payload *)
+  mutable readied : bool;
+  mutable delivered : 'p option;
+}
+
+type 'p t = {
+  n : int;
+  f : int;
+  me : int;
+  send_wire : dst:int -> 'p wire -> unit;
+  deliver : src:int -> 'p -> unit;
+  slots : (int * int, 'p slot) Hashtbl.t;
+  next_deliver : int array;  (* per-origin FIFO cursor *)
+  pending : (int * int, 'p) Hashtbl.t;  (* completed, awaiting FIFO turn *)
+  mutable seq : int;
+  mutable delivered_count : int;
+}
+
+let create ~n ~f ~me ~send_wire ~deliver =
+  Quorum.check_byz ~n ~f;
+  {
+    n;
+    f;
+    me;
+    send_wire;
+    deliver;
+    slots = Hashtbl.create 64;
+    next_deliver = Array.make n 0;
+    pending = Hashtbl.create 16;
+    seq = 0;
+    delivered_count = 0;
+  }
+
+let slot t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+      let s =
+        { candidates = []; echoed = false; readied = false; delivered = None }
+      in
+      Hashtbl.replace t.slots key s;
+      s
+
+let candidate s payload =
+  match List.find_opt (fun c -> c.payload = payload) s.candidates with
+  | Some c -> c
+  | None ->
+      let c = { payload; echoes = []; readies = [] } in
+      s.candidates <- c :: s.candidates;
+      c
+
+let broadcast_wire t msg =
+  for dst = 0 to t.n - 1 do
+    t.send_wire ~dst msg
+  done
+
+let echo_threshold t = ((t.n + t.f) / 2) + 1
+let ready_amplify t = t.f + 1
+let deliver_threshold t = (2 * t.f) + 1
+
+let flush_fifo t origin =
+  let rec next () =
+    let seq = t.next_deliver.(origin) in
+    match Hashtbl.find_opt t.pending (origin, seq) with
+    | None -> ()
+    | Some payload ->
+        Hashtbl.remove t.pending (origin, seq);
+        t.next_deliver.(origin) <- seq + 1;
+        t.delivered_count <- t.delivered_count + 1;
+        t.deliver ~src:origin payload;
+        next ()
+  in
+  next ()
+
+let try_progress t key origin s =
+  let maybe_ready c =
+    if
+      (not s.readied)
+      && (List.length c.echoes >= echo_threshold t
+         || List.length c.readies >= ready_amplify t)
+    then begin
+      s.readied <- true;
+      broadcast_wire t (Ready { origin; seq = snd key; payload = c.payload })
+    end
+  in
+  let maybe_deliver c =
+    if s.delivered = None && List.length c.readies >= deliver_threshold t
+    then begin
+      s.delivered <- Some c.payload;
+      Hashtbl.replace t.pending key c.payload;
+      flush_fifo t origin
+    end
+  in
+  List.iter
+    (fun c ->
+      maybe_ready c;
+      maybe_deliver c)
+    s.candidates
+
+let add_vote votes sender = if List.mem sender votes then votes else sender :: votes
+
+let handle t ~src msg =
+  match msg with
+  | Send { seq; payload } ->
+      let key = (src, seq) in
+      let s = slot t key in
+      if not s.echoed then begin
+        s.echoed <- true;
+        broadcast_wire t (Echo { origin = src; seq; payload })
+      end;
+      try_progress t key src s
+  | Echo { origin; seq; payload } ->
+      let key = (origin, seq) in
+      let s = slot t key in
+      let c = candidate s payload in
+      c.echoes <- add_vote c.echoes src;
+      try_progress t key origin s
+  | Ready { origin; seq; payload } ->
+      let key = (origin, seq) in
+      let s = slot t key in
+      let c = candidate s payload in
+      c.readies <- add_vote c.readies src;
+      try_progress t key origin s
+
+let broadcast t payload =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  broadcast_wire t (Send { seq; payload })
+
+let delivered_count t = t.delivered_count

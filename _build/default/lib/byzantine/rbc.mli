@@ -1,0 +1,53 @@
+(** Bracha's asynchronous reliable broadcast (1987), with FIFO delivery
+    per sender — the substrate the paper names for its Byzantine ASO
+    ([18] in its references).
+
+    Guarantees with [n > 3f] (up to [f] Byzantine nodes):
+
+    - {b validity}: a broadcast by a correct node is eventually delivered
+      by every correct node;
+    - {b agreement}: if any correct node delivers [(src, seq, p)], every
+      correct node eventually delivers the same payload for that slot —
+      equivocation by a Byzantine [src] yields one agreed payload or
+      none;
+    - {b integrity}: at most one delivery per [(src, seq)];
+    - {b FIFO}: deliveries from one sender happen in sequence order at
+      every correct node, so "node j's value stream" reads identically
+      everywhere — which is exactly what the equivalence-quorum
+      comparability argument (Observation 1) needs in the Byzantine
+      setting.
+
+    The implementation is one instance of SEND/ECHO/READY per slot:
+    echo on the sender's SEND; ready on [ceil((n+f+1)/2)] matching
+    echoes or [f+1] matching readies; deliver on [2f+1] matching
+    readies.
+
+    Each node owns one [t]; the owner routes wire messages between
+    instances (the component is transport-agnostic so a protocol can
+    multiplex it with its own direct messages). *)
+
+type 'p wire =
+  | Send of { seq : int; payload : 'p }
+  | Echo of { origin : int; seq : int; payload : 'p }
+  | Ready of { origin : int; seq : int; payload : 'p }
+
+type 'p t
+
+val create :
+  n:int ->
+  f:int ->
+  me:int ->
+  send_wire:(dst:int -> 'p wire -> unit) ->
+  deliver:(src:int -> 'p -> unit) ->
+  'p t
+(** [send_wire] transmits to one destination (the owner's network);
+    [deliver] is the upcall, invoked in per-sender FIFO order. Requires
+    [n > 3f]. *)
+
+val broadcast : 'p t -> 'p -> unit
+(** Reliably broadcast the next payload in this node's sequence. *)
+
+val handle : 'p t -> src:int -> 'p wire -> unit
+(** Feed an incoming wire message. *)
+
+val delivered_count : 'p t -> int

@@ -1,0 +1,1 @@
+lib/checker/base.ml: Array Hashtbl History Int List Printf Result Set

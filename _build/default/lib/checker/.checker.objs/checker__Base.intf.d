@@ -1,0 +1,1 @@
+lib/checker/base.mli: History Set

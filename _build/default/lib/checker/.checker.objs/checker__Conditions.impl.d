@@ -1,0 +1,1 @@
+lib/checker/conditions.ml: Base Format History Int List Result

@@ -1,0 +1,1 @@
+lib/checker/conditions.mli: Format History

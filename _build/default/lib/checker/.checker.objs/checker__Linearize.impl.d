@@ -1,0 +1,1 @@
+lib/checker/linearize.ml: Array Base Hashtbl History Int List Printf Result

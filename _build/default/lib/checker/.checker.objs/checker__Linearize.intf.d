@@ -1,0 +1,1 @@
+lib/checker/linearize.mli: History

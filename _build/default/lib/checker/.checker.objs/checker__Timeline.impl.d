@@ -1,0 +1,1 @@
+lib/checker/timeline.ml: Array Buffer Bytes Float History Int List Option Printf String

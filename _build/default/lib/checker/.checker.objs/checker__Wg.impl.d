@@ -1,0 +1,1 @@
+lib/checker/wg.ml: Array Hashtbl History Int List Set

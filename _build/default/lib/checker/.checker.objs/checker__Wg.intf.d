@@ -1,0 +1,1 @@
+lib/checker/wg.mli: History

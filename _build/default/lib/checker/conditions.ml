@@ -1,0 +1,183 @@
+type violation = { condition : string; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "(%s) %s" v.condition v.detail
+
+let violation condition fmt = Format.kasprintf (fun detail -> { condition; detail }) fmt
+
+let ( let* ) = Result.bind
+
+let with_bases ~n history k =
+  match Base.context ~n history with
+  | Error e -> Error { condition = "base"; detail = e }
+  | Ok ctx -> (
+      let scans = Base.completed_scans ctx in
+      let rec bases acc = function
+        | [] -> Ok (List.rev acc)
+        | sc :: rest -> (
+            match Base.of_scan ctx sc with
+            | Error e -> Error { condition = "base"; detail = e }
+            | Ok b -> bases ((sc, b) :: acc) rest)
+      in
+      match bases [] scans with
+      | Error e -> Error e
+      | Ok scan_bases -> k ctx scan_bases)
+
+(* (A1)/(S1): pairwise comparability. Sorting by cardinality, it
+   suffices that each consecutive pair is ordered by inclusion. *)
+let check_comparable scan_bases =
+  let sorted =
+    List.sort
+      (fun (_, b1) (_, b2) ->
+        Int.compare (Base.Int_set.cardinal b1) (Base.Int_set.cardinal b2))
+      scan_bases
+  in
+  let rec walk = function
+    | (sc1, b1) :: ((sc2, b2) :: _ as rest) ->
+        if not (Base.subset b1 b2) then
+          Error
+            (violation "A1" "bases of scans #%d and #%d are incomparable"
+               sc1.History.id sc2.History.id)
+        else walk rest
+    | [ _ ] | [] -> Ok ()
+  in
+  walk sorted
+
+let check_atomic ~n history =
+  with_bases ~n history @@ fun ctx scan_bases ->
+  let* () = check_comparable scan_bases in
+  let updates = Base.updates ctx in
+  (* (A0): a base never contains an update the scan precedes. Implicit
+     in the paper (no execution can return a value before it is
+     written); explicit here because the checker accepts arbitrary
+     histories, and the exhaustive-search cross-validation showed the
+     printed (A1)-(A4) alone admit such future-reading histories. *)
+  let* () =
+    List.fold_left
+      (fun acc (sc, b) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc (u : History.op) ->
+            let* () = acc in
+            if Base.Int_set.mem u.id b && History.precedes sc u then
+              Error
+                (violation "A0"
+                   "scan #%d returned update #%d which was invoked only \
+                    after the scan responded"
+                   sc.History.id u.id)
+            else Ok ())
+          (Ok ()) updates)
+      (Ok ()) scan_bases
+  in
+  (* (A2): every update that precedes a scan is in its base. *)
+  let* () =
+    List.fold_left
+      (fun acc (sc, b) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc (u : History.op) ->
+            let* () = acc in
+            if History.precedes u sc && not (Base.Int_set.mem u.id b) then
+              Error
+                (violation "A2"
+                   "update #%d (value %d) precedes scan #%d but is missing \
+                    from its base"
+                   u.id (History.update_value u) sc.History.id)
+            else Ok ())
+          (Ok ()) updates)
+      (Ok ()) scan_bases
+  in
+  (* (A3): real-time order of scans respects base inclusion. *)
+  let* () =
+    List.fold_left
+      (fun acc (sc1, b1) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc (sc2, b2) ->
+            let* () = acc in
+            if History.precedes sc1 sc2 && not (Base.subset b1 b2) then
+              Error
+                (violation "A3"
+                   "scan #%d precedes scan #%d but its base is not contained"
+                   sc1.History.id sc2.History.id)
+            else Ok ())
+          (Ok ()) scan_bases)
+      (Ok ()) scan_bases
+  in
+  (* (A4): bases are closed under real-time predecessors of their
+     members. *)
+  List.fold_left
+    (fun acc (sc, b) ->
+      let* () = acc in
+      List.fold_left
+        (fun acc (u2 : History.op) ->
+          let* () = acc in
+          if not (Base.Int_set.mem u2.id b) then Ok ()
+          else
+            List.fold_left
+              (fun acc (u1 : History.op) ->
+                let* () = acc in
+                if History.precedes u1 u2 && not (Base.Int_set.mem u1.id b)
+                then
+                  Error
+                    (violation "A4"
+                       "update #%d precedes update #%d ∈ base of scan #%d \
+                        but is missing from that base"
+                       u1.id u2.id sc.History.id)
+                else Ok ())
+              (Ok ()) updates)
+        (Ok ()) updates)
+    (Ok ()) scan_bases
+
+let check_sequential ~n history =
+  with_bases ~n history @@ fun ctx scan_bases ->
+  let* () =
+    match check_comparable scan_bases with
+    | Error v -> Error { v with condition = "S1" }
+    | Ok () -> Ok ()
+  in
+  let updates = Base.updates ctx in
+  (* (S2): program-order same-node updates before a scan are in its
+     base; ones after it are not. Program order = id order. *)
+  let* () =
+    List.fold_left
+      (fun acc (sc, b) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc (u : History.op) ->
+            let* () = acc in
+            if u.node <> sc.History.node then Ok ()
+            else if u.id < sc.History.id && not (Base.Int_set.mem u.id b) then
+              Error
+                (violation "S2"
+                   "node %d's update #%d precedes its scan #%d in program \
+                    order but is missing from the base"
+                   u.node u.id sc.History.id)
+            else if u.id > sc.History.id && Base.Int_set.mem u.id b then
+              Error
+                (violation "S2"
+                   "node %d's scan #%d returned its own later update #%d"
+                   u.node sc.History.id u.id)
+            else Ok ())
+          (Ok ()) updates)
+      (Ok ()) scan_bases
+  in
+  (* (S3): same-node scans have monotone bases in program order. *)
+  List.fold_left
+    (fun acc (sc1, b1) ->
+      let* () = acc in
+      List.fold_left
+        (fun acc (sc2, b2) ->
+          let* () = acc in
+          if
+            sc1.History.node = sc2.History.node
+            && sc1.History.id < sc2.History.id
+            && not (Base.subset b1 b2)
+          then
+            Error
+              (violation "S3"
+                 "node %d's scans #%d and #%d have non-monotone bases"
+                 sc1.History.node sc1.History.id sc2.History.id)
+          else Ok ())
+        (Ok ()) scan_bases)
+    (Ok ()) scan_bases

@@ -1,0 +1,41 @@
+(** The tight conditions for snapshot objects (Theorem 1).
+
+    A history is linearizable iff (A1)–(A4) hold; it is sequentializable
+    (sequentially consistent) iff the per-node analogues (S1)–(S3) hold.
+    These checkers diagnose {e which} condition fails and on which
+    operations — far more useful when hunting a protocol bug than a bare
+    "not linearizable". {!Linearize} is the constructive counterpart
+    that actually builds the witness ordering. *)
+
+type violation = {
+  condition : string;  (** "A1" .. "A4", "S1" .. "S3", or "base" *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_atomic : n:int -> History.t -> (unit, violation) result
+(** Conditions of Theorem 1 on the completed scans of the history:
+
+    - (A0) a base never contains an update the scan precedes — implicit
+      in the paper (no execution returns a value before it is written),
+      explicit here because the checker accepts arbitrary histories;
+      the exhaustive-search cross-validation showed (A1)-(A4) alone
+      admit such future-reading histories (see [Wg] and DESIGN.md §6a);
+    - (A1) bases of any two scans are comparable;
+    - (A2) the base of a scan contains every update that precedes it;
+    - (A3) [sc1 -> sc2] implies [base sc1 ⊆ base sc2];
+    - (A4) if an update is in a base, every update that precedes it
+      (real time, any writer) is too. *)
+
+val check_sequential : n:int -> History.t -> (unit, violation) result
+(** Conditions for sequential consistency:
+
+    - (S1) bases of any two scans are comparable;
+    - (S2) the base of a scan contains every {e same-node} update that
+      precedes it in program order, and none that follow it;
+    - (S3) bases of scans by the same node grow monotonically in
+      program order.
+
+    (Per-writer prefix closure — the analogue of (A4) — holds by
+    construction of bases, so it needs no runtime check.) *)

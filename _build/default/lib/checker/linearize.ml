@@ -1,0 +1,155 @@
+let ( let* ) = Result.bind
+
+(* Construct the candidate order of Steps I-II:
+   - scans sorted by base inclusion (cardinality suffices once
+     comparability holds; ties broken by invocation so that equal-base
+     scans keep both real-time and program order);
+   - every update goes immediately before the first scan whose base
+     contains it, gap-mates ordered by invocation;
+   - completed updates in no base close the sequence; pending ones in no
+     base are dropped. *)
+let construct ctx scan_bases =
+  let scans = Array.of_list scan_bases in
+  Array.sort
+    (fun ((sc1 : History.op), b1) ((sc2 : History.op), b2) ->
+      match Int.compare (Base.Int_set.cardinal b1) (Base.Int_set.cardinal b2) with
+      | 0 -> Int.compare sc1.id sc2.id
+      | c -> c)
+    scans;
+  let n_scans = Array.length scans in
+  let gap_of (u : History.op) =
+    (* First scan (in sorted order) whose base contains u; [n_scans]
+       when none does. Bases are sorted by inclusion, so linear scan
+       finds the first. *)
+    let rec find g =
+      if g >= n_scans then n_scans
+      else if Base.Int_set.mem u.id (snd scans.(g)) then g
+      else find (g + 1)
+    in
+    find 0
+  in
+  let updates = Base.updates ctx in
+  let gaps = Array.make (n_scans + 1) [] in
+  List.iter
+    (fun (u : History.op) ->
+      let g = gap_of u in
+      if g < n_scans || u.resp <> None then gaps.(g) <- u :: gaps.(g))
+    updates;
+  let order = ref [] in
+  let emit op = order := op :: !order in
+  for g = 0 to n_scans do
+    List.iter emit
+      (List.sort (fun (a : History.op) b -> Int.compare a.id b.id)
+         (List.rev gaps.(g)));
+    if g < n_scans then emit (fst scans.(g))
+  done;
+  List.rev !order
+
+(* Replay the sequential specification (Definition 1) over a candidate
+   order. *)
+let check_legal ~n order =
+  let segments = Array.make n None in
+  let rec replay = function
+    | [] -> Ok ()
+    | (op : History.op) :: rest -> (
+        match op.kind with
+        | History.Update v ->
+            segments.(op.node) <- Some v;
+            replay rest
+        | History.Scan None ->
+            Error (Printf.sprintf "pending scan #%d in candidate order" op.id)
+        | History.Scan (Some snap) when Array.length snap <> n ->
+            Error
+              (Printf.sprintf "scan #%d returned %d segments, expected %d"
+                 op.id (Array.length snap) n)
+        | History.Scan (Some snap) ->
+            let rec cmp j =
+              if j >= n then replay rest
+              else if snap.(j) <> segments.(j) then
+                Error
+                  (Printf.sprintf
+                     "scan #%d is illegal at its position: segment %d holds \
+                      %s but the scan returned %s"
+                     op.id j
+                     (match segments.(j) with
+                     | None -> "⊥"
+                     | Some v -> string_of_int v)
+                     (match snap.(j) with
+                     | None -> "⊥"
+                     | Some v -> string_of_int v))
+              else cmp (j + 1)
+            in
+            cmp 0)
+  in
+  replay order
+
+let positions order =
+  let tbl = Hashtbl.create (List.length order) in
+  List.iteri (fun pos (op : History.op) -> Hashtbl.replace tbl op.id pos) order;
+  tbl
+
+let check_real_time order =
+  let pos = positions order in
+  let ops = List.filter (fun (op : History.op) -> Hashtbl.mem pos op.id) order in
+  let rec pairs = function
+    | [] -> Ok ()
+    | (a : History.op) :: rest ->
+        let bad =
+          List.find_opt
+            (fun (b : History.op) ->
+              History.precedes b a
+              && Hashtbl.find pos b.id > Hashtbl.find pos a.id)
+            rest
+        in
+        (match bad with
+        | Some b ->
+            Error
+              (Printf.sprintf
+                 "real-time order violated: op #%d precedes op #%d but is \
+                  placed after it"
+                 b.id a.id)
+        | None -> pairs rest)
+  in
+  pairs ops
+
+let check_program_order order =
+  let last_id = Hashtbl.create 16 in
+  let rec walk = function
+    | [] -> Ok ()
+    | (op : History.op) :: rest -> (
+        match Hashtbl.find_opt last_id op.node with
+        | Some prev when prev > op.id ->
+            Error
+              (Printf.sprintf
+                 "program order of node %d violated: op #%d placed after op \
+                  #%d"
+                 op.node op.id prev)
+        | _ ->
+            Hashtbl.replace last_id op.node op.id;
+            walk rest)
+  in
+  walk order
+
+let build ~n history ~validate_order =
+  let* ctx =
+    Result.map_error (fun e -> "base: " ^ e) (Base.context ~n history)
+  in
+  let* scan_bases =
+    List.fold_left
+      (fun acc sc ->
+        let* acc = acc in
+        let* b =
+          Result.map_error (fun e -> "base: " ^ e) (Base.of_scan ctx sc)
+        in
+        Ok ((sc, b) :: acc))
+      (Ok []) (Base.completed_scans ctx)
+  in
+  let order = construct ctx (List.rev scan_bases) in
+  let* () = check_legal ~n order in
+  let* () = validate_order order in
+  Ok order
+
+let linearize ~n history = build ~n history ~validate_order:check_real_time
+
+let sequentialize ~n history =
+  build ~n history ~validate_order:check_program_order

@@ -1,0 +1,21 @@
+(** Constructive witnesses: the Steps I–II construction of Theorem 1.
+
+    [linearize] builds the total order the sufficiency proof describes —
+    scans sorted by base inclusion, each update inserted before the first
+    scan whose base contains it — and then {e validates} it against the
+    sequential specification and the real-time order. A successful result
+    is therefore a checked linearization certificate; a failure pinpoints
+    the first broken requirement. [sequentialize] is the sequential-
+    consistency variant: same construction, but validation replaces the
+    real-time check with per-node program-order preservation (S ≃ H).
+
+    Pending operations (cut off by a crash): pending {e updates} that
+    appear in some base are kept (they took effect); other pending
+    operations are dropped, as linearizability permits. *)
+
+val linearize : n:int -> History.t -> (History.op list, string) result
+(** A legal, real-time-respecting total order of the history's
+    operations, or a description of why none can be built this way. *)
+
+val sequentialize : n:int -> History.t -> (History.op list, string) result
+(** A legal total order preserving each node's program order. *)

@@ -1,0 +1,80 @@
+let label_of (op : History.op) =
+  match op.kind with
+  | History.Update v -> Printf.sprintf "U(%d)" v
+  | History.Scan None -> "S(?)"
+  | History.Scan (Some snap) ->
+      let cells =
+        Array.to_list snap
+        |> List.map (function None -> "_" | Some v -> string_of_int v)
+      in
+      Printf.sprintf "S[%s]" (String.concat ";" cells)
+
+let render ?(width = 72) history =
+  let ops = History.ops history in
+  if ops = [] then "(empty history)\n"
+  else begin
+    let nodes =
+      List.sort_uniq Int.compare (List.map (fun (o : History.op) -> o.node) ops)
+    in
+    let t_min =
+      List.fold_left (fun acc (o : History.op) -> Float.min acc o.inv) infinity
+        ops
+    in
+    let t_max =
+      List.fold_left
+        (fun acc (o : History.op) ->
+          Float.max acc (Option.value o.resp ~default:o.inv))
+        neg_infinity ops
+    in
+    let span = Float.max (t_max -. t_min) 1e-9 in
+    let col t =
+      let c =
+        int_of_float (Float.round ((t -. t_min) /. span *. float_of_int (width - 1)))
+      in
+      max 0 (min (width - 1) c)
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "time %g .. %g (one column ≈ %.2g)\n" t_min t_max
+         (span /. float_of_int width));
+    List.iter
+      (fun node ->
+        let lane = Bytes.make width ' ' in
+        let write_at pos s =
+          String.iteri
+            (fun i c ->
+              let p = pos + i in
+              if p >= 0 && p < width then Bytes.set lane p c)
+            s
+        in
+        List.iter
+          (fun (op : History.op) ->
+            if op.node = node then begin
+              let a = col op.inv in
+              let b =
+                match op.resp with Some r -> col r | None -> width - 1
+              in
+              for i = a to b do
+                Bytes.set lane i '-'
+              done;
+              Bytes.set lane a '|';
+              (match op.resp with
+              | Some _ -> Bytes.set lane b '|'
+              | None -> Bytes.set lane b '~');
+              (* centre the label if it fits, else place after |. *)
+              let label = label_of op in
+              let room = b - a - 1 in
+              if String.length label <= room then
+                write_at (a + 1 + ((room - String.length label) / 2)) label
+            end)
+          ops;
+        Buffer.add_string buf (Printf.sprintf "n%-2d %s\n" node (Bytes.to_string lane)))
+      nodes;
+    Buffer.contents buf
+  end
+
+let render_order order =
+  String.concat " -> "
+    (List.map
+       (fun (op : History.op) -> Printf.sprintf "#%d:%s" op.id (label_of op))
+       order)

@@ -1,0 +1,12 @@
+(** ASCII timeline rendering of histories — the visual language of the
+    paper's Figure 1 (boxes per operation, one lane per node), for the
+    CLI and for debugging checker counterexamples. *)
+
+val render : ?width:int -> History.t -> string
+(** One lane per node; each operation drawn as [|--label--|] scaled to
+    the history's time span ([width] columns, default 72). Pending
+    operations render with a [~] tail running off the right edge. *)
+
+val render_order : History.op list -> string
+(** A linearization/sequentialization as a one-line-per-op listing with
+    arrows, for printing witness orders. *)

@@ -1,0 +1,95 @@
+module Int_set = Set.Make (Int)
+
+type op_view = {
+  id : int;
+  node : int;
+  kind : [ `Update of int | `Scan of int option array ];
+  inv : float;
+  resp : float;  (* infinity for pending updates *)
+  droppable : bool;  (* pending update: may never take effect *)
+}
+
+let prepare history =
+  List.filter_map
+    (fun (op : History.op) ->
+      match (op.kind, op.resp) with
+      | History.Update v, Some resp ->
+          Some
+            {
+              id = op.id; node = op.node; kind = `Update v; inv = op.inv;
+              resp; droppable = false;
+            }
+      | History.Update v, None ->
+          Some
+            {
+              id = op.id; node = op.node; kind = `Update v; inv = op.inv;
+              resp = infinity; droppable = true;
+            }
+      | History.Scan (Some snap), Some resp ->
+          Some
+            {
+              id = op.id; node = op.node; kind = `Scan snap; inv = op.inv;
+              resp; droppable = false;
+            }
+      | History.Scan _, _ -> None)
+    (History.ops history)
+
+(* State of the simulated object: the segment vector. Encoded as a list
+   for memo keys. *)
+let apply segments op =
+  match op.kind with
+  | `Update v ->
+      let s = Array.copy segments in
+      s.(op.node) <- Some v;
+      Some s
+  | `Scan snap -> if snap = segments then Some segments else None
+
+let search ~n ~real_time ops =
+  let ops = Array.of_list ops in
+  let total = Array.length ops in
+  (* A memo key is the set of decided ops (linearized or dropped): the
+     reachable segment state is determined by which updates were
+     applied, but different subsets give different states, so the state
+     is part of the key too. *)
+  let seen = Hashtbl.create 1024 in
+  let rec explore decided state =
+    if Int_set.cardinal decided = total then true
+    else begin
+      let key = (decided, Array.to_list state) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        (* Candidate rule. Real time: an op is a candidate iff no other
+           undecided op responded before its invocation. Program order:
+           iff it is the earliest undecided op of its node. *)
+        let undecided =
+          Array.to_list ops
+          |> List.filter (fun op -> not (Int_set.mem op.id decided))
+        in
+        let candidate op =
+          if real_time then
+            not
+              (List.exists (fun o -> o.id <> op.id && o.resp < op.inv) undecided)
+          else
+            not
+              (List.exists
+                 (fun o -> o.id <> op.id && o.node = op.node && o.id < op.id)
+                 undecided)
+        in
+        List.exists
+          (fun op ->
+            candidate op
+            && ((match apply state op with
+                | Some state' -> explore (Int_set.add op.id decided) state'
+                | None -> false)
+               || (op.droppable && explore (Int_set.add op.id decided) state)))
+          undecided
+      end
+    end
+  in
+  explore Int_set.empty (Array.make n None)
+
+let linearizable ~n history = search ~n ~real_time:true (prepare history)
+
+let equivalent_sequential ~n history =
+  search ~n ~real_time:false (prepare history)

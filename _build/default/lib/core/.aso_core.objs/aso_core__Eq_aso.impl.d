@@ -1,0 +1,1 @@
+lib/core/eq_aso.ml: Fun Int Lattice_core Option Timestamp View Wiring

@@ -1,0 +1,1 @@
+lib/core/eq_aso.mli: Instance Lattice_core Sim View

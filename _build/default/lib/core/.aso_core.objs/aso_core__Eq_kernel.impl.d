@@ -1,0 +1,1 @@
+lib/core/eq_kernel.ml: Array Hashtbl List Sim Timestamp Vec View

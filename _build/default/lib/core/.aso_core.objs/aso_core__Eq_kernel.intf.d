@@ -1,0 +1,1 @@
+lib/core/eq_kernel.mli: Sim Timestamp View

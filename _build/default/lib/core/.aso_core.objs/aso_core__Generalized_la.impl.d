@@ -1,0 +1,1 @@
+lib/core/generalized_la.ml: Array Eq_kernel Fun Lattice_core List Timestamp View

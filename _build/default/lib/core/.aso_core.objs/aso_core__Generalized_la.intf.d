@@ -1,0 +1,1 @@
+lib/core/generalized_la.mli: Lattice_core Sim View

@@ -1,0 +1,1 @@
+lib/core/lattice_agreement.ml: Array Eq_kernel List Quorum Sim Timestamp View

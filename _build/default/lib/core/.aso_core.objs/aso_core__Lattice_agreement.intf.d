@@ -1,0 +1,1 @@
+lib/core/lattice_agreement.mli: Sim Timestamp View

@@ -1,0 +1,1 @@
+lib/core/lattice_core.ml: Array Collector Eq_kernel Hashtbl Option Quorum Sim Timestamp View

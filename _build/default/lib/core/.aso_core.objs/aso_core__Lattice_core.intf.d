@@ -1,0 +1,1 @@
+lib/core/lattice_core.mli: Eq_kernel Sim Timestamp View

@@ -1,0 +1,1 @@
+lib/core/one_shot.ml: Array Collector Eq_kernel Int Option Quorum Sim Timestamp View Wiring

@@ -1,0 +1,1 @@
+lib/core/one_shot.mli: Instance Sim Timestamp View

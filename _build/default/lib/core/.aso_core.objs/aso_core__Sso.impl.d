@@ -1,0 +1,1 @@
+lib/core/sso.ml: Array Fun Int Lattice_core Option Timestamp View Wiring

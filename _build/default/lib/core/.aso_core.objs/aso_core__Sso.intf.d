@@ -1,0 +1,1 @@
+lib/core/sso.mli: Instance Lattice_core Sim View

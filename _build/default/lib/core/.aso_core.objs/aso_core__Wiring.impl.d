@@ -1,0 +1,1 @@
+lib/core/wiring.ml: Instance Sim

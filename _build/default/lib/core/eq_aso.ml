@@ -1,0 +1,42 @@
+module LC = Lattice_core
+
+type 'v t = { core : 'v LC.t }
+
+let create engine ~n ~f ~delay = { core = LC.create engine ~n ~f ~delay }
+
+let update t ~node v =
+  let nd = LC.node t.core node in
+  LC.begin_op nd;
+  Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  let r = LC.read_tag t.core nd in
+  let ts = LC.fresh_timestamp t.core nd r in
+  LC.broadcast_value t.core nd ts v;
+  (* Phase 0: ensures a good lattice operation exists for tag r. *)
+  let (_ : bool * View.t) = LC.lattice t.core nd r in
+  let r' = max (r + 1) (LC.max_tag nd) in
+  let (_ : View.t) = LC.lattice_renewal t.core nd r' in
+  ()
+
+let scan_view t ~node =
+  let nd = LC.node t.core node in
+  LC.begin_op nd;
+  Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  let r = LC.read_tag t.core nd in
+  LC.lattice_renewal t.core nd r
+
+let scan t ~node =
+  let view = scan_view t ~node in
+  let nd = LC.node t.core node in
+  LC.extract t.core nd view
+
+let core t = t.core
+
+let instance t =
+  Wiring.instance ~name:"eq-aso" ~f:(LC.f t.core)
+    ~update:(fun node v -> update t ~node v)
+    ~scan:(fun node -> scan t ~node)
+    ~net:(LC.net t.core)
+    ~value_match:(fun ~writer -> function
+      | LC.Msg.Value { ts; _ } ->
+          Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
+      | _ -> false)

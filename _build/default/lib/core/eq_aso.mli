@@ -1,0 +1,39 @@
+(** EQ-ASO — the paper's main contribution (Algorithm 1).
+
+    A crash-tolerant atomic (linearizable) snapshot object for
+    asynchronous message-passing systems with [n > 2f]. UPDATE and SCAN
+    complete in [O(sqrt k * D)] time where [k <= f] is the number of
+    crashes that actually occur, in [O(D)] amortized time once an
+    execution contains [Ω(sqrt k)] operations, and in at most [4D]
+    unconditionally when no failure occurs.
+
+    UPDATE(v) (lines 4–10): read a tag [r] from a quorum, stamp [v] with
+    [<r+1, i>], broadcast it, run the {e phase-0} lattice operation with
+    tag [r] (which guarantees a good lattice operation exists for every
+    tag — the linchpin of termination), then run a lattice renewal whose
+    view is discarded.
+
+    SCAN() (lines 11–13): read a tag, run a lattice renewal, extract the
+    most recent value per segment from the returned view. *)
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f] (raises [Invalid_argument] otherwise). *)
+
+val update : 'v t -> node:int -> 'v -> unit
+(** Blocking UPDATE; must run in a fiber. Nodes are sequential: a second
+    concurrent operation on the same node raises [Invalid_argument]. *)
+
+val scan : 'v t -> node:int -> 'v option array
+(** Blocking SCAN; must run in a fiber. Entry [j] is node [j]'s segment,
+    [None] for a never-updated segment ([⊥]). *)
+
+val scan_view : 'v t -> node:int -> View.t
+(** SCAN returning the raw view (set of UPDATE timestamps) instead of
+    extracting values — what the checker's base computations consume. *)
+
+val core : 'v t -> 'v Lattice_core.t
+(** Underlying machinery (stats, network access for fault injection). *)
+
+val instance : 'v t -> 'v Instance.t

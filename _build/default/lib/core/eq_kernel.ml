@@ -1,0 +1,88 @@
+type 'v t = {
+  n : int;
+  me : int;
+  forward : Timestamp.t -> 'v -> unit;
+  changed : Sim.Condition.t;
+  v : View.t array;
+  store : (Timestamp.t, 'v) Hashtbl.t;
+  (* Append log of view insertions [(j, ts)]: lets a pending [await_eq]
+     update its per-view cardinalities incrementally instead of
+     recomputing EQ from scratch on every delivery. *)
+  additions : (int * Timestamp.t) Vec.t;
+}
+
+let create ~n ~me ~forward ~changed =
+  {
+    n;
+    me;
+    forward;
+    changed;
+    v = Array.make n View.empty;
+    store = Hashtbl.create 64;
+    additions = Vec.create ();
+  }
+
+let me t = t.me
+
+let add_to_view t j ts =
+  if not (View.mem ts t.v.(j)) then begin
+    t.v.(j) <- View.add ts t.v.(j);
+    Vec.push t.additions (j, ts)
+  end
+
+let local_insert t ts value = Hashtbl.replace t.store ts value
+
+let receive t ~src ts value =
+  let fresh = not (Hashtbl.mem t.store ts) in
+  if fresh then Hashtbl.replace t.store ts value;
+  add_to_view t src ts;
+  add_to_view t t.me ts;
+  if fresh then t.forward ts value
+
+let view t j = t.v.(j)
+let my_view t = t.v.(t.me)
+let value_of t ts = Hashtbl.find t.store ts
+let knows t ts = Hashtbl.mem t.store ts
+
+let in_range ts max_tag =
+  match max_tag with None -> true | Some r -> Timestamp.tag ts <= r
+
+let restricted v max_tag =
+  match max_tag with None -> v | Some r -> View.restrict v ~max_tag:r
+
+let eq_holds t ~quorum ~max_tag =
+  let mine = restricted t.v.(t.me) max_tag in
+  let matching = ref 0 in
+  for j = 0 to t.n - 1 do
+    if View.equal (restricted t.v.(j) max_tag) mine then incr matching
+  done;
+  !matching >= quorum
+
+let await_eq ?(must_contain = []) t ~quorum ~max_tag =
+  (* Since V.(j) ⊆ V.(me), set equality below the tag bound is exactly
+     cardinality equality; track cardinalities incrementally from the
+     additions log. *)
+  let counts =
+    Array.init t.n (fun j ->
+        match max_tag with
+        | None -> View.cardinal t.v.(j)
+        | Some r -> View.count_le t.v.(j) ~max_tag:r)
+  in
+  let pos = ref (Vec.length t.additions) in
+  let predicate () =
+    while !pos < Vec.length t.additions do
+      let j, ts = Vec.get t.additions !pos in
+      if in_range ts max_tag then counts.(j) <- counts.(j) + 1;
+      incr pos
+    done;
+    List.for_all (fun ts -> View.mem ts t.v.(t.me)) must_contain
+    &&
+    let mine = counts.(t.me) in
+    let matching = ref 0 in
+    for j = 0 to t.n - 1 do
+      if counts.(j) = mine then incr matching
+    done;
+    !matching >= quorum
+  in
+  Sim.Condition.await t.changed predicate;
+  restricted t.v.(t.me) max_tag

@@ -1,0 +1,55 @@
+module LC = Lattice_core
+
+type 'v t = {
+  core : 'v LC.t;
+  (* Per node: union of all good views adopted so far. Good views are
+     mutually comparable (Lemma 2), so each entry is itself always equal
+     to the largest adopted good view — monotone and chain-valued. *)
+  learned : View.t array;
+}
+
+let create engine ~n ~f ~delay =
+  let core = LC.create engine ~n ~f ~delay in
+  let learned = Array.make n View.empty in
+  (* Passive adoption: every goodLA announcement freshens the local
+     learned set at zero extra cost. *)
+  for i = 0 to n - 1 do
+    LC.set_good_view_hook (LC.node core i) (fun good_view ->
+        learned.(i) <- View.union learned.(i) good_view)
+  done;
+  { core; learned }
+
+let adopt t node view = t.learned.(node) <- View.union t.learned.(node) view
+
+let propose t ~node v =
+  let nd = LC.node t.core node in
+  LC.begin_op nd;
+  Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  let r = LC.read_tag t.core nd in
+  let ts = LC.fresh_timestamp t.core nd r in
+  LC.broadcast_value t.core nd ts v;
+  let (_ : bool * View.t) = LC.lattice t.core nd r in
+  let rec until_visible r' =
+    let view = LC.lattice_renewal t.core nd r' in
+    adopt t node view;
+    if not (View.mem ts t.learned.(node)) then
+      until_visible (max (LC.max_tag nd) (Timestamp.tag ts))
+  in
+  until_visible (max (r + 1) (LC.max_tag nd))
+
+let refresh t ~node =
+  let nd = LC.node t.core node in
+  LC.begin_op nd;
+  Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  let r = LC.read_tag t.core nd in
+  adopt t node (LC.lattice_renewal t.core nd r)
+
+let learned_view t ~node = t.learned.(node)
+
+let learned t ~node =
+  let nd = LC.node t.core node in
+  List.map
+    (Eq_kernel.value_of (LC.kernel nd))
+    (View.elements t.learned.(node))
+
+let core t = t.core

@@ -1,0 +1,40 @@
+(** Generalized (multi-shot) lattice agreement, after Faleiro et al.
+    (PODC 2012) — one of the paper's headline applications of the
+    snapshot framework.
+
+    In generalized lattice agreement, nodes {e receive} commands over
+    time and must keep {e learning} growing sets of commands such that
+    (i) every learned set contains all commands the node itself has
+    proposed so far; (ii) learned sets only contain proposed commands;
+    (iii) any two learned sets — across all nodes and all times — are
+    comparable; (iv) each node's learned sets grow monotonically.
+    Comparable learned sets are exactly what is needed to drive a
+    replicated state machine of commuting commands without consensus.
+
+    This implementation is a thin layer over {!Lattice_core}: a
+    proposal runs an UPDATE's tag/lattice pipeline and adopts good
+    views until its own command is visible; {!refresh} runs a SCAN's
+    pipeline. Amortized cost follows EQ-ASO: [O(D)] per proposal once
+    an execution holds enough operations. *)
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val propose : 'v t -> node:int -> 'v -> unit
+(** Submit a command; returns once it is in the node's learned set.
+    Blocking; must run in a fiber; one operation per node at a time. *)
+
+val refresh : 'v t -> node:int -> unit
+(** Learn a fresh globally-comparable set (pulls in other nodes' recent
+    commands). Blocking; fiber. *)
+
+val learned : 'v t -> node:int -> 'v list
+(** The node's current learned set (commands in timestamp order);
+    local, non-blocking. *)
+
+val learned_view : 'v t -> node:int -> View.t
+(** Raw learned set, for comparability checks in tests. *)
+
+val core : 'v t -> 'v Lattice_core.t

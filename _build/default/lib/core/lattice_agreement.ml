@@ -1,0 +1,68 @@
+module Msg = struct
+  type 'v t = Value of { ts : Timestamp.t; value : 'v }
+end
+
+type 'v node = {
+  id : int;
+  kernel : 'v Eq_kernel.t;
+  changed : Sim.Condition.t;
+  mutable decided : View.t option;
+  mutable proposed : bool;
+}
+
+type 'v t = {
+  net : 'v Msg.t Sim.Network.t;
+  n : int;
+  f : int;
+  nodes : 'v node array;
+}
+
+let create engine ~n ~f ~delay =
+  Quorum.check_crash ~n ~f;
+  let net = Sim.Network.create engine ~n ~delay in
+  let make_node id =
+    let changed = Sim.Condition.create () in
+    let forward ts value =
+      Sim.Network.broadcast net ~src:id (Msg.Value { ts; value })
+    in
+    {
+      id;
+      kernel = Eq_kernel.create ~n ~me:id ~forward ~changed;
+      changed;
+      decided = None;
+      proposed = false;
+    }
+  in
+  let t = { net; n; f; nodes = Array.init n make_node } in
+  Array.iter
+    (fun nd ->
+      Sim.Network.set_handler net nd.id (fun ~src msg ->
+          (match msg with
+          | Msg.Value { ts; value } -> Eq_kernel.receive nd.kernel ~src ts value);
+          Sim.Condition.signal nd.changed))
+    t.nodes;
+  t
+
+let propose t ~node values =
+  let nd = t.nodes.(node) in
+  if nd.proposed then invalid_arg "Lattice_agreement.propose: one-shot";
+  nd.proposed <- true;
+  let own_ts =
+    List.mapi
+      (fun idx v ->
+        let ts = Timestamp.make ~tag:(idx + 1) ~writer:node in
+        Eq_kernel.local_insert nd.kernel ts v;
+        Sim.Network.broadcast t.net ~src:node (Msg.Value { ts; value = v });
+        ts)
+      values
+  in
+  let view =
+    Eq_kernel.await_eq ~must_contain:own_ts nd.kernel ~quorum:(t.n - t.f)
+      ~max_tag:None
+  in
+  nd.decided <- Some view;
+  List.map (Eq_kernel.value_of nd.kernel) (View.elements view)
+
+let decided_view t ~node = t.nodes.(node).decided
+
+let net t = t.net

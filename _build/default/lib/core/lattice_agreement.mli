@@ -1,0 +1,42 @@
+(** Early-stopping one-shot lattice agreement (Section I-B).
+
+    The paper abstracts the lattice operation of its snapshot framework
+    into the first early-stopping algorithm for lattice agreement: every
+    node proposes a set of values; outputs satisfy
+
+    - {b downward validity}: a node's proposal is contained in its
+      output;
+    - {b upward validity}: outputs are contained in the union of all
+      proposals;
+    - {b comparability}: any two outputs are ordered by inclusion;
+
+    and the algorithm decides in [O(sqrt k * D)] time where [k] is the
+    number of actual crashes — [2D] when failure-free — instead of the
+    [O(log n * D)] of round-based algorithms.
+
+    Mechanically this is the one-shot equivalence-quorum construction:
+    broadcast your proposal's values, let everyone forward first
+    sightings, and decide on your own view as soon as [EQ(V, i)] holds.
+    Comparability is Lemma 1. *)
+
+(** Wire message: a proposal element with its identifying timestamp. *)
+module Msg : sig
+  type 'v t = Value of { ts : Timestamp.t; value : 'v }
+end
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val propose : 'v t -> node:int -> 'v list -> 'v list
+(** Blocking; must run in a fiber; at most once per node (raises
+    [Invalid_argument] on reuse). Returns the learned set in a canonical
+    order (by element timestamp). *)
+
+val decided_view : 'v t -> node:int -> View.t option
+(** The raw decided view once {!propose} returned; [None] before. Each
+    element's timestamp is [(position + 1, proposer)]. *)
+
+val net : 'v t -> 'v Msg.t Sim.Network.t
+(** Underlying network, for fault injection. *)

@@ -1,0 +1,200 @@
+module Msg = struct
+  type 'v t =
+    | Value of { ts : Timestamp.t; value : 'v }
+    | Read_tag of { req : int }
+    | Read_ack of { req : int; tag : int }
+    | Write_tag of { req : int; tag : int }
+    | Write_ack of { req : int }
+    | Echo_tag of { tag : int }
+    | Good_la of { tag : int }
+
+  let kind = function
+    | Value _ -> "value"
+    | Read_tag _ -> "readTag"
+    | Read_ack _ -> "readAck"
+    | Write_tag _ -> "writeTag"
+    | Write_ack _ -> "writeAck"
+    | Echo_tag _ -> "echoTag"
+    | Good_la _ -> "goodLA"
+end
+
+type 'v node = {
+  id : int;
+  kernel : 'v Eq_kernel.t;
+  mutable max_tag : int;
+  (* tag -> first borrowed view announced for that tag (line 49) *)
+  borrowed : (int, View.t) Hashtbl.t;
+  reads : Collector.t;
+  writes : Collector.t;
+  changed : Sim.Condition.t;
+  mutable busy : bool;
+  (* Observer for good-lattice-operation views as they become known
+     locally (via "goodLA"); the SSO's fast-scan path feeds on this. *)
+  mutable good_view_hook : (View.t -> unit) option;
+}
+
+type stats = {
+  mutable lattice_ops : int;
+  mutable good_lattice_ops : int;
+  mutable direct_views : int;
+  mutable indirect_views : int;
+}
+
+type 'v t = {
+  net : 'v Msg.t Sim.Network.t;
+  n : int;
+  f : int;
+  nodes : 'v node array;
+  stats : stats;
+  (* Ablation switch for technique (T2): when off, a renewal keeps
+     running lattice operations at fresh tags instead of borrowing. *)
+  mutable borrowing : bool;
+}
+
+(* Handlers run atomically (single engine step) and end with one signal,
+   matching the "all event handlers executed atomically" requirement. *)
+let handle t nd ~src msg =
+  (match msg with
+  | Msg.Value { ts; value } -> Eq_kernel.receive nd.kernel ~src ts value
+  | Msg.Read_tag { req } ->
+      Sim.Network.send t.net ~src:nd.id ~dst:src
+        (Msg.Read_ack { req; tag = nd.max_tag })
+  | Msg.Read_ack { req; tag } ->
+      Collector.record nd.reads ~req ~sender:src ~payload:tag
+  | Msg.Write_tag { req; tag } ->
+      if tag > nd.max_tag then begin
+        nd.max_tag <- tag;
+        Sim.Network.broadcast t.net ~src:nd.id (Msg.Echo_tag { tag })
+      end;
+      (* Unconditional ack; see interface notes. *)
+      Sim.Network.send t.net ~src:nd.id ~dst:src (Msg.Write_ack { req })
+  | Msg.Write_ack { req } ->
+      Collector.record nd.writes ~req ~sender:src ~payload:0
+  | Msg.Echo_tag { tag } -> if tag > nd.max_tag then nd.max_tag <- tag
+  | Msg.Good_la { tag } ->
+      (* FIFO delivery means [V.(src)] here is exactly the sender's view
+         when it announced, so the restriction below reconstructs the
+         sender's equivalence set (the view we may borrow at line 29). *)
+      let borrowed_view =
+        View.restrict (Eq_kernel.view nd.kernel src) ~max_tag:tag
+      in
+      if not (Hashtbl.mem nd.borrowed tag) then
+        Hashtbl.replace nd.borrowed tag borrowed_view;
+      Option.iter (fun hook -> hook borrowed_view) nd.good_view_hook);
+  Sim.Condition.signal nd.changed
+
+let create engine ~n ~f ~delay =
+  Quorum.check_crash ~n ~f;
+  let net = Sim.Network.create engine ~n ~delay in
+  let make_node id =
+    let changed = Sim.Condition.create () in
+    let forward ts value =
+      Sim.Network.broadcast net ~src:id (Msg.Value { ts; value })
+    in
+    {
+      id;
+      kernel = Eq_kernel.create ~n ~me:id ~forward ~changed;
+      max_tag = 0;
+      borrowed = Hashtbl.create 16;
+      reads = Collector.create ();
+      writes = Collector.create ();
+      changed;
+      busy = false;
+      good_view_hook = None;
+    }
+  in
+  let t =
+    {
+      net;
+      n;
+      f;
+      nodes = Array.init n make_node;
+      stats =
+        { lattice_ops = 0; good_lattice_ops = 0; direct_views = 0;
+          indirect_views = 0 };
+      borrowing = true;
+    }
+  in
+  Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
+  t
+
+let n t = t.n
+let f t = t.f
+let net t = t.net
+let node t i = t.nodes.(i)
+let node_id nd = nd.id
+let stats t = t.stats
+let max_tag nd = nd.max_tag
+let my_view nd = Eq_kernel.my_view nd.kernel
+let kernel nd = nd.kernel
+
+let begin_op nd =
+  if nd.busy then
+    invalid_arg "Lattice_core: concurrent operation at a sequential node";
+  nd.busy <- true
+
+let end_op nd = nd.busy <- false
+
+let quorum t = t.n - t.f
+
+let read_tag t nd =
+  let req = Collector.fresh nd.reads in
+  Sim.Network.broadcast t.net ~src:nd.id (Msg.Read_tag { req });
+  Sim.Condition.await nd.changed (fun () ->
+      Collector.count nd.reads ~req >= quorum t);
+  let tag = Collector.max_payload nd.reads ~req in
+  Collector.forget nd.reads ~req;
+  tag
+
+let write_tag t nd tag =
+  let req = Collector.fresh nd.writes in
+  Sim.Network.broadcast t.net ~src:nd.id (Msg.Write_tag { req; tag });
+  Sim.Condition.await nd.changed (fun () ->
+      Collector.count nd.writes ~req >= quorum t);
+  Collector.forget nd.writes ~req
+
+let fresh_timestamp _t nd r = Timestamp.make ~tag:(r + 1) ~writer:nd.id
+
+let broadcast_value t nd ts value =
+  Eq_kernel.local_insert nd.kernel ts value;
+  Sim.Network.broadcast t.net ~src:nd.id (Msg.Value { ts; value })
+
+let lattice t nd r =
+  t.stats.lattice_ops <- t.stats.lattice_ops + 1;
+  write_tag t nd r;
+  let v_star = Eq_kernel.await_eq nd.kernel ~quorum:(quorum t) ~max_tag:(Some r) in
+  (* Lines 16-21 run without suspension: atomic w.r.t. handlers. *)
+  if nd.max_tag <= r then begin
+    t.stats.good_lattice_ops <- t.stats.good_lattice_ops + 1;
+    Sim.Network.broadcast t.net ~src:nd.id (Msg.Good_la { tag = r });
+    (true, v_star)
+  end
+  else (false, View.empty)
+
+let lattice_renewal t nd r0 =
+  let rec phases phase r =
+    let ok, view = lattice t nd r in
+    if ok then `Direct view
+    else if phase = 3 && t.borrowing then `Borrow r
+    else phases (phase + 1) nd.max_tag
+  in
+  match phases 1 r0 with
+  | `Direct view ->
+      t.stats.direct_views <- t.stats.direct_views + 1;
+      view
+  | `Borrow r ->
+      (* [r] is the tag of the third, failed, lattice operation. A good
+         lattice operation with this exact tag exists (the phase-0
+         argument of Section III-E), so a "goodLA" for it arrives —
+         possibly it already did, hence awaiting on the table, not on
+         the message. *)
+      Sim.Condition.await nd.changed (fun () -> Hashtbl.mem nd.borrowed r);
+      t.stats.indirect_views <- t.stats.indirect_views + 1;
+      Hashtbl.find nd.borrowed r
+
+let extract t nd view =
+  View.extract view ~n:t.n ~value_of:(Eq_kernel.value_of nd.kernel)
+
+let set_good_view_hook nd hook = nd.good_view_hook <- Some hook
+
+let set_borrowing t enabled = t.borrowing <- enabled

@@ -1,0 +1,105 @@
+(** Multi-shot lattice machinery of Algorithm 1: tags, the
+    [readTag]/[writeTag] quorum phases, the {!lattice} operation, and
+    {!lattice_renewal} with view borrowing.
+
+    EQ-ASO and SSO-Fast-Scan are thin layers over this module: they share
+    every message handler and differ only in how UPDATE/SCAN compose the
+    pieces. The notes below record the two places where the conference
+    pseudocode is under-specified and the reading we implement:
+
+    - {b writeTag acks} (lines 43–46): the ack to the writer is sent
+      unconditionally, not only when the tag is new — otherwise a writer
+      whose tag is already known to [> f] nodes would block forever. The
+      echo is sent only for a strictly larger tag, as written.
+    - {b borrowed views} (line 49 / line 29): views delivered by
+      ["goodLA"] messages are stored {e per tag} (first arrival wins),
+      so a later good lattice operation by the same sender cannot
+      overwrite the view a pending [LatticeRenewal] is about to borrow.
+      This implements the pseudocode's atomicity note directly. *)
+
+module Msg : sig
+  type 'v t =
+    | Value of { ts : Timestamp.t; value : 'v }
+    | Read_tag of { req : int }
+    | Read_ack of { req : int; tag : int }
+    | Write_tag of { req : int; tag : int }
+    | Write_ack of { req : int }
+    | Echo_tag of { tag : int }
+    | Good_la of { tag : int }
+
+  val kind : 'v t -> string
+  (** Wire-protocol message name as in the paper's pseudocode, for
+      tracing and per-kind message accounting. *)
+end
+
+type 'v node
+
+type 'v t
+
+(** Counters for the ablation benches: how often renewals resolve
+    directly vs. by borrowing, and how many lattice operations ran. *)
+type stats = {
+  mutable lattice_ops : int;
+  mutable good_lattice_ops : int;
+  mutable direct_views : int;
+  mutable indirect_views : int;
+}
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val n : _ t -> int
+val f : _ t -> int
+val net : 'v t -> 'v Msg.t Sim.Network.t
+val node : 'v t -> int -> 'v node
+val node_id : _ node -> int
+val stats : _ t -> stats
+
+val begin_op : _ node -> unit
+(** Marks the node busy. @raise Invalid_argument if an operation is
+    already pending (nodes are sequential, Section II-A). *)
+
+val end_op : _ node -> unit
+
+val read_tag : 'v t -> 'v node -> int
+(** [readTag()]: broadcast, await [n - f] acks, return the largest tag
+    seen (lines 35–37). Blocking. *)
+
+val max_tag : _ node -> int
+(** The node's current [maxTag]. *)
+
+val fresh_timestamp : 'v t -> 'v node -> int -> Timestamp.t
+(** [fresh_timestamp t node r] is [<r + 1, id>] (line 5). *)
+
+val broadcast_value : 'v t -> 'v node -> Timestamp.t -> 'v -> unit
+(** Line 6: record the value as seen locally and send it to all. *)
+
+val lattice : 'v t -> 'v node -> int -> bool * View.t
+(** [Lattice(r)] (lines 14–21): write the tag, await [EQ(V^{<=r}, i)],
+    then return [(true, equivalence set)] and announce ["goodLA"] if no
+    larger tag was observed, or [(false, empty)] otherwise. Blocking. *)
+
+val lattice_renewal : 'v t -> 'v node -> int -> View.t
+(** [LatticeRenewal(r)] (lines 22–30): at most three lattice operations,
+    then borrow an indirect view if all failed. Blocking. *)
+
+val extract : 'v t -> 'v node -> View.t -> 'v option array
+(** Lines 31–34, resolving payloads through the node's store. *)
+
+val my_view : 'v node -> View.t
+(** The node's current [V\[i\]] (Definition 9's node view). *)
+
+val kernel : 'v node -> 'v Eq_kernel.t
+
+val set_good_view_hook : 'v node -> (View.t -> unit) -> unit
+(** Observe every good-lattice-operation view the node learns of through
+    ["goodLA"] messages (all such views are mutually comparable —
+    Lemma 2). At most one hook per node; used by {!Sso}. *)
+
+val set_borrowing : 'v t -> bool -> unit
+(** Ablation switch for technique (T2), default on. With borrowing off,
+    a renewal that fails three lattice operations keeps retrying at
+    fresh tags instead of adopting an indirect view — correct, but a
+    slow node racing fast writers loses the amortized-constant bound
+    (the ablation bench shows its scan latency growing with the write
+    rate). *)

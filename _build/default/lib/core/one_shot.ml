@@ -1,0 +1,89 @@
+module Msg = struct
+  type 'v t =
+    | Value of { ts : Timestamp.t; value : 'v; ack_to : int option }
+    | Value_ack of { req : int }
+end
+
+type 'v node = {
+  id : int;
+  kernel : 'v Eq_kernel.t;
+  acks : Collector.t;
+  changed : Sim.Condition.t;
+  mutable updated : bool;
+}
+
+type 'v t = {
+  net : 'v Msg.t Sim.Network.t;
+  n : int;
+  f : int;
+  nodes : 'v node array;
+}
+
+let handle t node ~src msg =
+  (match msg with
+  | Msg.Value { ts; value; ack_to } ->
+      Eq_kernel.receive node.kernel ~src ts value;
+      Option.iter
+        (fun req ->
+          Sim.Network.send t.net ~src:node.id ~dst:src (Msg.Value_ack { req }))
+        ack_to
+  | Msg.Value_ack { req } ->
+      Collector.record node.acks ~req ~sender:src ~payload:0);
+  Sim.Condition.signal node.changed
+
+let create engine ~n ~f ~delay =
+  Quorum.check_crash ~n ~f;
+  let net = Sim.Network.create engine ~n ~delay in
+  let make_node id =
+    let changed = Sim.Condition.create () in
+    let forward ts value =
+      Sim.Network.broadcast net ~src:id
+        (Msg.Value { ts; value; ack_to = None })
+    in
+    {
+      id;
+      kernel = Eq_kernel.create ~n ~me:id ~forward ~changed;
+      acks = Collector.create ();
+      changed;
+      updated = false;
+    }
+  in
+  let t = { net; n; f; nodes = Array.init n make_node } in
+  Array.iter
+    (fun node -> Sim.Network.set_handler net node.id (handle t node))
+    t.nodes;
+  t
+
+let update t ~node v =
+  let nd = t.nodes.(node) in
+  if nd.updated then invalid_arg "One_shot.update: node already updated";
+  nd.updated <- true;
+  let ts = Timestamp.make ~tag:1 ~writer:node in
+  Eq_kernel.local_insert nd.kernel ts v;
+  let req = Collector.fresh nd.acks in
+  Sim.Network.broadcast t.net ~src:node
+    (Msg.Value { ts; value = v; ack_to = Some req });
+  Sim.Condition.await nd.changed (fun () ->
+      Collector.count nd.acks ~req >= t.n - t.f);
+  Collector.forget nd.acks ~req
+
+let scan_view t ~node =
+  let nd = t.nodes.(node) in
+  Eq_kernel.await_eq nd.kernel ~quorum:(t.n - t.f) ~max_tag:None
+
+let scan t ~node =
+  let nd = t.nodes.(node) in
+  let view = scan_view t ~node in
+  View.extract view ~n:t.n ~value_of:(Eq_kernel.value_of nd.kernel)
+
+let net t = t.net
+
+let instance t =
+  Wiring.instance ~name:"one-shot-eq" ~f:t.f
+    ~update:(fun node v -> update t ~node v)
+    ~scan:(fun node -> scan t ~node)
+    ~net:t.net
+    ~value_match:(fun ~writer -> function
+      | Msg.Value { ts; _ } ->
+          Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
+      | Msg.Value_ack _ -> false)

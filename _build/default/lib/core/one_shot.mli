@@ -1,0 +1,38 @@
+(** One-shot atomic snapshot object (Section III-C).
+
+    Each node invokes at most one UPDATE. An UPDATE broadcasts its value
+    and waits for [n - f] acknowledgements; receivers forward every value
+    the first time they see it. A SCAN simply waits for the local
+    predicate [EQ(V, i)] to hold and returns the equivalence set — no
+    query round-trips, no double collect. This is the warm-up algorithm
+    whose worked example is the paper's Figure 2, and with values read as
+    proposals it {e is} the early-stopping lattice-operation core. *)
+
+(** Wire messages (exposed for fault-injection tests). *)
+module Msg : sig
+  type 'v t =
+    | Value of { ts : Timestamp.t; value : 'v; ack_to : int option }
+        (** [ack_to = Some req] on the writer's original copy *)
+    | Value_ack of { req : int }
+end
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. Timestamps use tag [1] and the writer id. *)
+
+val update : 'v t -> node:int -> 'v -> unit
+(** Blocking; must run in a fiber.
+    @raise Invalid_argument on a second update by the same node. *)
+
+val scan : 'v t -> node:int -> 'v option array
+(** Blocking; must run in a fiber. *)
+
+val scan_view : 'v t -> node:int -> View.t
+(** Like {!scan} but returning the raw equivalence set; used by tests
+    exercising Lemma 1 (pairwise comparability of equivalence sets). *)
+
+val net : 'v t -> 'v Msg.t Sim.Network.t
+(** Underlying network, for fault injection. *)
+
+val instance : 'v t -> 'v Instance.t

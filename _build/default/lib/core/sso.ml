@@ -1,0 +1,54 @@
+module LC = Lattice_core
+
+type 'v t = {
+  core : 'v LC.t;
+  (* Largest good-lattice-operation view known at each node; every entry
+     returned by a scan. Monotone, and always equal to some good view. *)
+  local_views : View.t array;
+}
+
+let create engine ~n ~f ~delay =
+  let core = LC.create engine ~n ~f ~delay in
+  let local_views = Array.make n View.empty in
+  for i = 0 to n - 1 do
+    LC.set_good_view_hook (LC.node core i) (fun good_view ->
+        local_views.(i) <- View.union local_views.(i) good_view)
+  done;
+  { core; local_views }
+
+let update t ~node v =
+  let nd = LC.node t.core node in
+  LC.begin_op nd;
+  Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  let r = LC.read_tag t.core nd in
+  let ts = LC.fresh_timestamp t.core nd r in
+  LC.broadcast_value t.core nd ts v;
+  let (_ : bool * View.t) = LC.lattice t.core nd r in
+  let rec until_visible r' =
+    let view = LC.lattice_renewal t.core nd r' in
+    t.local_views.(node) <- View.union t.local_views.(node) view;
+    if not (View.mem ts t.local_views.(node)) then
+      (* An indirect view predating our broadcast's propagation; renew
+         with a fresh, larger tag. Terminates once every live node holds
+         [ts] (within one message delay of the broadcast). *)
+      until_visible (max (LC.max_tag nd) (Timestamp.tag ts))
+  in
+  until_visible (max (r + 1) (LC.max_tag nd))
+
+let scan_view t ~node = t.local_views.(node)
+
+let scan t ~node =
+  let nd = LC.node t.core node in
+  LC.extract t.core nd t.local_views.(node)
+
+let core t = t.core
+
+let instance t =
+  Wiring.instance ~name:"sso-fast-scan" ~f:(LC.f t.core)
+    ~update:(fun node v -> update t ~node v)
+    ~scan:(fun node -> scan t ~node)
+    ~net:(LC.net t.core)
+    ~value_match:(fun ~writer -> function
+      | LC.Msg.Value { ts; _ } ->
+          Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
+      | _ -> false)

@@ -1,0 +1,41 @@
+(** SSO-Fast-Scan — sequentially consistent snapshot object with
+    communication-free SCAN.
+
+    The conference paper states the design (Section I and V; details are
+    in the technical report): UPDATE runs the same tag / lattice-renewal
+    machinery as EQ-ASO — hence the same [O(sqrt k * D)] worst case —
+    while SCAN returns the extraction of a view stored locally, taking
+    [O(1)] time and zero messages.
+
+    The locally stored view is maintained so that every value it ever
+    holds comes from a {e good lattice operation}'s view (all of which
+    are mutually comparable, Lemma 2):
+
+    - whenever a ["goodLA"] announcement arrives, the announced view is
+      merged in (a union of comparable sets is just the larger one);
+    - an UPDATE completes only once some good view {e containing its own
+      value} has been merged, repeating lattice renewals if needed
+      (at most a couple: one extra delay suffices for every live node to
+      hold the value). This gives read-your-writes, which sequential
+      consistency demands of the per-node subhistory.
+
+    The result is that all SCANs in the system return views totally
+    ordered by inclusion and each node's SCANs are monotone — the
+    conditions under which a legal sequentialization exists. *)
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val update : 'v t -> node:int -> 'v -> unit
+(** Blocking; must run in a fiber. *)
+
+val scan : 'v t -> node:int -> 'v option array
+(** Local, non-blocking, message-free. Safe to call outside a fiber. *)
+
+val scan_view : 'v t -> node:int -> View.t
+(** The raw local view a scan would extract. *)
+
+val core : 'v t -> 'v Lattice_core.t
+val instance : 'v t -> 'v Instance.t

@@ -1,0 +1,19 @@
+let instance ~name ~f ~update ~scan ~net ~value_match =
+  {
+    Instance.name;
+    n = Sim.Network.size net;
+    f;
+    update;
+    scan;
+    crash = (fun i -> Sim.Network.crash net i);
+    crash_during_next_broadcast =
+      (fun i ~deliver_to ->
+        Sim.Network.crash_during_next_broadcast net i ~deliver_to);
+    crash_on_next_value =
+      (fun ?writer i ~deliver_to ->
+        Sim.Network.crash_during_next_broadcast_matching net i
+          ~match_:(value_match ~writer) ~deliver_to);
+    is_crashed = (fun i -> Sim.Network.is_crashed net i);
+    on_crash = (fun cb -> Sim.Network.on_crash net cb);
+    messages = (fun () -> Sim.Network.messages_sent net);
+  }

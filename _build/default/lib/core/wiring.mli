@@ -1,0 +1,13 @@
+(** Glue for exposing an algorithm deployment as a {!Proto.Instance.t}. *)
+
+val instance :
+  name:string ->
+  f:int ->
+  update:(int -> 'v -> unit) ->
+  scan:(int -> 'v option array) ->
+  net:'m Sim.Network.t ->
+  value_match:(writer:int option -> 'm -> bool) ->
+  'v Instance.t
+(** [value_match] recognises the protocol's value-carrying broadcast
+    messages — optionally only those carrying a value originated by
+    [writer] — backing {!Instance.t.crash_on_next_value}. *)

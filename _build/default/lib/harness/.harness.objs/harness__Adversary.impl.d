@@ -1,0 +1,1 @@
+lib/harness/adversary.ml: Array Fun Instance Int List Sim

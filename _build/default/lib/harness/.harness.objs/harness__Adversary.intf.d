@@ -1,0 +1,1 @@
+lib/harness/adversary.mli: Instance Sim

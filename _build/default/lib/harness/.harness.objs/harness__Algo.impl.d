@@ -1,0 +1,1 @@
+lib/harness/algo.ml: Aso_core Baselines List Registers Runner

@@ -1,0 +1,1 @@
+lib/harness/algo.mli: Runner

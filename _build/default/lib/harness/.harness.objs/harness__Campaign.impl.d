@@ -1,0 +1,1 @@
+lib/harness/campaign.ml: Adversary Algo Format History List Option Printexc Printf Runner Sim Workload

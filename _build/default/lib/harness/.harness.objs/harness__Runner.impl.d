@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Adversary Array Checker Float Format Fun History Instance List Option Sim Workload

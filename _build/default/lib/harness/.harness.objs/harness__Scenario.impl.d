@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Adversary Algo Array Float List Printf Runner Sim Table Workload

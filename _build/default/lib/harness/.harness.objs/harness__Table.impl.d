@@ -1,0 +1,1 @@
+lib/harness/table.ml: Float Format List Option Printf String

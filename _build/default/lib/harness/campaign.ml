@@ -1,0 +1,89 @@
+type report = {
+  runs : int;
+  operations : int;
+  crashes_injected : int;
+  failures : string list;
+}
+
+let one_run (algo : Algo.t) rng run_index =
+  let n = 3 + Sim.Rng.int rng 7 in
+  let f = (n - 1) / 2 in
+  let seed = Sim.Rng.int64 rng in
+  let workload_rng = Sim.Rng.create (Sim.Rng.int64 rng) in
+  let workload =
+    Workload.random workload_rng ~n
+      ~ops_per_node:(2 + Sim.Rng.int rng 4)
+      ~scan_fraction:(0.2 +. Sim.Rng.float rng 0.6)
+      ~max_gap:(Sim.Rng.float rng 6.0)
+  in
+  let adversary =
+    match Sim.Rng.int rng 3 with
+    | 0 -> Adversary.No_faults
+    | 1 ->
+        let k = min f (max 0 (n - 2)) in
+        if k = 0 then Adversary.No_faults
+        else
+          Adversary.Crash_k_random
+            { k = 1 + Sim.Rng.int rng k; window = Sim.Rng.float rng 20.0 }
+    | _ ->
+        let k = min f (n - 2) in
+        if k <= 0 then Adversary.No_faults
+        else
+          Adversary.Chains
+            (Adversary.chains_for_budget ~min_len:1 ~n ~k ~scanner:(n - 1) ())
+  in
+  let delay =
+    if Sim.Rng.bool rng then Runner.Fixed_d 1.0
+    else Runner.Uniform_d { lo = 0.05; hi = 1.0; d = 1.0 }
+  in
+  let describe verdict =
+    Printf.sprintf "run %d: %s n=%d f=%d: %s" run_index algo.Algo.name n f
+      verdict
+  in
+  match
+    Runner.run ~workload_seed:(Sim.Rng.int64 rng) ~make:algo.Algo.make
+      { Runner.n; f; delay; seed }
+      ~workload ~adversary
+  with
+  | exception exn -> (0, 0, Some (describe (Printexc.to_string exn)))
+  | outcome -> (
+      let ops = List.length (History.completed outcome.history) in
+      let crashed = List.length outcome.crashed in
+      let verdict =
+        match algo.Algo.consistency with
+        | Algo.Atomic -> Runner.check_linearizable outcome
+        | Algo.Sequential -> Runner.check_sequential outcome
+      in
+      match verdict with
+      | Ok () -> (ops, crashed, None)
+      | Error e -> (ops, crashed, Some (describe e)))
+
+let run ~algos ~runs ~seed =
+  let rng = Sim.Rng.create seed in
+  let operations = ref 0 in
+  let crashes = ref 0 in
+  let failures = ref [] in
+  let executed = ref 0 in
+  for run_index = 1 to runs do
+    List.iter
+      (fun algo ->
+        incr executed;
+        let ops, crashed, failure = one_run algo rng run_index in
+        operations := !operations + ops;
+        crashes := !crashes + crashed;
+        Option.iter (fun f -> failures := f :: !failures) failure)
+      algos
+  done;
+  {
+    runs = !executed;
+    operations = !operations;
+    crashes_injected = !crashes;
+    failures = List.rev !failures;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "campaign: %d runs, %d operations, %d crashes injected, %d failure(s)"
+    r.runs r.operations r.crashes_injected
+    (List.length r.failures);
+  List.iter (fun f -> Format.fprintf ppf "@.  FAILED %s" f) r.failures

@@ -1,0 +1,21 @@
+(** Randomized verification campaigns: many runs, random configurations,
+    random adversaries, every history checked. The CLI exposes this as
+    [aso_demo fuzz]; CI can crank the run count arbitrarily since
+    everything derives from one seed. *)
+
+type report = {
+  runs : int;  (** runs executed *)
+  operations : int;  (** completed operations across all runs *)
+  crashes_injected : int;
+  failures : string list;  (** descriptions of failed runs, if any *)
+}
+
+val run : algos:Algo.t list -> runs:int -> seed:int64 -> report
+(** Each run draws a configuration ([n] in 3..9, [f] maximal), a random
+    workload, and one of: no faults, random crashes (k <= min(f, n-2)
+    so a quorum plus the chain target survive), or armed failure
+    chains. The history is verified at the algorithm's consistency
+    level; any violation, liveness failure, or exception is reported,
+    never raised. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,138 @@
+type delay_spec =
+  | Fixed_d of float
+  | Uniform_d of { lo : float; hi : float; d : float }
+
+type config = { n : int; f : int; delay : delay_spec; seed : int64 }
+
+let default_config = { n = 8; f = 3; delay = Fixed_d 1.0; seed = 42L }
+
+type outcome = {
+  history : History.t;
+  end_time : float;
+  messages : int;
+  d : float;
+  crashed : int list;
+  algorithm : string;
+}
+
+exception Stuck of string
+
+type maker =
+  Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> int Instance.t
+
+let make_delay engine = function
+  | Fixed_d d -> Sim.Delay.fixed d
+  | Uniform_d { lo; hi; d } ->
+      Sim.Delay.uniform (Sim.Rng.split (Sim.Engine.rng engine)) ~lo ~hi d
+
+let client_fiber engine (instance : int Instance.t) history next_value node
+    steps () =
+  let rec walk = function
+    | [] -> ()
+    | { Workload.gap; op } :: rest ->
+        if gap > 0. then Sim.Fiber.sleep engine gap;
+        if not (instance.is_crashed node) then begin
+          (match op with
+          | Workload.Update ->
+              let value = !next_value in
+              incr next_value;
+              let rec_op =
+                History.begin_update history ~now:(Sim.Engine.now engine)
+                  ~node ~value
+              in
+              instance.update node value;
+              History.finish_update history ~now:(Sim.Engine.now engine) rec_op
+          | Workload.Scan ->
+              let rec_op =
+                History.begin_scan history ~now:(Sim.Engine.now engine) ~node
+              in
+              let snap = instance.scan node in
+              History.finish_scan history ~now:(Sim.Engine.now engine) rec_op
+                ~snap);
+          walk rest
+        end
+  in
+  walk steps
+
+let run ?workload_seed ~make config ~workload ~adversary =
+  let engine = Sim.Engine.create ~seed:config.seed () in
+  let delay = make_delay engine config.delay in
+  let instance = make engine ~n:config.n ~f:config.f ~delay in
+  let history = History.create () in
+  let next_value = ref 1 in
+  let adversary_rng =
+    Sim.Rng.create (Option.value workload_seed ~default:config.seed)
+  in
+  Adversary.apply adversary ~rng:adversary_rng ~engine instance;
+  Array.iteri
+    (fun node steps ->
+      if steps <> [] then
+        Sim.Fiber.spawn engine
+          (client_fiber engine instance history next_value node steps))
+    workload;
+  Sim.Engine.run_until_quiescent engine;
+  (* Liveness: any operation still pending must belong to a node that
+     crashed mid-operation. *)
+  List.iter
+    (fun (op : History.op) ->
+      if not (instance.is_crashed op.node) then
+        raise
+          (Stuck
+             (Format.asprintf "%s: operation did not terminate: %a"
+                instance.name History.pp_op op)))
+    (History.pending history);
+  {
+    history;
+    end_time = Sim.Engine.now engine;
+    messages = instance.messages ();
+    d = Sim.Delay.bound delay;
+    crashed =
+      List.filter (fun i -> instance.is_crashed i) (List.init config.n Fun.id);
+    algorithm = instance.name;
+  }
+
+let latencies_of outcome ~keep =
+  List.filter_map
+    (fun (op : History.op) ->
+      if keep op then
+        Option.map (fun dur -> dur /. outcome.d) (History.duration op)
+      else None)
+    (History.ops outcome.history)
+
+let update_latencies outcome = latencies_of outcome ~keep:History.is_update
+let scan_latencies outcome = latencies_of outcome ~keep:History.is_scan
+
+let max_latency = List.fold_left Float.max 0.
+
+let mean_latency = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let check_with ~conditions ~construct outcome =
+  let n =
+    match History.ops outcome.history with
+    | [] -> 1
+    | ops ->
+        (* Segment count: scans carry it; fall back to max node id. *)
+        List.fold_left
+          (fun acc (op : History.op) ->
+            match op.kind with
+            | History.Scan (Some snap) -> max acc (Array.length snap)
+            | _ -> max acc (op.node + 1))
+          1 ops
+  in
+  match conditions ~n outcome.history with
+  | Error v ->
+      Error (Format.asprintf "%a" Checker.Conditions.pp_violation v)
+  | Ok () -> (
+      match construct ~n outcome.history with
+      | Error e -> Error e
+      | Ok (_ : History.op list) -> Ok ())
+
+let check_linearizable outcome =
+  check_with ~conditions:Checker.Conditions.check_atomic ~construct:Checker.Linearize.linearize
+    outcome
+
+let check_sequential outcome =
+  check_with ~conditions:Checker.Conditions.check_sequential
+    ~construct:Checker.Linearize.sequentialize outcome

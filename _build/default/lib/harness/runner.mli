@@ -1,0 +1,55 @@
+(** Execute a workload + adversary against an algorithm and record the
+    history, latencies (in units of [D]) and message counts. *)
+
+type delay_spec =
+  | Fixed_d of float  (** every message takes exactly [D] — worst case *)
+  | Uniform_d of { lo : float; hi : float; d : float }
+
+type config = { n : int; f : int; delay : delay_spec; seed : int64 }
+
+val default_config : config
+(** [n = 8], [f = 3], [Fixed_d 1.0], seed 42. *)
+
+type outcome = {
+  history : History.t;
+  end_time : float;  (** virtual time when the system went quiescent *)
+  messages : int;
+  d : float;  (** the delay bound, for normalising latencies *)
+  crashed : int list;  (** nodes that failed during the run *)
+  algorithm : string;
+}
+
+exception Stuck of string
+(** Raised when an operation at a node that never crashed failed to
+    terminate — a liveness violation of the algorithm under test. *)
+
+type maker =
+  Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> int Instance.t
+
+val run :
+  ?workload_seed:int64 ->
+  make:maker ->
+  config ->
+  workload:Workload.t ->
+  adversary:Adversary.t ->
+  outcome
+(** Spawn one client fiber per node walking its schedule, install the
+    adversary, run the simulation to quiescence, and verify that every
+    operation at a surviving node completed. *)
+
+val update_latencies : outcome -> float list
+(** Completed UPDATE durations divided by [D], invocation order. *)
+
+val scan_latencies : outcome -> float list
+
+val max_latency : float list -> float
+(** 0 on empty. *)
+
+val mean_latency : float list -> float
+(** 0 on empty. *)
+
+val check_linearizable : outcome -> (unit, string) result
+(** Conditions (A1)–(A4) plus an explicit validated linearization. *)
+
+val check_sequential : outcome -> (unit, string) result
+(** (S1)–(S3) plus an explicit validated sequentialization. *)

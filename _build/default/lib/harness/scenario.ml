@@ -1,0 +1,140 @@
+type row = {
+  algo : string;
+  k : int;
+  rounds : int;
+  worst_update : float;
+  mean_update : float;
+  worst_scan : float;
+  mean_scan : float;
+  messages : int;
+  end_time : float;
+}
+
+let run_and_check ~(algo : Algo.t) ~config ~workload ~adversary ~seed =
+  let outcome =
+    Runner.run ~workload_seed:seed ~make:algo.make config ~workload ~adversary
+  in
+  let verdict =
+    match algo.consistency with
+    | Algo.Atomic -> Runner.check_linearizable outcome
+    | Algo.Sequential -> Runner.check_sequential outcome
+  in
+  (match verdict with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "%s: correctness violation: %s" algo.name e));
+  outcome
+
+let stats_row ~(algo : Algo.t) ~k ~rounds outcome =
+  let updates = Runner.update_latencies outcome in
+  let scans = Runner.scan_latencies outcome in
+  let or_nan f = function [] -> Float.nan | l -> f l in
+  {
+    algo = algo.name;
+    k;
+    rounds;
+    worst_update = or_nan Runner.max_latency updates;
+    mean_update = or_nan Runner.mean_latency updates;
+    worst_scan = or_nan Runner.max_latency scans;
+    mean_scan = or_nan Runner.mean_latency scans;
+    messages = outcome.messages;
+    end_time = (outcome.end_time /. outcome.d);
+  }
+
+let chain_storm ~algo ~k ~rounds ~seed =
+  let n = max 5 ((2 * k) + 3) in
+  let f = (n - 1) / 2 in
+  let scanner = n - 1 in
+  let live_updater = n - 2 in
+  (* min_len 3: a multi-phase operation spends ~3 delays in its tag
+     phases before its equivalence wait begins; shorter chains expose
+     their value before anyone is vulnerable. *)
+  let chains =
+    if k = 0 then []
+    else Adversary.chains_for_budget ~min_len:3 ~n ~k ~scanner ()
+  in
+  let chain_updaters = List.map (fun c -> c.Adversary.updater) chains in
+  let workload = Array.make n [] in
+  (* Chain j's value is exposed at time ~ start_j + length_j + 2, and
+     disturbs a victim's equivalence wait for one delay. Lengths grow by
+     1 per chain, so starts shrink by 0.2 per chain: exposures land 0.8
+     apart — inside each other's disturbance windows and off the integer
+     event grid, so the equivalence predicate cannot blink true between
+     waves. (The real adversary controls sub-D timing; this encodes it.) *)
+  let m = List.length chain_updaters in
+  List.iteri
+    (fun idx u ->
+      workload.(u) <-
+        [
+          {
+            Workload.gap = 0.2 *. float_of_int (m - 1 - idx);
+            op = Workload.Update;
+          };
+        ])
+    chain_updaters;
+  (* The live updater establishes the tag the chained (concurrent)
+     values share. Its start is phase-matched so that its equivalence
+     wait (which begins ~6 delays after invocation) opens inside the
+     first chain's disturbance window; the scanner joins at t=4.5, once
+     the new tag is readable, so its wait overlaps the exposure train's
+     tail. Each victim then stays blocked until the train ends. *)
+  let updater_gap = Float.max 0. ((0.2 *. float_of_int (m - 1)) +. 0.1) in
+  workload.(live_updater) <-
+    { Workload.gap = updater_gap; op = Workload.Update }
+    :: { Workload.gap = 0.0; op = Workload.Scan }
+    :: List.concat
+         (List.init (max 0 (rounds - 1)) (fun _ ->
+              [ { Workload.gap = 0.0; op = Workload.Update };
+                { Workload.gap = 0.0; op = Workload.Scan } ]));
+  workload.(scanner) <-
+    { Workload.gap = 4.5; op = Workload.Scan }
+    :: List.concat
+         (List.init (max 0 (rounds - 1)) (fun _ ->
+              [ { Workload.gap = 0.0; op = Workload.Update };
+                { Workload.gap = 0.0; op = Workload.Scan } ]));
+  let config = { Runner.n; f; delay = Runner.Fixed_d 1.0; seed } in
+  let outcome =
+    run_and_check ~algo ~config ~workload
+      ~adversary:(Adversary.Chains chains) ~seed
+  in
+  stats_row ~algo ~k:(List.length outcome.crashed) ~rounds outcome
+
+let failure_free ~algo ~n ~rounds ~seed =
+  let f = (n - 1) / 2 in
+  let config = { Runner.n; f; delay = Runner.Fixed_d 1.0; seed } in
+  let workload = Workload.closed_loop ~n ~rounds in
+  let outcome =
+    run_and_check ~algo ~config ~workload ~adversary:Adversary.No_faults ~seed
+  in
+  stats_row ~algo ~k:0 ~rounds outcome
+
+let random_crashes ~algo ~n ~k ~ops_per_node ~seed =
+  let f = (n - 1) / 2 in
+  if k > f then invalid_arg "Scenario.random_crashes: k > f";
+  let rng = Sim.Rng.create seed in
+  let workload =
+    Workload.random rng ~n ~ops_per_node ~scan_fraction:0.5 ~max_gap:4.0
+  in
+  let config = { Runner.n; f; delay = Runner.Fixed_d 1.0; seed } in
+  let outcome =
+    run_and_check ~algo ~config ~workload
+      ~adversary:(Adversary.Crash_k_random { k; window = 10.0 })
+      ~seed
+  in
+  stats_row ~algo ~k ~rounds:ops_per_node outcome
+
+let header =
+  [ "algorithm"; "k"; "rounds"; "upd worst"; "upd mean"; "scan worst";
+    "scan mean"; "msgs"; "makespan" ]
+
+let to_cells r =
+  [
+    r.algo;
+    string_of_int r.k;
+    string_of_int r.rounds;
+    Table.cell_f r.worst_update;
+    Table.cell_f r.mean_update;
+    Table.cell_f r.worst_scan;
+    Table.cell_f r.mean_scan;
+    string_of_int r.messages;
+    Table.cell_f r.end_time;
+  ]

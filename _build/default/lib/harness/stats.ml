@@ -1,0 +1,40 @@
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize = function
+  | [] -> None
+  | sample ->
+      let sorted = List.sort Float.compare sample in
+      let arr = Array.of_list sorted in
+      let count = Array.length arr in
+      let nearest_rank p =
+        let rank = int_of_float (ceil (p *. float_of_int count)) in
+        arr.(max 0 (min (count - 1) (rank - 1)))
+      in
+      Some
+        {
+          count;
+          mean = List.fold_left ( +. ) 0. sample /. float_of_int count;
+          min = arr.(0);
+          max = arr.(count - 1);
+          p50 = nearest_rank 0.50;
+          p90 = nearest_rank 0.90;
+          p99 = nearest_rank 0.99;
+        }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f" s.count
+    s.mean s.min s.p50 s.p90 s.p99 s.max
+
+let csv ?(out = stdout) ~header rows =
+  let emit row = output_string out (String.concat "," row ^ "\n") in
+  emit header;
+  List.iter emit rows

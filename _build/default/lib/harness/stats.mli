@@ -1,0 +1,22 @@
+(** Latency statistics and CSV export for the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on an empty sample. Percentiles use the nearest-rank method
+    on the sorted sample. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val csv :
+  ?out:out_channel -> header:string list -> string list list -> unit
+(** Write rows as comma-separated values (cells must not contain
+    commas; the harness only emits numbers and identifiers). *)

@@ -1,0 +1,32 @@
+let print ?(out = Format.std_formatter) ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let render row =
+    let cells =
+      List.mapi
+        (fun c w -> pad (Option.value (List.nth_opt row c) ~default:"") w)
+        widths
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  Format.fprintf out "@.== %s ==@.%s@.%s@." title (render header) rule;
+  List.iter (fun row -> Format.fprintf out "%s@." (render row)) rows;
+  Format.fprintf out "@."
+
+let cell_f v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.1f D" v
+
+let cell_opt_f = function None -> "-" | Some v -> cell_f v

@@ -1,0 +1,11 @@
+(** Minimal aligned-column table printer for experiment output. *)
+
+val print :
+  ?out:Format.formatter -> title:string -> header:string list ->
+  string list list -> unit
+(** Render rows under a title; columns are padded to the widest cell. *)
+
+val cell_f : float -> string
+(** Format a latency in D units: ["12.0 D"], or ["-"] for NaN. *)
+
+val cell_opt_f : float option -> string

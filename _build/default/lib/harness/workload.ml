@@ -1,0 +1,31 @@
+type op = Update | Scan
+
+type step = { gap : float; op : op }
+
+type t = step list array
+
+let random rng ~n ~ops_per_node ~scan_fraction ~max_gap =
+  Array.init n (fun _ ->
+      List.init ops_per_node (fun _ ->
+          let op =
+            if Sim.Rng.float rng 1.0 < scan_fraction then Scan else Update
+          in
+          let gap = if max_gap <= 0. then 0. else Sim.Rng.float rng max_gap in
+          { gap; op }))
+
+let closed_loop ~n ~rounds =
+  Array.init n (fun _ ->
+      List.concat
+        (List.init rounds (fun _ ->
+             [ { gap = 0.; op = Update }; { gap = 0.; op = Scan } ])))
+
+let single ~n ~node op =
+  Array.init n (fun i -> if i = node then [ { gap = 0.; op } ] else [])
+
+let updates_at_zero ~n ~updaters ~scanner =
+  Array.init n (fun i ->
+      if List.mem i updaters then [ { gap = 0.; op = Update } ]
+      else if scanner = Some i then [ { gap = 0.; op = Scan } ]
+      else [])
+
+let ops_count t = Array.fold_left (fun acc steps -> acc + List.length steps) 0 t

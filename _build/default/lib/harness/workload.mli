@@ -1,0 +1,36 @@
+(** Operation schedules: what each node's client thread does.
+
+    A workload assigns every node a sequence of steps; each step waits a
+    gap of virtual time and then runs one blocking operation. Values are
+    assigned by the runner from a global counter, so they are unique
+    across the execution (the checker depends on this). *)
+
+type op = Update | Scan
+
+type step = { gap : float; op : op }
+
+type t = step list array
+(** Index = node id. *)
+
+val random :
+  Sim.Rng.t ->
+  n:int ->
+  ops_per_node:int ->
+  scan_fraction:float ->
+  max_gap:float ->
+  t
+(** Every node runs [ops_per_node] operations, each a scan with
+    probability [scan_fraction], with gaps uniform in [\[0, max_gap)]. *)
+
+val closed_loop : n:int -> rounds:int -> t
+(** Every node alternates UPDATE; SCAN back to back [rounds] times with
+    no think time — the high-contention workload. *)
+
+val single : n:int -> node:int -> op -> t
+(** One operation by one node at time 0; everyone else idle. *)
+
+val updates_at_zero : n:int -> updaters:int list -> scanner:int option -> t
+(** Each listed node updates once at time 0; the optional scanner scans
+    once at time 0. The worst-case (failure-chain) scenarios use this. *)
+
+val ops_count : t -> int

@@ -1,0 +1,1 @@
+lib/proto/history.ml: Array Format List Option Vec

@@ -1,0 +1,1 @@
+lib/proto/history.mli: Format

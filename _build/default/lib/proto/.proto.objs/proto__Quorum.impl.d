@@ -1,0 +1,1 @@
+lib/proto/quorum.ml: Printf

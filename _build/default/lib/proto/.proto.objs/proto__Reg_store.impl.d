@@ -1,0 +1,1 @@
+lib/proto/reg_store.ml: Array Option Timestamp

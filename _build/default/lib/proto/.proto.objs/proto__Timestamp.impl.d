@@ -1,0 +1,1 @@
+lib/proto/timestamp.ml: Format Int

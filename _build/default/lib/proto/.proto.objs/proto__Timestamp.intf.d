@@ -1,0 +1,1 @@
+lib/proto/timestamp.mli: Format

@@ -1,0 +1,1 @@
+lib/proto/vec.ml: Array List

@@ -1,0 +1,1 @@
+lib/proto/view.ml: Array Format Option Set Timestamp

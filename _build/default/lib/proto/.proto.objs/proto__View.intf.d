@@ -1,0 +1,1 @@
+lib/proto/view.mli: Format Timestamp

@@ -1,0 +1,33 @@
+type entry = { senders : (int, unit) Hashtbl.t; mutable max_payload : int }
+
+type t = { mutable next : int; entries : (int, entry) Hashtbl.t }
+
+let create () = { next = 0; entries = Hashtbl.create 16 }
+
+let fresh t =
+  let req = t.next in
+  t.next <- req + 1;
+  Hashtbl.replace t.entries req
+    { senders = Hashtbl.create 8; max_payload = 0 };
+  req
+
+let record t ~req ~sender ~payload =
+  match Hashtbl.find_opt t.entries req with
+  | None -> ()
+  | Some e ->
+      if not (Hashtbl.mem e.senders sender) then begin
+        Hashtbl.replace e.senders sender ();
+        if payload > e.max_payload then e.max_payload <- payload
+      end
+
+let count t ~req =
+  match Hashtbl.find_opt t.entries req with
+  | None -> 0
+  | Some e -> Hashtbl.length e.senders
+
+let max_payload t ~req =
+  match Hashtbl.find_opt t.entries req with
+  | None -> 0
+  | Some e -> e.max_payload
+
+let forget t ~req = Hashtbl.remove t.entries req

@@ -1,0 +1,30 @@
+(** Acknowledgement collection for quorum phases.
+
+    The read-tag / write-tag phases of Algorithm 1 (and the collect
+    phases of the baselines) all follow the same shape: broadcast a
+    request, then wait for [n - f] acknowledgements {e for that request}.
+    A collector issues per-request identifiers and counts distinct
+    senders, so a slow ack from an earlier phase can never satisfy a
+    later one, and a duplicated (or Byzantine) ack never counts twice. *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> int
+(** New request identifier to stamp outgoing requests with. *)
+
+val record : t -> req:int -> sender:int -> payload:int -> unit
+(** Note an ack from [sender] carrying [payload] (e.g. a tag). Repeats
+    from the same sender are ignored. Unknown [req]s are ignored (acks
+    for forgotten phases). *)
+
+val count : t -> req:int -> int
+(** Distinct senders recorded so far. *)
+
+val max_payload : t -> req:int -> int
+(** Largest payload among recorded acks; [0] when none (tags start
+    at 1, so [0] reads as "no tag yet" — the paper's initial tag). *)
+
+val forget : t -> req:int -> unit
+(** Drop a completed request's state. *)

@@ -1,0 +1,81 @@
+type kind = Update of int | Scan of int option array option
+
+type op = {
+  id : int;
+  node : int;
+  mutable kind : kind;
+  inv : float;
+  mutable resp : float option;
+}
+
+type t = { ops : op Vec.t }
+
+let create () = { ops = Vec.create () }
+
+let begin_op t ~now ~node kind =
+  let op = { id = Vec.length t.ops; node; kind; inv = now; resp = None } in
+  Vec.push t.ops op;
+  op
+
+let begin_update t ~now ~node ~value = begin_op t ~now ~node (Update value)
+let begin_scan t ~now ~node = begin_op t ~now ~node (Scan None)
+
+let finish_update _t ~now op =
+  assert (op.resp = None);
+  op.resp <- Some now
+
+let finish_scan _t ~now op ~snap =
+  assert (op.resp = None);
+  op.kind <- Scan (Some snap);
+  op.resp <- Some now
+
+let ops t = Vec.to_list t.ops
+let completed t = List.filter (fun op -> op.resp <> None) (ops t)
+let pending t = List.filter (fun op -> op.resp = None) (ops t)
+
+let precedes a b =
+  match a.resp with None -> false | Some r -> r < b.inv
+
+let is_scan op = match op.kind with Scan _ -> true | Update _ -> false
+let is_update op = not (is_scan op)
+
+let scan_result op =
+  match op.kind with
+  | Scan (Some snap) -> snap
+  | Scan None -> invalid_arg "History.scan_result: pending scan"
+  | Update _ -> invalid_arg "History.scan_result: update"
+
+let update_value op =
+  match op.kind with
+  | Update v -> v
+  | Scan _ -> invalid_arg "History.update_value: scan"
+
+let duration op = Option.map (fun r -> r -. op.inv) op.resp
+
+let pp_snap ppf snap =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       (fun ppf -> function
+         | None -> Format.fprintf ppf "_"
+         | Some v -> Format.fprintf ppf "%d" v))
+    (Array.to_list snap)
+
+let pp_op ppf op =
+  let pp_resp ppf = function
+    | None -> Format.fprintf ppf "pending"
+    | Some r -> Format.fprintf ppf "%g" r
+  in
+  match op.kind with
+  | Update v ->
+      Format.fprintf ppf "#%d n%d UPDATE(%d) [%g,%a]" op.id op.node v op.inv
+        pp_resp op.resp
+  | Scan None ->
+      Format.fprintf ppf "#%d n%d SCAN [%g,%a]" op.id op.node op.inv pp_resp
+        op.resp
+  | Scan (Some snap) ->
+      Format.fprintf ppf "#%d n%d SCAN->%a [%g,%a]" op.id op.node pp_snap snap
+        op.inv pp_resp op.resp
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_op ppf (ops t)

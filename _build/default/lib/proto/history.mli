@@ -1,0 +1,57 @@
+(** Execution histories: the partially ordered set [(H, <_H)] of
+    Section II-B, recorded as invocation/response events on a virtual
+    timeline.
+
+    The harness wraps every UPDATE/SCAN in [begin_*]/[finish]; crashed
+    nodes leave their last operation {e pending} (no response), exactly
+    as in the model. Values are [int]s that the workload generator keeps
+    globally unique so that a value identifies its UPDATE (the paper's
+    standing assumption, footnote 2). *)
+
+type kind =
+  | Update of int  (** value written *)
+  | Scan of int option array option
+      (** [Some snap] once responded; [None] while pending *)
+
+type op = {
+  id : int;  (** 0-based, in invocation order *)
+  node : int;
+  mutable kind : kind;
+  inv : float;
+  mutable resp : float option;  (** [None] = pending (node crashed) *)
+}
+
+type t
+
+val create : unit -> t
+
+val begin_update : t -> now:float -> node:int -> value:int -> op
+val begin_scan : t -> now:float -> node:int -> op
+
+val finish_update : t -> now:float -> op -> unit
+val finish_scan : t -> now:float -> op -> snap:int option array -> unit
+
+val ops : t -> op list
+(** All operations in invocation order. *)
+
+val completed : t -> op list
+val pending : t -> op list
+
+val precedes : op -> op -> bool
+(** [precedes a b] is the real-time order [a -> b]: [resp a < inv b].
+    Pending operations precede nothing. *)
+
+val is_scan : op -> bool
+val is_update : op -> bool
+
+val scan_result : op -> int option array
+(** @raise Invalid_argument on updates or pending scans. *)
+
+val update_value : op -> int
+(** @raise Invalid_argument on scans. *)
+
+val duration : op -> float option
+(** Response minus invocation; [None] while pending. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type 'v t = {
+  name : string;
+  n : int;
+  f : int;
+  update : int -> 'v -> unit;
+  scan : int -> 'v option array;
+  crash : int -> unit;
+  crash_during_next_broadcast : int -> deliver_to:int list -> unit;
+  crash_on_next_value : ?writer:int -> int -> deliver_to:int list -> unit;
+  is_crashed : int -> bool;
+  on_crash : (int -> unit) -> unit;
+  messages : unit -> int;
+}

@@ -1,0 +1,29 @@
+(** A running snapshot-object deployment behind a uniform face.
+
+    Each algorithm (EQ-ASO, the SSO, every baseline, the Byzantine
+    variant) wires [n] nodes onto its own network and exposes this
+    record, so the harness, the examples, and the benchmarks drive them
+    all identically. [update]/[scan] block the calling fiber until the
+    operation's response, as in the paper's client-thread model. *)
+
+type 'v t = {
+  name : string;
+  n : int;
+  f : int;
+  update : int -> 'v -> unit;  (** [update node v]; must run in a fiber *)
+  scan : int -> 'v option array;  (** [scan node]; must run in a fiber *)
+  crash : int -> unit;
+  crash_during_next_broadcast : int -> deliver_to:int list -> unit;
+  crash_on_next_value : ?writer:int -> int -> deliver_to:int list -> unit;
+      (** Arm the Definition 11 adversary: the node crashes while
+          broadcasting its next {e value-carrying} message (an UPDATE's
+          send-to-all or a first-sighting forward), reaching only the
+          given destinations. [writer] narrows the trigger to values
+          originally written by that node — a failure chain relays one
+          specific value, and its members must not burn their crash on
+          forwarding an innocent bystander's value. Protocol-specific
+          message matching is supplied by each algorithm. *)
+  is_crashed : int -> bool;
+  on_crash : (int -> unit) -> unit;
+  messages : unit -> int;
+}

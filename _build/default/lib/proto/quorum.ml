@@ -1,0 +1,12 @@
+let ack_quorum ~n ~f = n - f
+
+let max_crash_faults n = (n - 1) / 2
+let max_byz_faults n = (n - 1) / 3
+
+let check_crash ~n ~f =
+  if f < 0 || n <= 2 * f then
+    invalid_arg (Printf.sprintf "crash model needs n > 2f (n=%d f=%d)" n f)
+
+let check_byz ~n ~f =
+  if f < 0 || n <= 3 * f then
+    invalid_arg (Printf.sprintf "Byzantine model needs n > 3f (n=%d f=%d)" n f)

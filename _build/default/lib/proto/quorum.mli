@@ -1,0 +1,16 @@
+(** Quorum arithmetic for the two fault models. *)
+
+val ack_quorum : n:int -> f:int -> int
+(** [n - f]: acknowledgements a phase must collect. *)
+
+val max_crash_faults : int -> int
+(** Largest [f] with [n > 2f] (crash model). *)
+
+val max_byz_faults : int -> int
+(** Largest [f] with [n > 3f] (Byzantine model). *)
+
+val check_crash : n:int -> f:int -> unit
+(** @raise Invalid_argument unless [0 <= f] and [n > 2f]. *)
+
+val check_byz : n:int -> f:int -> unit
+(** @raise Invalid_argument unless [0 <= f] and [n > 3f]. *)

@@ -1,0 +1,42 @@
+type 'v entry = { ts : Timestamp.t; value : 'v }
+
+type 'v vector = 'v entry option array
+
+let create ~n = Array.make n None
+
+let newer entry = function
+  | None -> true
+  | Some existing -> Timestamp.compare entry.ts existing.ts > 0
+
+let merge_entry vector ~writer entry =
+  if newer entry vector.(writer) then begin
+    vector.(writer) <- Some entry;
+    true
+  end
+  else false
+
+let merge ~into src =
+  Array.iteri
+    (fun writer slot ->
+      match slot with
+      | None -> ()
+      | Some entry -> ignore (merge_entry into ~writer entry))
+    src
+
+let copy = Array.copy
+
+let equal_ts a b =
+  let same slot1 slot2 =
+    match (slot1, slot2) with
+    | None, None -> true
+    | Some e1, Some e2 -> Timestamp.equal e1.ts e2.ts
+    | None, Some _ | Some _, None -> false
+  in
+  Array.length a = Array.length b
+  &&
+  let rec walk i = i >= Array.length a || (same a.(i) b.(i) && walk (i + 1)) in
+  walk 0
+
+let extract vector = Array.map (Option.map (fun e -> e.value)) vector
+
+let ts_of vector ~writer = Option.map (fun e -> e.ts) vector.(writer)

@@ -1,0 +1,31 @@
+(** Per-writer register vectors shared by the collect-based baselines.
+
+    Every server in the double-collect and store-collect algorithms keeps
+    the latest [(timestamp, value)] pair per writer; collects merge such
+    vectors pointwise by timestamp. Merging is monotone, which is what
+    the linearizability arguments of those algorithms lean on. *)
+
+type 'v entry = { ts : Timestamp.t; value : 'v }
+
+type 'v vector = 'v entry option array
+(** Index = writer id; [None] = never wrote. *)
+
+val create : n:int -> 'v vector
+
+val newer : 'v entry -> 'v entry option -> bool
+(** Is the entry strictly newer than the slot's current occupant? *)
+
+val merge_entry : 'v vector -> writer:int -> 'v entry -> bool
+(** Merge one entry; returns [true] if the slot changed. *)
+
+val merge : into:'v vector -> 'v vector -> unit
+val copy : 'v vector -> 'v vector
+
+val equal_ts : 'v vector -> 'v vector -> bool
+(** Pointwise timestamp equality — value payloads are determined by
+    timestamps (unique updates), so this is full equality. *)
+
+val extract : 'v vector -> 'v option array
+(** The snapshot vector: payloads only. *)
+
+val ts_of : 'v vector -> writer:int -> Timestamp.t option

@@ -1,0 +1,27 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let new_cap = if cap = 0 then 8 else cap * 2 in
+    let d = Array.make new_cap x in
+    Array.blit t.data 0 d 0 t.len;
+    t.data <- d
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.data.(i))

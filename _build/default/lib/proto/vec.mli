@@ -1,0 +1,16 @@
+(** Growable array (append-only as used here).
+
+    The standard library gains [Dynarray] only in OCaml 5.2; this is the
+    small subset the protocols need: an append log that predicates can
+    consume incrementally by index. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

@@ -1,0 +1,44 @@
+module S = Set.Make (Timestamp)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let cardinal = S.cardinal
+let add = S.add
+let mem = S.mem
+let union = S.union
+let equal = S.equal
+let subset = S.subset
+let elements = S.elements
+let of_list = S.of_list
+let fold = S.fold
+let iter = S.iter
+
+let comparable a b = S.subset a b || S.subset b a
+
+let restrict v ~max_tag =
+  let below, _, _ = S.split (Timestamp.upper_bound max_tag) v in
+  below
+
+let count_le v ~max_tag = cardinal (restrict v ~max_tag)
+
+let max_tag v = match S.max_elt_opt v with None -> 0 | Some ts -> Timestamp.tag ts
+
+let latest_per_writer v ~n =
+  let out = Array.make n None in
+  (* Ascending iteration: later (higher-tag) timestamps overwrite. *)
+  S.iter
+    (fun ts ->
+      let w = Timestamp.writer ts in
+      if w >= 0 && w < n then out.(w) <- Some ts)
+    v;
+  out
+
+let extract v ~n ~value_of =
+  Array.map (Option.map value_of) (latest_per_writer v ~n)
+
+let pp ppf v =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Timestamp.pp)
+    (elements v)

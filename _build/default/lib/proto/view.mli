@@ -1,0 +1,45 @@
+(** Views: sets of timestamps, i.e. sets of UPDATE operations.
+
+    A "view" in the paper is a set of values; since every value has a
+    unique timestamp, we represent a view as the set of timestamps and
+    keep the value payloads in a per-node side store. This makes view
+    comparison (the heart of the equivalence-quorum technique) a pure
+    set operation, independent of the value type. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val add : Timestamp.t -> t -> t
+val mem : Timestamp.t -> t -> bool
+val union : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val elements : t -> Timestamp.t list
+val of_list : Timestamp.t list -> t
+val fold : (Timestamp.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Timestamp.t -> unit) -> t -> unit
+
+val comparable : t -> t -> bool
+(** [comparable a b] iff [a ⊆ b] or [b ⊆ a] — the relation Lemmas 1 and 2
+    establish for equivalence sets and good-lattice-operation views. *)
+
+val restrict : t -> max_tag:int -> t
+(** [restrict v ~max_tag:r] is [v^{<= r}]: the members with tag [<= r]. *)
+
+val count_le : t -> max_tag:int -> int
+(** [cardinal (restrict v ~max_tag)] without building the subset. *)
+
+val max_tag : t -> int
+(** Largest tag present; [0] for the empty view (tags start at 1). *)
+
+val latest_per_writer : t -> n:int -> Timestamp.t option array
+(** Entry [j] is the highest-tag timestamp written by node [j], if any —
+    the [extract] of Algorithm 1 modulo value lookup. *)
+
+val extract : t -> n:int -> value_of:(Timestamp.t -> 'v) -> 'v option array
+(** Full [extract]: the snapshot vector, resolving values through the
+    caller's store. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/registers/abd.ml: Array Collector Hashtbl Option Quorum Reg_store Sim Timestamp

@@ -1,0 +1,1 @@
+lib/registers/abd.mli: Reg_store Sim

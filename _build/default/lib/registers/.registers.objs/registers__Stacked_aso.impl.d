@@ -1,0 +1,1 @@
+lib/registers/stacked_aso.ml: Abd Array Aso_core Int Option Reg_store Timestamp

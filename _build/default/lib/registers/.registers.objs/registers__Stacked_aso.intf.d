@@ -1,0 +1,1 @@
+lib/registers/stacked_aso.mli: Instance Sim

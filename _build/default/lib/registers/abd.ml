@@ -1,0 +1,107 @@
+module Msg = struct
+  type 'v t =
+    | Write of { req : int; entry : 'v Reg_store.entry }
+    | Write_ack of { req : int }
+    | Read_q of { req : int }
+    | Read_r of { req : int; vector : 'v Reg_store.vector }
+    | Write_back of { req : int; vector : 'v Reg_store.vector }
+    | Write_back_ack of { req : int }
+end
+
+type 'v node = {
+  id : int;
+  replicas : 'v Reg_store.vector;
+  acks : Collector.t;
+  reads : (int, 'v Reg_store.vector) Hashtbl.t;
+  changed : Sim.Condition.t;
+  mutable seq : int;
+}
+
+type 'v t = {
+  net : 'v Msg.t Sim.Network.t;
+  n : int;
+  f : int;
+  nodes : 'v node array;
+}
+
+let handle t nd ~src msg =
+  (match msg with
+  | Msg.Write { req; entry } ->
+      ignore
+        (Reg_store.merge_entry nd.replicas
+           ~writer:(Timestamp.writer entry.Reg_store.ts)
+           entry);
+      Sim.Network.send t.net ~src:nd.id ~dst:src (Msg.Write_ack { req })
+  | Msg.Write_ack { req } | Msg.Write_back_ack { req } ->
+      Collector.record nd.acks ~req ~sender:src ~payload:0
+  | Msg.Read_q { req } ->
+      Sim.Network.send t.net ~src:nd.id ~dst:src
+        (Msg.Read_r { req; vector = Reg_store.copy nd.replicas })
+  | Msg.Read_r { req; vector } -> (
+      match Hashtbl.find_opt nd.reads req with
+      | None -> ()
+      | Some acc ->
+          Reg_store.merge ~into:acc vector;
+          Collector.record nd.acks ~req ~sender:src ~payload:0)
+  | Msg.Write_back { req; vector } ->
+      Reg_store.merge ~into:nd.replicas vector;
+      Sim.Network.send t.net ~src:nd.id ~dst:src (Msg.Write_back_ack { req }));
+  Sim.Condition.signal nd.changed
+
+let create engine ~n ~f ~delay =
+  Quorum.check_crash ~n ~f;
+  let net = Sim.Network.create engine ~n ~delay in
+  let make_node id =
+    {
+      id;
+      replicas = Reg_store.create ~n;
+      acks = Collector.create ();
+      reads = Hashtbl.create 8;
+      changed = Sim.Condition.create ();
+      seq = 0;
+    }
+  in
+  let t = { net; n; f; nodes = Array.init n make_node } in
+  Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
+  t
+
+let await_quorum t nd req =
+  Sim.Condition.await nd.changed (fun () ->
+      Collector.count nd.acks ~req >= t.n - t.f);
+  Collector.forget nd.acks ~req
+
+let write t ~node v =
+  let nd = t.nodes.(node) in
+  nd.seq <- nd.seq + 1;
+  let entry =
+    { Reg_store.ts = Timestamp.make ~tag:nd.seq ~writer:node; value = v }
+  in
+  let req = Collector.fresh nd.acks in
+  Sim.Network.broadcast t.net ~src:node (Msg.Write { req; entry });
+  await_quorum t nd req
+
+let write_back t nd vector =
+  let req = Collector.fresh nd.acks in
+  Sim.Network.broadcast t.net ~src:nd.id (Msg.Write_back { req; vector });
+  await_quorum t nd req
+
+let read_all t ~node =
+  let nd = t.nodes.(node) in
+  let req = Collector.fresh nd.acks in
+  Hashtbl.replace nd.reads req (Reg_store.copy nd.replicas);
+  Sim.Network.broadcast t.net ~src:node (Msg.Read_q { req });
+  Sim.Condition.await nd.changed (fun () ->
+      Collector.count nd.acks ~req >= t.n - t.f);
+  Collector.forget nd.acks ~req;
+  let merged = Hashtbl.find nd.reads req in
+  Hashtbl.remove nd.reads req;
+  (* Atomicity: expose the merged vector to a quorum before returning. *)
+  write_back t nd merged;
+  merged
+
+let read t ~node ~reg =
+  let vector = read_all t ~node in
+  Option.map (fun e -> e.Reg_store.value) vector.(reg)
+
+let net t = t.net
+let instanceless_messages t = Sim.Network.messages_sent t.net

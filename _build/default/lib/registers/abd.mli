@@ -1,0 +1,46 @@
+(** ABD register emulation (Attiya, Bar-Noy, Dolev 1995): [n] SWMR
+    atomic registers — one per writer — over majority quorums.
+
+    This is the substrate of the {e stacking} approach the paper's
+    introduction discusses (build registers, then run a shared-memory
+    snapshot algorithm on top): each node replicates all [n] registers;
+    a WRITE to one's own register is one round trip (SWMR writers own
+    their timestamps); a READ is a query round plus a {e write-back}
+    round — the write-back is what upgrades regular to atomic (no
+    new-old inversion between successive readers).
+
+    Besides single-register [read], the interface exposes the batched
+    [read_all] (query all registers from a quorum, merge pointwise,
+    write the merged vector back): what a shared-memory snapshot
+    algorithm's "collect" compiles to, at registers' 2-round-trip
+    price. {!Stacked_aso} builds on it. *)
+
+module Msg : sig
+  type 'v t =
+    | Write of { req : int; entry : 'v Reg_store.entry }
+    | Write_ack of { req : int }
+    | Read_q of { req : int }
+    | Read_r of { req : int; vector : 'v Reg_store.vector }
+    | Write_back of { req : int; vector : 'v Reg_store.vector }
+    | Write_back_ack of { req : int }
+end
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val write : 'v t -> node:int -> 'v -> unit
+(** Write the caller's own register (single-writer). Blocking; fiber. *)
+
+val read : 'v t -> node:int -> reg:int -> 'v option
+(** Atomic read of register [reg] ([None] if never written): query
+    quorum, pick highest timestamp, write back, return. Blocking. *)
+
+val read_all : 'v t -> node:int -> 'v Reg_store.vector
+(** Batched atomic read of all [n] registers (one query round, one
+    write-back round — 4 message delays). Blocking. *)
+
+val net : 'v t -> 'v Msg.t Sim.Network.t
+val instanceless_messages : 'v t -> int
+(** Messages sent so far (for the stacking-cost comparison). *)

@@ -1,0 +1,23 @@
+(** The stacking strawman: Afek et al.'s shared-memory snapshot run
+    verbatim on top of emulated atomic registers ({!Abd}).
+
+    The paper's introduction (following Delporte-Gallet et al.) argues
+    that this two-layer construction carries hidden costs: every
+    "collect" compiles to an ABD batched read — a query round {e plus a
+    write-back round} — so the shared-memory algorithm's step counts
+    silently double into message round trips. This module makes the
+    argument measurable: same helping structure as {!Baselines.Sc_aso},
+    but each collect costs 4 delays instead of 2, and each UPDATE pays
+    an embedded scan {e plus} a register write.
+
+    Included as an experimental baseline (`stacked-aso` in the
+    registry), not as a recommendation. *)
+
+type 'v t
+
+val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
+(** Requires [n > 2f]. *)
+
+val update : 'v t -> node:int -> 'v -> unit
+val scan : 'v t -> node:int -> 'v option array
+val instance : 'v t -> 'v Instance.t

@@ -1,0 +1,21 @@
+type t = { waiters : (unit -> unit) Queue.t }
+
+let create () = { waiters = Queue.create () }
+
+let signal t =
+  (* Swap out the queue first: a woken fiber may re-await on [t] from
+     inside its wake (it will not, because wakes only enqueue runnables,
+     but keep the transfer explicit anyway). *)
+  let n = Queue.length t.waiters in
+  for _ = 1 to n do
+    (Queue.pop t.waiters) ()
+  done
+
+let await t pred =
+  let rec loop () =
+    if not (pred ()) then begin
+      Fiber.suspend (fun wake -> Queue.push wake t.waiters);
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,21 @@
+(** Condition variables bridging atomic handlers and blocking fibers.
+
+    A protocol's message handlers mutate node state and then {!signal}
+    the node's condition; client fibers block in {!await} on a predicate
+    over that state. This is exactly the "wait until EQ(V, i) = true"
+    idiom of Algorithm 1: the predicate is re-evaluated after every
+    signal, never polled. *)
+
+type t
+
+val create : unit -> t
+
+val signal : t -> unit
+(** Wake every fiber currently waiting; each re-checks its predicate and
+    either proceeds or re-enqueues itself. Waiters are woken in FIFO
+    order for determinism. *)
+
+val await : t -> (unit -> bool) -> unit
+(** [await c pred] returns once [pred ()] is true. Checks immediately; if
+    false, parks until a {!signal}, then re-checks. Must run in a fiber.
+    The predicate must be free of suspension points. *)

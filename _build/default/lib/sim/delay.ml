@@ -1,0 +1,38 @@
+type kind =
+  | Fixed
+  | Uniform of { rng : Rng.t; lo : float; hi : float }
+  | Custom of (src:int -> dst:int -> now:float -> float)
+
+type t = { d : float; kind : kind }
+
+let fixed d =
+  assert (d > 0.);
+  { d; kind = Fixed }
+
+let uniform rng ~lo ~hi d =
+  assert (0. <= lo && lo <= hi && hi <= d);
+  { d; kind = Uniform { rng; lo; hi } }
+
+let custom ~d f =
+  assert (d > 0.);
+  { d; kind = Custom f }
+
+let asymmetric ~slow ~slow_d ~fast_d =
+  assert (0. < fast_d && fast_d <= slow_d);
+  {
+    d = slow_d;
+    kind =
+      Custom
+        (fun ~src ~dst ~now:_ ->
+          if List.mem src slow || List.mem dst slow then slow_d else fast_d);
+  }
+
+let bound t = t.d
+
+let sample t ~src ~dst ~now =
+  if src = dst then 0.
+  else
+    match t.kind with
+    | Fixed -> t.d
+    | Uniform { rng; lo; hi } -> lo +. Rng.float rng (hi -. lo +. epsilon_float)
+    | Custom f -> Float.min t.d (Float.max 0. (f ~src ~dst ~now))

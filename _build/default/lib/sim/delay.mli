@@ -1,0 +1,35 @@
+(** Message delay models.
+
+    The paper's only timing assumption is an upper bound [D] on message
+    delay, unknown to the nodes. Every model here carries its [d] bound
+    so the harness can report operation latencies in multiples of [D] —
+    the unit used by all of the paper's complexity claims. Self-addressed
+    messages are always delivered at the current time (the node "receives
+    from itself" instantly), matching the usual reading of "send to all"
+    in quorum algorithms. *)
+
+type t
+
+val fixed : float -> t
+(** Every inter-node message takes exactly [d]. This is the adversarial
+    model used for worst-case measurements: all messages as slow as
+    allowed. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float -> t
+(** [uniform rng ~lo ~hi d] draws iid delays in [\[lo, hi\]] (clamped to
+    [d]); models a well-behaved network under the same bound [d]. *)
+
+val custom : d:float -> (src:int -> dst:int -> now:float -> float) -> t
+(** Fully scripted delays (adversary schedules); results are clamped to
+    [\[0, d\]]. *)
+
+val asymmetric : slow:int list -> slow_d:float -> fast_d:float -> t
+(** Links touching a node in [slow] take [slow_d]; all others [fast_d]
+    ([slow_d >= fast_d]). The "slow scanner vs fast writers" pattern of
+    the renewal ablation. *)
+
+val sample : t -> src:int -> dst:int -> now:float -> float
+(** Delay for one message. [sample] for [src = dst] is [0.]. *)
+
+val bound : t -> float
+(** The model's [D]. *)

@@ -1,0 +1,79 @@
+type t = {
+  mutable now : float;
+  events : (unit -> unit) Event_queue.t;
+  runnable : (unit -> unit) Queue.t;
+  rng : Rng.t;
+  mutable blocking : int;
+}
+
+exception Deadlock of string
+
+let create ?(seed = 1L) () =
+  {
+    now = 0.;
+    events = Event_queue.create ();
+    runnable = Queue.create ();
+    rng = Rng.create seed;
+    blocking = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let schedule t ~delay f =
+  assert (delay >= 0.);
+  Event_queue.add t.events ~time:(t.now +. delay) f
+
+let push_runnable t f = Queue.push f t.runnable
+
+let add_blocking t = t.blocking <- t.blocking + 1
+let remove_blocking t = t.blocking <- t.blocking - 1
+let blocked_count t = t.blocking
+
+let default_max_steps = 50_000_000
+
+(* Drain the runnable queue, then advance time to the next event. The
+   runnable queue always empties before time moves: wakeups scheduled
+   "now" happen before any later message delivery. *)
+let run_loop t ~until ~max_steps =
+  let steps = ref 0 in
+  let bump () =
+    incr steps;
+    if !steps > max_steps then
+      failwith
+        (Printf.sprintf "Sim.Engine: exceeded %d steps at t=%g (livelock?)"
+           max_steps t.now)
+  in
+  let continue = ref true in
+  while !continue do
+    if not (Queue.is_empty t.runnable) then begin
+      bump ();
+      (Queue.pop t.runnable) ()
+    end
+    else
+      match Event_queue.peek_time t.events with
+      | None -> continue := false
+      | Some time when time > until -> continue := false
+      | Some _ ->
+          bump ();
+          let time, f =
+            match Event_queue.pop t.events with
+            | Some tf -> tf
+            | None -> assert false
+          in
+          t.now <- time;
+          f ()
+  done
+
+let run ?(until = infinity) ?(max_steps = default_max_steps) t =
+  run_loop t ~until ~max_steps
+
+let run_until_quiescent ?(max_steps = default_max_steps) t =
+  run_loop t ~until:infinity ~max_steps;
+  if t.blocking > 0 then
+    raise
+      (Deadlock
+         (Printf.sprintf
+            "simulation quiescent at t=%g with %d blocking fiber(s) still \
+             suspended"
+            t.now t.blocking))

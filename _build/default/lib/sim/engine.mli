@@ -1,0 +1,52 @@
+(** Deterministic discrete-event engine with virtual time.
+
+    The engine is the paper's "outside viewer with a global clock": the
+    algorithms under simulation never read [now] — only the harness and
+    the analysis do. One unit of virtual time is whatever the delay model
+    makes it; with {!Delay.fixed}[ 1.0] a time unit is exactly [D], the
+    maximum message delay, which is the measure used throughout the
+    paper's complexity claims. *)
+
+type t
+
+exception Deadlock of string
+(** Raised by {!run_until_quiescent} when fibers registered with
+    {!add_blocking} are still suspended but no event can ever wake them. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time [0.]. [seed] (default [1L]) feeds {!rng}. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** Engine-owned generator; use {!Rng.split} to derive per-concern
+    streams. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].
+    Requires [delay >= 0.]. *)
+
+val push_runnable : t -> (unit -> unit) -> unit
+(** Enqueue [f] to run at the current time, after already-queued
+    runnables. Used by the fiber scheduler for wakeups. *)
+
+val run : ?until:float -> ?max_steps:int -> t -> unit
+(** Process events in timestamp order until the queue is empty, the next
+    event lies beyond [until], or [max_steps] events have run.
+    [max_steps] (default 50 million) guards against livelock in broken
+    protocols: exceeding it raises [Failure]. *)
+
+val run_until_quiescent : ?max_steps:int -> t -> unit
+(** Like {!run} with no time bound, but raises {!Deadlock} if blocking
+    fibers remain suspended when the event queue drains — the simulation
+    equivalent of a protocol that fails to terminate. *)
+
+val add_blocking : t -> unit
+val remove_blocking : t -> unit
+(** Reference count of fibers whose completion the harness insists on
+    (client operations at non-crashed nodes). {!Fiber.spawn} does the
+    bookkeeping; protocols do not call these directly. *)
+
+val blocked_count : t -> int
+(** Number of outstanding {!add_blocking} registrations. *)

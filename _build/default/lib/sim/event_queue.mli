@@ -1,0 +1,22 @@
+(** Priority queue of timed events for the discrete-event engine.
+
+    Events with equal timestamps pop in insertion order, which makes the
+    whole simulation deterministic (ties are common: a [Fixed] delay model
+    stamps many messages with identical delivery times). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+(** [add q ~time x] schedules [x] at [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, breaking time ties by insertion
+    order. [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest event without removing it. *)
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int

@@ -1,0 +1,41 @@
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let spawn ?(blocking = false) engine f =
+  let open Effect.Deep in
+  let body () =
+    if blocking then Engine.add_blocking engine;
+    Fun.protect
+      ~finally:(fun () -> if blocking then Engine.remove_blocking engine)
+      f
+  in
+  let task () =
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    (* One-shot guard: conditions may broadcast twice
+                       before the fiber re-suspends. *)
+                    let woken = ref false in
+                    let wake () =
+                      if not !woken then begin
+                        woken := true;
+                        Engine.push_runnable engine (fun () -> continue k ())
+                      end
+                    in
+                    register wake)
+            | _ -> None);
+      }
+  in
+  Engine.push_runnable engine task
+
+let sleep engine d = suspend (fun wake -> Engine.schedule engine ~delay:d wake)
+
+let yield engine = sleep engine 0.

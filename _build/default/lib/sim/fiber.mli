@@ -1,0 +1,27 @@
+(** Cooperative fibers over OCaml 5 effect handlers.
+
+    Fibers let protocol code read like the paper's pseudocode — blocking
+    "wait until" client threads over atomic message handlers — while the
+    whole simulation stays single-domain and deterministic. A fiber runs
+    until it suspends; message handlers are plain functions invoked by
+    the engine between fiber steps, so handler atomicity (a stated
+    requirement of Algorithm 1) holds by construction. *)
+
+val spawn : ?blocking:bool -> Engine.t -> (unit -> unit) -> unit
+(** [spawn engine f] schedules fiber [f] to start at the current time.
+    With [~blocking:true] the engine's {!Engine.run_until_quiescent}
+    treats a suspended [f] at drain time as a deadlock — use it for
+    client operations that must terminate. Exceptions escaping [f]
+    propagate out of the engine's run loop. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the current fiber. [register] receives a
+    one-shot [wake] thunk; calling [wake] (from a handler, a timer, ...)
+    re-enqueues the fiber at the time of the call. Extra [wake] calls are
+    ignored. Must be called from within a fiber. *)
+
+val sleep : Engine.t -> float -> unit
+(** Park the current fiber for a span of virtual time. *)
+
+val yield : Engine.t -> unit
+(** Let other runnables and same-time events run, then continue. *)

@@ -1,0 +1,104 @@
+type 'm t = {
+  engine : Engine.t;
+  n : int;
+  delay : Delay.t;
+  handlers : (src:int -> 'm -> unit) array;
+  crashed : bool array;
+  (* FIFO clamp: latest scheduled delivery time per (src, dst). *)
+  last_delivery : float array array;
+  (* Armed crash-during-broadcast faults: the next broadcast whose
+     message matches reaches only the allowed destinations, then the
+     node dies. *)
+  pending_bcast_crash : (('m -> bool) * int list) option array;
+  crash_hooks : (int -> unit) Queue.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable tracer : ('m event -> unit) option;
+}
+
+and 'm event =
+  | Sent of { src : int; dst : int; at : float; msg : 'm }
+  | Delivered of { src : int; dst : int; at : float; msg : 'm }
+  | Dropped of { src : int; dst : int; at : float; msg : 'm }
+
+let create engine ~n ~delay =
+  assert (n > 0);
+  {
+    engine;
+    n;
+    delay;
+    handlers = Array.make n (fun ~src:_ _ -> ());
+    crashed = Array.make n false;
+    last_delivery = Array.make_matrix n n neg_infinity;
+    pending_bcast_crash = Array.make n None;
+    crash_hooks = Queue.create ();
+    sent = 0;
+    delivered = 0;
+    tracer = None;
+  }
+
+let engine t = t.engine
+let size t = t.n
+let delay_bound t = Delay.bound t.delay
+let set_handler t i h = t.handlers.(i) <- h
+let is_crashed t i = t.crashed.(i)
+
+let crashed_count t =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.crashed
+
+let live_nodes t =
+  List.filter (fun i -> not t.crashed.(i)) (List.init t.n Fun.id)
+
+let on_crash t f = Queue.push f t.crash_hooks
+
+let crash t i =
+  if not t.crashed.(i) then begin
+    t.crashed.(i) <- true;
+    Queue.iter (fun f -> f i) t.crash_hooks
+  end
+
+(* Reliability: delivery is scheduled at send time and happens regardless
+   of the sender's later fate; only the destination's crash suppresses
+   the handler (checked at delivery time). *)
+let trace t event = match t.tracer with None -> () | Some f -> f event
+
+let send t ~src ~dst msg =
+  if not t.crashed.(src) then begin
+    t.sent <- t.sent + 1;
+    let now = Engine.now t.engine in
+    trace t (Sent { src; dst; at = now; msg });
+    let d = Delay.sample t.delay ~src ~dst ~now in
+    let at = Float.max (now +. d) t.last_delivery.(src).(dst) in
+    t.last_delivery.(src).(dst) <- at;
+    Engine.schedule t.engine ~delay:(at -. now) (fun () ->
+        if not t.crashed.(dst) then begin
+          t.delivered <- t.delivered + 1;
+          trace t (Delivered { src; dst; at = Engine.now t.engine; msg });
+          t.handlers.(dst) ~src msg
+        end
+        else trace t (Dropped { src; dst; at = Engine.now t.engine; msg }))
+  end
+
+let broadcast t ~src msg =
+  if not t.crashed.(src) then
+    match t.pending_bcast_crash.(src) with
+    | Some (match_, allow) when match_ msg ->
+        t.pending_bcast_crash.(src) <- None;
+        List.iter
+          (fun dst -> if dst >= 0 && dst < t.n then send t ~src ~dst msg)
+          allow;
+        crash t src
+    | Some _ | None ->
+        for dst = 0 to t.n - 1 do
+          send t ~src ~dst msg
+        done
+
+let crash_during_next_broadcast_matching t i ~match_ ~deliver_to =
+  t.pending_bcast_crash.(i) <- Some (match_, deliver_to)
+
+let crash_during_next_broadcast t i ~deliver_to =
+  crash_during_next_broadcast_matching t i ~match_:(fun _ -> true) ~deliver_to
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let set_tracer t f = t.tracer <- Some f

@@ -1,0 +1,81 @@
+(** Reliable FIFO point-to-point network with fault injection.
+
+    Channel semantics match Section II-A of the paper exactly:
+
+    - {b Reliable}: once [send] returns, the message will be delivered to
+      a live destination even if the sender crashes afterwards.
+    - {b FIFO}: per ordered pair [(src, dst)], messages deliver in send
+      order (delivery times are clamped to be non-decreasing and the
+      event queue breaks ties by insertion order).
+    - A crashed node sends nothing and its handler is never invoked
+      again; in-flight messages {e to} it are dropped at delivery time.
+
+    Crash-during-broadcast ({!crash_during_next_broadcast}) models the
+    adversary of the paper's failure-chain argument (Definition 11): a
+    node that fails while executing "send to all" reaches only a chosen
+    subset of destinations. *)
+
+type 'm t
+
+val create : Engine.t -> n:int -> delay:Delay.t -> 'm t
+(** [n]-node network. All nodes start live with a no-op handler. *)
+
+val engine : _ t -> Engine.t
+val size : _ t -> int
+val delay_bound : _ t -> float
+(** The delay model's [D]. *)
+
+val set_handler : 'm t -> int -> (src:int -> 'm -> unit) -> unit
+(** Install node [i]'s message handler. Handlers run atomically with
+    respect to fibers and other handlers (single-threaded engine). *)
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Point-to-point send. No-op when [src] is crashed. *)
+
+val broadcast : 'm t -> src:int -> 'm -> unit
+(** Send to every node including [src] itself (delivered at the current
+    time, still via the handler, preserving atomicity), in increasing
+    node-id order. Honours any pending {!crash_during_next_broadcast}. *)
+
+val crash : 'm t -> int -> unit
+(** Crash node [i] now. Idempotent. *)
+
+val crash_during_next_broadcast : 'm t -> int -> deliver_to:int list -> unit
+(** Arm a fault: node [i]'s {e next} [broadcast] delivers only to the
+    nodes in [deliver_to], then [i] crashes. Point-to-point [send]s
+    before that broadcast are unaffected. *)
+
+val crash_during_next_broadcast_matching :
+  'm t -> int -> match_:('m -> bool) -> deliver_to:int list -> unit
+(** Like {!crash_during_next_broadcast} but only the first broadcast
+    whose message satisfies [match_] triggers the fault; earlier
+    non-matching broadcasts go through untouched. This scripts the
+    failure chains of Definition 11, where nodes crash specifically
+    while relaying a {e value}. *)
+
+val is_crashed : _ t -> int -> bool
+val crashed_count : _ t -> int
+val live_nodes : _ t -> int list
+
+val on_crash : 'm t -> (int -> unit) -> unit
+(** Register a callback invoked (after state update) each time a node
+    crashes; used by the harness to excuse pending operations at the
+    crashed node. *)
+
+val messages_sent : _ t -> int
+(** Total messages handed to the network (including self-sends). *)
+
+val messages_delivered : _ t -> int
+(** Messages whose destination handler actually ran. *)
+
+(** Observation points for tracing and message accounting. *)
+type 'm event =
+  | Sent of { src : int; dst : int; at : float; msg : 'm }
+  | Delivered of { src : int; dst : int; at : float; msg : 'm }
+  | Dropped of { src : int; dst : int; at : float; msg : 'm }
+      (** destination was crashed at delivery time *)
+
+val set_tracer : 'm t -> ('m event -> unit) -> unit
+(** Install an observer called on every send/delivery/drop. One tracer
+    per network; installing replaces the previous one. Tracing is off
+    (zero-cost) until installed. *)

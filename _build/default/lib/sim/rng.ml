@@ -1,0 +1,34 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): tiny, fast, and good enough for
+   simulation workloads; chosen over [Stdlib.Random] for explicit state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  create (mix (Int64.add s golden_gamma))
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 random bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L

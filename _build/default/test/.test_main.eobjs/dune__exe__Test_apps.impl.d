@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Aso_core Int64 List Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Fun Harness Hashtbl History Int64 List Printf Sim

@@ -1,0 +1,1 @@
+test/test_byzantine.ml: Alcotest Array Byzantine Checker Fun History List Printf Sim String Timestamp

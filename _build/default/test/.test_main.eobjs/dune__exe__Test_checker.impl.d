@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Checker Float Format History List Result String

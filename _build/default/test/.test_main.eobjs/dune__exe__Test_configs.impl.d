@@ -1,0 +1,1 @@
+test/test_configs.ml: Alcotest Byzantine Checker Fun Harness History Int64 List Printexc Printf Sim

@@ -1,0 +1,1 @@
+test/test_eq_aso.ml: Alcotest Array Aso_core Harness History Int64 List Option Printf Sim View

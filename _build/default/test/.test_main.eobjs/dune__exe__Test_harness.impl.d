@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Aso_core Filename Harness Hashtbl Int List Option Printf Sim Sys

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Aso_core Int64 List Printf Sim Timestamp View

@@ -1,0 +1,1 @@
+test/test_lattice_core.ml: Alcotest Aso_core List Sim Timestamp View

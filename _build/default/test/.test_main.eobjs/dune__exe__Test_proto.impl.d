@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Collector Format Fun History List Option QCheck QCheck_alcotest Quorum Timestamp Vec View

@@ -1,0 +1,1 @@
+test/test_registers.ml: Alcotest Harness Int64 List Printf Reg_store Registers Sim

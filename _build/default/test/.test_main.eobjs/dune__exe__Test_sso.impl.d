@@ -1,0 +1,1 @@
+test/test_sso.ml: Alcotest Array Aso_core Byzantine Checker Format Harness History List Result Sim String View

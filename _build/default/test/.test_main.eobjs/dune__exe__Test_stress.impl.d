@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Aso_core Baselines Byzantine Checker Gen Harness Hashtbl History Int64 List Printf QCheck QCheck_alcotest Result Sim String

@@ -1,0 +1,1 @@
+test/test_wg.ml: Alcotest Array Checker Float Format History List Option QCheck QCheck_alcotest

@@ -1,0 +1,333 @@
+(* Application layer: asset transfer safety (no overdraft, conservation
+   of supply), linearizable CRDT semantics, update-query state machine.
+   Each app runs over real EQ-ASO (and the SSO where meaningful). *)
+
+let with_sim ~seed f =
+  let engine = Sim.Engine.create ~seed () in
+  let result = f engine in
+  Sim.Engine.run_until_quiescent engine;
+  result
+
+let eq_instance engine ~n ~f =
+  Aso_core.Eq_aso.instance
+    (Aso_core.Eq_aso.create engine ~n ~f ~delay:(Sim.Delay.fixed 1.0))
+
+let sso_instance engine ~n ~f =
+  Aso_core.Sso.instance
+    (Aso_core.Sso.create engine ~n ~f ~delay:(Sim.Delay.fixed 1.0))
+
+(* --- asset transfer -------------------------------------------------- *)
+
+let test_transfer_basic () =
+  let balances = ref [] in
+  ignore
+    (with_sim ~seed:1L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let bank =
+           Apps.Asset_transfer.create ~instance ~initial:[| 100; 50; 0 |]
+         in
+         Sim.Fiber.spawn engine (fun () ->
+             let ok = Apps.Asset_transfer.transfer bank ~source:0 ~target:2 ~amount:30 in
+             Alcotest.(check bool) "transfer accepted" true ok;
+             Sim.Fiber.sleep engine 30.0;
+             balances :=
+               List.map
+                 (fun who -> Apps.Asset_transfer.balance bank ~node:1 ~who)
+                 [ 0; 1; 2 ])));
+  Alcotest.(check (list int)) "balances" [ 70; 50; 30 ] !balances
+
+let test_transfer_overdraft_rejected () =
+  let accepted = ref true in
+  ignore
+    (with_sim ~seed:2L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let bank =
+           Apps.Asset_transfer.create ~instance ~initial:[| 10; 0; 0 |]
+         in
+         Sim.Fiber.spawn engine (fun () ->
+             accepted :=
+               Apps.Asset_transfer.transfer bank ~source:0 ~target:1 ~amount:11)));
+  Alcotest.(check bool) "overdraft rejected" false !accepted
+
+let test_transfer_conservation_random () =
+  List.iter
+    (fun seed ->
+      let n = 4 in
+      let initial = [| 40; 40; 40; 40 |] in
+      let supply = Array.fold_left ( + ) 0 initial in
+      let final = Array.make n 0 in
+      ignore
+        (with_sim ~seed:(Int64.of_int seed) (fun engine ->
+             let instance = eq_instance engine ~n ~f:1 in
+             let bank = Apps.Asset_transfer.create ~instance ~initial in
+             let rng = Sim.Rng.create (Int64.of_int (seed * 31)) in
+             for node = 0 to n - 1 do
+               Sim.Fiber.spawn engine (fun () ->
+                   for _ = 1 to 4 do
+                     Sim.Fiber.sleep engine (Sim.Rng.float rng 5.0);
+                     let target = (node + 1 + Sim.Rng.int rng (n - 1)) mod n in
+                     let amount = 1 + Sim.Rng.int rng 60 in
+                     ignore
+                       (Apps.Asset_transfer.transfer bank ~source:node
+                          ~target ~amount)
+                   done)
+             done;
+             Sim.Fiber.spawn engine (fun () ->
+                 Sim.Fiber.sleep engine 200.0;
+                 for who = 0 to n - 1 do
+                   final.(who) <-
+                     Apps.Asset_transfer.balance bank ~node:0 ~who
+                 done)));
+      Alcotest.(check int)
+        (Printf.sprintf "supply conserved (seed %d)" seed)
+        supply
+        (Array.fold_left ( + ) 0 final);
+      Array.iteri
+        (fun who b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "no negative balance (node %d, seed %d)" who seed)
+            true (b >= 0))
+        final)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_transfer_concurrent_no_double_spend () =
+  (* One account tries to spend its whole balance twice "concurrently"
+     via interleaved fibers at the same node is impossible (sequential
+     node); instead two nodes race to drain a shared recipient's funds
+     forwarded back and forth; safety = nobody goes negative. *)
+  let final = ref [||] in
+  ignore
+    (with_sim ~seed:9L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let bank =
+           Apps.Asset_transfer.create ~instance ~initial:[| 5; 5; 0 |]
+         in
+         Sim.Fiber.spawn engine (fun () ->
+             ignore (Apps.Asset_transfer.transfer bank ~source:0 ~target:1 ~amount:5);
+             ignore (Apps.Asset_transfer.transfer bank ~source:0 ~target:2 ~amount:5));
+         Sim.Fiber.spawn engine (fun () ->
+             ignore (Apps.Asset_transfer.transfer bank ~source:1 ~target:0 ~amount:5);
+             ignore (Apps.Asset_transfer.transfer bank ~source:1 ~target:2 ~amount:5));
+         Sim.Fiber.spawn engine (fun () ->
+             Sim.Fiber.sleep engine 300.0;
+             final :=
+               Array.init 3 (fun who ->
+                   Apps.Asset_transfer.balance bank ~node:2 ~who))));
+  Alcotest.(check int) "conserved" 10 (Array.fold_left ( + ) 0 !final);
+  Array.iter
+    (fun b -> Alcotest.(check bool) "non-negative" true (b >= 0))
+    !final
+
+(* --- CRDTs ----------------------------------------------------------- *)
+
+let test_gcounter () =
+  let v = ref 0 in
+  ignore
+    (with_sim ~seed:3L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let c = Apps.Crdt.G_counter.create ~instance in
+         for node = 0 to 2 do
+           Sim.Fiber.spawn engine (fun () ->
+               Apps.Crdt.G_counter.increment c ~node ~by:(node + 1);
+               Apps.Crdt.G_counter.increment c ~node ~by:10)
+         done;
+         Sim.Fiber.spawn engine (fun () ->
+             Sim.Fiber.sleep engine 100.0;
+             v := Apps.Crdt.G_counter.value c ~node:0)));
+  Alcotest.(check int) "sum of increments" (1 + 2 + 3 + 30) !v
+
+let test_gcounter_monotone_reads () =
+  (* Reads at one node never go backwards. *)
+  let readings = ref [] in
+  ignore
+    (with_sim ~seed:4L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let c = Apps.Crdt.G_counter.create ~instance in
+         Sim.Fiber.spawn engine (fun () ->
+             for _ = 1 to 5 do
+               Apps.Crdt.G_counter.increment c ~node:1 ~by:1
+             done);
+         Sim.Fiber.spawn engine (fun () ->
+             for _ = 1 to 6 do
+               readings := Apps.Crdt.G_counter.value c ~node:0 :: !readings;
+               Sim.Fiber.sleep engine 2.0
+             done)));
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (monotone !readings)
+
+let test_pn_counter () =
+  let v = ref max_int in
+  ignore
+    (with_sim ~seed:5L (fun engine ->
+         let instance =
+           Aso_core.Eq_aso.instance
+             (Aso_core.Eq_aso.create engine ~n:3 ~f:1
+                ~delay:(Sim.Delay.fixed 1.0))
+         in
+         let c = Apps.Crdt.Pn_counter.create ~instance in
+         Sim.Fiber.spawn engine (fun () ->
+             Apps.Crdt.Pn_counter.add c ~node:0 10;
+             Apps.Crdt.Pn_counter.add c ~node:0 (-4));
+         Sim.Fiber.spawn engine (fun () ->
+             Apps.Crdt.Pn_counter.add c ~node:1 (-3));
+         Sim.Fiber.spawn engine (fun () ->
+             Sim.Fiber.sleep engine 100.0;
+             v := Apps.Crdt.Pn_counter.value c ~node:2)));
+  Alcotest.(check int) "pn value" 3 !v
+
+let test_gset () =
+  let elems = ref [] and has7 = ref false in
+  ignore
+    (with_sim ~seed:6L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let s = Apps.Crdt.G_set.create ~instance in
+         Sim.Fiber.spawn engine (fun () ->
+             Apps.Crdt.G_set.add s ~node:0 7;
+             Apps.Crdt.G_set.add s ~node:0 7;
+             Apps.Crdt.G_set.add s ~node:0 1);
+         Sim.Fiber.spawn engine (fun () -> Apps.Crdt.G_set.add s ~node:1 2);
+         Sim.Fiber.spawn engine (fun () ->
+             Sim.Fiber.sleep engine 100.0;
+             elems := Apps.Crdt.G_set.elements s ~node:2;
+             has7 := Apps.Crdt.G_set.mem s ~node:2 7)));
+  Alcotest.(check (list int)) "elements deduped sorted" [ 1; 2; 7 ] !elems;
+  Alcotest.(check bool) "mem" true !has7
+
+(* --- update-query state machine -------------------------------------- *)
+
+module Inventory = Apps.State_machine.Make (struct
+  type command = string * int  (* item, delta: commutative additions *)
+  type state = (string * int) list  (* item -> count, sorted *)
+
+  let initial = []
+
+  let apply state (item, delta) =
+    let rec bump = function
+      | [] -> [ (item, delta) ]
+      | (i, c) :: rest when i = item -> (i, c + delta) :: rest
+      | pair :: rest -> pair :: bump rest
+    in
+    List.sort compare (bump state)
+end)
+
+let test_state_machine () =
+  let state = ref [] and seen = ref 0 in
+  ignore
+    (with_sim ~seed:7L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let sm = Inventory.create ~instance in
+         Sim.Fiber.spawn engine (fun () ->
+             Inventory.submit sm ~node:0 ("apples", 5);
+             Inventory.submit sm ~node:0 ("pears", 2));
+         Sim.Fiber.spawn engine (fun () ->
+             Inventory.submit sm ~node:1 ("apples", -1));
+         Sim.Fiber.spawn engine (fun () ->
+             Sim.Fiber.sleep engine 100.0;
+             state := Inventory.query sm ~node:2;
+             seen := Inventory.commands_seen sm ~node:2)));
+  Alcotest.(check (list (pair string int)))
+    "inventory state"
+    [ ("apples", 4); ("pears", 2) ]
+    !state;
+  Alcotest.(check int) "all commands" 3 !seen
+
+let test_state_machine_over_sso () =
+  (* The same machine over SSO-Fast-Scan: queries are local. *)
+  let state = ref [] in
+  ignore
+    (with_sim ~seed:8L (fun engine ->
+         let instance = sso_instance engine ~n:3 ~f:1 in
+         let sm = Inventory.create ~instance in
+         Sim.Fiber.spawn engine (fun () ->
+             Inventory.submit sm ~node:0 ("widgets", 3);
+             state := Inventory.query sm ~node:0)));
+  Alcotest.(check (list (pair string int)))
+    "read-your-writes via SSO"
+    [ ("widgets", 3) ]
+    !state
+
+(* --- service directory ----------------------------------------------- *)
+
+let test_directory () =
+  let roster = ref [] and version = ref 0 and gone = ref (Some "x") in
+  ignore
+    (with_sim ~seed:10L (fun engine ->
+         let instance = eq_instance engine ~n:4 ~f:1 in
+         let dir = Apps.Directory.create ~instance in
+         Sim.Fiber.spawn engine (fun () ->
+             Apps.Directory.publish dir ~node:0 ~endpoint:"10.0.0.1:80"
+               ~healthy:true;
+             Apps.Directory.publish dir ~node:0 ~endpoint:"10.0.0.1:81"
+               ~healthy:true);
+         Sim.Fiber.spawn engine (fun () ->
+             Apps.Directory.publish dir ~node:1 ~endpoint:"10.0.0.2:80"
+               ~healthy:true;
+             Sim.Fiber.sleep engine 20.0;
+             Apps.Directory.publish dir ~node:1 ~endpoint:"10.0.0.2:80"
+               ~healthy:false);
+         Sim.Fiber.spawn engine (fun () ->
+             Sim.Fiber.sleep engine 60.0;
+             roster := Apps.Directory.healthy_services dir ~node:3;
+             version := Apps.Directory.roster_version dir ~node:3;
+             gone :=
+               Option.map
+                 (fun (r : Apps.Directory.record) -> r.endpoint)
+                 (Apps.Directory.lookup dir ~node:3 ~who:2))));
+  (match !roster with
+  | [ (0, r) ] ->
+      Alcotest.(check string) "latest endpoint wins" "10.0.0.1:81"
+        r.Apps.Directory.endpoint
+  | other ->
+      Alcotest.failf "expected exactly node 0 healthy, got %d entries"
+        (List.length other));
+  Alcotest.(check int) "version counts incarnations" 4 !version;
+  Alcotest.(check (option string)) "absent service" None !gone
+
+let test_directory_consistent_rosters () =
+  (* Two sequential scans' versions are ordered like their contents. *)
+  let v1 = ref 0 and v2 = ref 0 in
+  ignore
+    (with_sim ~seed:11L (fun engine ->
+         let instance = eq_instance engine ~n:3 ~f:1 in
+         let dir = Apps.Directory.create ~instance in
+         Sim.Fiber.spawn engine (fun () ->
+             Apps.Directory.publish dir ~node:0 ~endpoint:"a" ~healthy:true);
+         Sim.Fiber.spawn engine (fun () ->
+             Sim.Fiber.sleep engine 30.0;
+             v1 := Apps.Directory.roster_version dir ~node:1;
+             Apps.Directory.publish dir ~node:1 ~endpoint:"b" ~healthy:true;
+             v2 := Apps.Directory.roster_version dir ~node:1)));
+  Alcotest.(check bool) "versions monotone" true (!v2 > !v1)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "apps.asset_transfer",
+      [
+        case "basic transfer" test_transfer_basic;
+        case "overdraft rejected" test_transfer_overdraft_rejected;
+        case "conservation under random load" test_transfer_conservation_random;
+        case "no double spend" test_transfer_concurrent_no_double_spend;
+      ] );
+    ( "apps.crdt",
+      [
+        case "g-counter" test_gcounter;
+        case "g-counter monotone reads" test_gcounter_monotone_reads;
+        case "pn-counter" test_pn_counter;
+        case "g-set" test_gset;
+      ] );
+    ( "apps.directory",
+      [
+        case "publish and lookup" test_directory;
+        case "consistent rosters" test_directory_consistent_rosters;
+      ] );
+    ( "apps.state_machine",
+      [
+        case "inventory" test_state_machine;
+        case "over sso" test_state_machine_over_sso;
+      ] );
+  ]

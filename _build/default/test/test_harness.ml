@@ -1,0 +1,192 @@
+(* Harness internals: the failure-chain builder's packing invariants,
+   workload generators, latency statistics, CSV output, liveness (Stuck)
+   detection, and the message tracer. *)
+
+let test_chains_packing () =
+  let n = 21 and k = 9 and scanner = 20 in
+  let chains =
+    Harness.Adversary.chains_for_budget ~min_len:2 ~n ~k ~scanner ()
+  in
+  let lengths =
+    List.map
+      (fun c -> 1 + List.length c.Harness.Adversary.relays)
+      chains
+  in
+  Alcotest.(check (list int)) "increasing lengths from min_len" [ 2; 3; 4 ]
+    lengths;
+  (* disjoint members, never the scanner *)
+  let members =
+    List.concat_map
+      (fun c -> c.Harness.Adversary.updater :: c.Harness.Adversary.relays)
+      chains
+  in
+  Alcotest.(check int) "budget respected" (List.fold_left ( + ) 0 lengths)
+    (List.length members);
+  Alcotest.(check int) "disjoint members" (List.length members)
+    (List.length (List.sort_uniq Int.compare members));
+  Alcotest.(check bool) "scanner excluded" false (List.mem scanner members);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "final is scanner" scanner
+        c.Harness.Adversary.final)
+    chains
+
+let test_chains_small_budget () =
+  let chains =
+    Harness.Adversary.chains_for_budget ~min_len:3 ~n:11 ~k:2 ~scanner:10 ()
+  in
+  (* budget below min_len: one short chain *)
+  Alcotest.(check int) "one chain" 1 (List.length chains);
+  Alcotest.(check int) "uses whole budget" 2
+    (List.fold_left
+       (fun acc c -> acc + 1 + List.length c.Harness.Adversary.relays)
+       0 chains)
+
+let test_chains_faulty_nodes () =
+  let chains =
+    Harness.Adversary.chains_for_budget ~min_len:1 ~n:9 ~k:4 ~scanner:8 ()
+  in
+  let faulty = Harness.Adversary.faulty_nodes (Harness.Adversary.Chains chains) in
+  (* budget 4 packs lengths 1 and 2; the leftover 1 is dropped to keep
+     the exposure train gap-free *)
+  Alcotest.(check int) "3 faulty nodes" 3 (List.length faulty)
+
+let test_workload_random_shape () =
+  let rng = Sim.Rng.create 5L in
+  let w =
+    Harness.Workload.random rng ~n:6 ~ops_per_node:7 ~scan_fraction:0.5
+      ~max_gap:2.0
+  in
+  Alcotest.(check int) "total ops" 42 (Harness.Workload.ops_count w);
+  Array.iter
+    (fun steps ->
+      Alcotest.(check int) "per node" 7 (List.length steps);
+      List.iter
+        (fun { Harness.Workload.gap; _ } ->
+          Alcotest.(check bool) "gap in range" true (gap >= 0.0 && gap < 2.0))
+        steps)
+    w
+
+let test_workload_closed_loop () =
+  let w = Harness.Workload.closed_loop ~n:3 ~rounds:4 in
+  Alcotest.(check int) "ops" 24 (Harness.Workload.ops_count w);
+  match w.(0) with
+  | { Harness.Workload.op = Harness.Workload.Update; _ }
+    :: { op = Harness.Workload.Scan; _ } :: _ ->
+      ()
+  | _ -> Alcotest.fail "closed loop starts update;scan"
+
+let test_stats_summary () =
+  let sample = List.init 100 (fun i -> float_of_int (i + 1)) in
+  match Harness.Stats.summarize sample with
+  | None -> Alcotest.fail "non-empty sample"
+  | Some s ->
+      Alcotest.(check int) "count" 100 s.count;
+      Alcotest.(check (float 0.001)) "mean" 50.5 s.mean;
+      Alcotest.(check (float 0.001)) "min" 1.0 s.min;
+      Alcotest.(check (float 0.001)) "max" 100.0 s.max;
+      Alcotest.(check (float 0.001)) "p50" 50.0 s.p50;
+      Alcotest.(check (float 0.001)) "p90" 90.0 s.p90;
+      Alcotest.(check (float 0.001)) "p99" 99.0 s.p99
+
+let test_stats_empty () =
+  Alcotest.(check bool) "empty sample" true
+    (Harness.Stats.summarize [] = None)
+
+let test_stats_singleton () =
+  match Harness.Stats.summarize [ 3.5 ] with
+  | Some s ->
+      Alcotest.(check (float 0.001)) "all percentiles equal" 3.5 s.p99;
+      Alcotest.(check (float 0.001)) "mean" 3.5 s.mean
+  | None -> Alcotest.fail "singleton"
+
+let test_csv_output () =
+  let path = Filename.temp_file "snapshot_mp" ".csv" in
+  let oc = open_out path in
+  Harness.Stats.csv ~out:oc ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  close_out oc;
+  let ic = open_in path in
+  let lines = List.init 3 (fun _ -> input_line ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "csv lines" [ "a,b"; "1,2"; "3,4" ] lines
+
+let test_runner_detects_stuck () =
+  (* A deliberately broken "algorithm" whose scan never returns. *)
+  let broken_make engine ~n ~f ~delay =
+    let net = Sim.Network.create engine ~n ~delay in
+    let never = Sim.Condition.create () in
+    Aso_core.Wiring.instance ~name:"broken" ~f
+      ~update:(fun _ _ -> ())
+      ~scan:(fun _ ->
+        Sim.Condition.await never (fun () -> false);
+        [||])
+      ~net
+      ~value_match:(fun ~writer:_ _ -> false)
+  in
+  let workload = Harness.Workload.single ~n:3 ~node:0 Harness.Workload.Scan in
+  Alcotest.(check bool) "Stuck raised" true
+    (try
+       let _ =
+         Harness.Runner.run ~make:broken_make
+           { Harness.Runner.n = 3; f = 1; delay = Harness.Runner.Fixed_d 1.0;
+             seed = 1L }
+           ~workload ~adversary:Harness.Adversary.No_faults
+       in
+       false
+     with Harness.Runner.Stuck _ -> true)
+
+let test_tracer_counts () =
+  (* The tracer observes every send and delivery of a small EQ-ASO run,
+     and per-kind accounting adds up. *)
+  let engine = Sim.Engine.create ~seed:2L () in
+  let t = Aso_core.Eq_aso.create engine ~n:3 ~f:1 ~delay:(Sim.Delay.fixed 1.0) in
+  let sent = Hashtbl.create 8 in
+  let delivered = ref 0 in
+  Sim.Network.set_tracer
+    (Aso_core.Lattice_core.net (Aso_core.Eq_aso.core t))
+    (function
+      | Sim.Network.Sent { msg; _ } ->
+          let kind = Aso_core.Lattice_core.Msg.kind msg in
+          Hashtbl.replace sent kind
+            (1 + Option.value (Hashtbl.find_opt sent kind) ~default:0)
+      | Sim.Network.Delivered _ -> incr delivered
+      | Sim.Network.Dropped _ -> ());
+  Sim.Fiber.spawn engine (fun () ->
+      Aso_core.Eq_aso.update t ~node:0 1;
+      ignore (Aso_core.Eq_aso.scan t ~node:1));
+  Sim.Engine.run_until_quiescent engine;
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) sent 0 in
+  Alcotest.(check int) "tracer saw every send" total
+    (Sim.Network.messages_sent
+       (Aso_core.Lattice_core.net (Aso_core.Eq_aso.core t)));
+  Alcotest.(check int) "tracer saw every delivery" !delivered
+    (Sim.Network.messages_delivered
+       (Aso_core.Lattice_core.net (Aso_core.Eq_aso.core t)));
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s messages present" kind)
+        true
+        (Hashtbl.mem sent kind))
+    [ "value"; "readTag"; "readAck"; "writeTag"; "writeAck"; "goodLA" ]
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "harness",
+      [
+        case "chain packing" test_chains_packing;
+        case "chain small budget" test_chains_small_budget;
+        case "chain faulty nodes" test_chains_faulty_nodes;
+        case "workload random shape" test_workload_random_shape;
+        case "workload closed loop" test_workload_closed_loop;
+        case "stats summary" test_stats_summary;
+        case "stats empty" test_stats_empty;
+        case "stats singleton" test_stats_singleton;
+        case "csv output" test_csv_output;
+        case "runner detects stuck" test_runner_detects_stuck;
+        case "network tracer counts" test_tracer_counts;
+      ] );
+  ]

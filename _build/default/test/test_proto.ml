@@ -1,0 +1,193 @@
+(* Protocol plumbing: timestamps, views, collector, history, plus qcheck
+   properties on the view lattice operations. *)
+
+let ts ~tag ~writer = Timestamp.make ~tag ~writer
+
+let test_timestamp_order () =
+  Alcotest.(check bool) "tag dominates" true
+    (Timestamp.compare (ts ~tag:1 ~writer:9) (ts ~tag:2 ~writer:0) < 0);
+  Alcotest.(check bool) "writer breaks ties" true
+    (Timestamp.compare (ts ~tag:1 ~writer:0) (ts ~tag:1 ~writer:1) < 0);
+  Alcotest.(check bool) "equal" true
+    (Timestamp.equal (ts ~tag:3 ~writer:2) (ts ~tag:3 ~writer:2))
+
+let test_timestamp_upper_bound () =
+  let b = Timestamp.upper_bound 2 in
+  Alcotest.(check bool) "after tag 2 writers" true
+    (Timestamp.compare (ts ~tag:2 ~writer:1000) b < 0);
+  Alcotest.(check bool) "before tag 3" true
+    (Timestamp.compare b (ts ~tag:3 ~writer:0) < 0)
+
+let view_of l = View.of_list l
+
+let test_view_restrict () =
+  let v =
+    view_of [ ts ~tag:1 ~writer:0; ts ~tag:2 ~writer:1; ts ~tag:3 ~writer:0 ]
+  in
+  let r = View.restrict v ~max_tag:2 in
+  Alcotest.(check int) "two members" 2 (View.cardinal r);
+  Alcotest.(check bool) "keeps tag 2" true (View.mem (ts ~tag:2 ~writer:1) r);
+  Alcotest.(check bool) "drops tag 3" false (View.mem (ts ~tag:3 ~writer:0) r);
+  Alcotest.(check int) "count_le agrees" 2 (View.count_le v ~max_tag:2)
+
+let test_view_latest_per_writer () =
+  let v =
+    view_of
+      [
+        ts ~tag:1 ~writer:0;
+        ts ~tag:4 ~writer:0;
+        ts ~tag:2 ~writer:2;
+        ts ~tag:3 ~writer:0;
+      ]
+  in
+  let latest = View.latest_per_writer v ~n:3 in
+  Alcotest.(check (option int)) "writer 0 latest tag" (Some 4)
+    (Option.map Timestamp.tag latest.(0));
+  Alcotest.(check (option int)) "writer 1 empty" None
+    (Option.map Timestamp.tag latest.(1));
+  Alcotest.(check (option int)) "writer 2" (Some 2)
+    (Option.map Timestamp.tag latest.(2))
+
+let test_view_extract () =
+  let v = view_of [ ts ~tag:1 ~writer:0; ts ~tag:2 ~writer:0 ] in
+  let snap =
+    View.extract v ~n:2 ~value_of:(fun t -> Timestamp.tag t * 100)
+  in
+  Alcotest.(check (option int)) "segment 0" (Some 200) snap.(0);
+  Alcotest.(check (option int)) "segment 1" None snap.(1)
+
+let test_view_comparable () =
+  let a = view_of [ ts ~tag:1 ~writer:0 ] in
+  let b = view_of [ ts ~tag:1 ~writer:0; ts ~tag:1 ~writer:1 ] in
+  let c = view_of [ ts ~tag:1 ~writer:2 ] in
+  Alcotest.(check bool) "subset comparable" true (View.comparable a b);
+  Alcotest.(check bool) "symmetric" true (View.comparable b a);
+  Alcotest.(check bool) "disjoint incomparable" false (View.comparable b c)
+
+(* qcheck generators *)
+
+let timestamp_gen =
+  QCheck.Gen.(
+    map2 (fun tag writer -> ts ~tag ~writer) (int_range 1 6) (int_range 0 4))
+
+let view_gen =
+  QCheck.Gen.(map View.of_list (list_size (int_range 0 12) timestamp_gen))
+
+let view_arb =
+  QCheck.make view_gen ~print:(fun v -> Format.asprintf "%a" View.pp v)
+
+let prop_restrict_idempotent =
+  QCheck.Test.make ~name:"restrict idempotent" ~count:200 view_arb (fun v ->
+      let r = View.restrict v ~max_tag:3 in
+      View.equal r (View.restrict r ~max_tag:3))
+
+let prop_restrict_subset =
+  QCheck.Test.make ~name:"restrict is a subset" ~count:200 view_arb (fun v ->
+      View.subset (View.restrict v ~max_tag:3) v)
+
+let prop_union_monotone =
+  QCheck.Test.make ~name:"union contains both" ~count:200
+    (QCheck.pair view_arb view_arb) (fun (a, b) ->
+      let u = View.union a b in
+      View.subset a u && View.subset b u)
+
+let prop_restrict_distributes_union =
+  QCheck.Test.make ~name:"restrict distributes over union" ~count:200
+    (QCheck.pair view_arb view_arb) (fun (a, b) ->
+      View.equal
+        (View.restrict (View.union a b) ~max_tag:3)
+        (View.union (View.restrict a ~max_tag:3) (View.restrict b ~max_tag:3)))
+
+let prop_count_le =
+  QCheck.Test.make ~name:"count_le = cardinal of restrict" ~count:200 view_arb
+    (fun v ->
+      List.for_all
+        (fun r -> View.count_le v ~max_tag:r = View.cardinal (View.restrict v ~max_tag:r))
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_collector_basics () =
+  let c = Collector.create () in
+  let r1 = Collector.fresh c in
+  let r2 = Collector.fresh c in
+  Alcotest.(check bool) "distinct reqs" true (r1 <> r2);
+  Collector.record c ~req:r1 ~sender:0 ~payload:5;
+  Collector.record c ~req:r1 ~sender:1 ~payload:3;
+  Collector.record c ~req:r1 ~sender:0 ~payload:9;
+  Alcotest.(check int) "dedup senders" 2 (Collector.count c ~req:r1);
+  Alcotest.(check int) "max payload ignores dup" 5
+    (Collector.max_payload c ~req:r1);
+  Alcotest.(check int) "other req empty" 0 (Collector.count c ~req:r2);
+  Collector.forget c ~req:r1;
+  Collector.record c ~req:r1 ~sender:2 ~payload:1;
+  Alcotest.(check int) "forgotten req ignores acks" 0 (Collector.count c ~req:r1)
+
+let test_history_recording () =
+  let h = History.create () in
+  let u = History.begin_update h ~now:0.0 ~node:0 ~value:7 in
+  History.finish_update h ~now:1.5 u;
+  let sc = History.begin_scan h ~now:2.0 ~node:1 in
+  History.finish_scan h ~now:3.0 sc ~snap:[| Some 7; None |];
+  let pending = History.begin_update h ~now:4.0 ~node:1 ~value:8 in
+  ignore pending;
+  Alcotest.(check int) "three ops" 3 (List.length (History.ops h));
+  Alcotest.(check int) "two completed" 2 (List.length (History.completed h));
+  Alcotest.(check int) "one pending" 1 (List.length (History.pending h));
+  Alcotest.(check bool) "u precedes scan" true (History.precedes u sc);
+  Alcotest.(check bool) "scan does not precede u" false (History.precedes sc u);
+  Alcotest.(check (option (float 0.0))) "duration" (Some 1.5)
+    (History.duration u);
+  Alcotest.(check int) "scan result" 2
+    (Array.length (History.scan_result sc))
+
+let test_quorum () =
+  Alcotest.(check int) "crash f for 8" 3 (Quorum.max_crash_faults 8);
+  Alcotest.(check int) "byz f for 10" 3 (Quorum.max_byz_faults 10);
+  Alcotest.(check int) "ack quorum" 5 (Quorum.ack_quorum ~n:8 ~f:3);
+  Alcotest.check_raises "crash bound enforced"
+    (Invalid_argument "crash model needs n > 2f (n=4 f=2)") (fun () ->
+      Quorum.check_crash ~n:4 ~f:2);
+  Alcotest.check_raises "byz bound enforced"
+    (Invalid_argument "Byzantine model needs n > 3f (n=6 f=2)") (fun () ->
+      Quorum.check_byz ~n:6 ~f:2)
+
+let test_vec () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check (list int)) "to_list" (List.init 100 Fun.id) (Vec.to_list v);
+  Alcotest.check_raises "bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 100))
+
+let case name f = Alcotest.test_case name `Quick f
+let qcase t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "proto.timestamp",
+      [
+        case "order" test_timestamp_order;
+        case "upper bound" test_timestamp_upper_bound;
+      ] );
+    ( "proto.view",
+      [
+        case "restrict" test_view_restrict;
+        case "latest per writer" test_view_latest_per_writer;
+        case "extract" test_view_extract;
+        case "comparable" test_view_comparable;
+        qcase prop_restrict_idempotent;
+        qcase prop_restrict_subset;
+        qcase prop_union_monotone;
+        qcase prop_restrict_distributes_union;
+        qcase prop_count_le;
+      ] );
+    ( "proto.misc",
+      [
+        case "collector" test_collector_basics;
+        case "history" test_history_recording;
+        case "quorum" test_quorum;
+        case "vec" test_vec;
+      ] );
+  ]

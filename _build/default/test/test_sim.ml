@@ -1,0 +1,354 @@
+(* Substrate tests: determinism of the RNG, ordering of the event queue
+   and engine, fiber/condition blocking semantics, and the network's
+   reliability / FIFO / crash semantics. *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 7L in
+  let c = Sim.Rng.split a in
+  (* Consuming from the split stream must not affect the parent compared
+     to a parent that split and discarded. *)
+  let b = Sim.Rng.create 7L in
+  let _ = Sim.Rng.split b in
+  for _ = 1 to 10 do
+    let _ = Sim.Rng.int64 c in
+    ()
+  done;
+  Alcotest.(check int64) "parent unaffected" (Sim.Rng.int64 b) (Sim.Rng.int64 a)
+
+let test_rng_int_bounds () =
+  let r = Sim.Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_rng_float_bounds () =
+  let r = Sim.Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_event_queue_order () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.add q ~time:3.0 "c";
+  Sim.Event_queue.add q ~time:1.0 "a";
+  Sim.Event_queue.add q ~time:2.0 "b";
+  let pop () = snd (Option.get (Sim.Event_queue.pop q)) in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Sim.Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  for i = 0 to 99 do
+    Sim.Event_queue.add q ~time:1.0 i
+  done;
+  for i = 0 to 99 do
+    let _, x = Option.get (Sim.Event_queue.pop q) in
+    Alcotest.(check int) "insertion order on ties" i x
+  done
+
+let test_event_queue_interleaved () =
+  (* Random adds and pops against a reference model. *)
+  let rng = Sim.Rng.create 11L in
+  let q = Sim.Event_queue.create () in
+  let model = ref [] in
+  let seq = ref 0 in
+  for _ = 1 to 2000 do
+    if Sim.Rng.bool rng || !model = [] then begin
+      let time = float_of_int (Sim.Rng.int rng 50) in
+      Sim.Event_queue.add q ~time !seq;
+      model := (time, !seq) :: !model;
+      incr seq
+    end
+    else begin
+      let sorted =
+        List.sort
+          (fun (t1, s1) (t2, s2) ->
+            match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c)
+          !model
+      in
+      match (sorted, Sim.Event_queue.pop q) with
+      | (t, s) :: rest, Some (t', s') ->
+          Alcotest.(check (pair (float 0.0) int)) "model agrees" (t, s) (t', s');
+          model := rest
+      | _ -> Alcotest.fail "queue empty while model non-empty"
+    end
+  done
+
+let test_engine_runs_in_time_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~delay:2.0 (fun () -> log := 2 :: !log);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last event" 3.0 (Sim.Engine.now e)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  Sim.Engine.schedule e ~delay:5.0 (fun () -> fired := true);
+  Sim.Engine.run ~until:4.0 e;
+  Alcotest.(check bool) "not yet" false !fired;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "eventually" true !fired
+
+let test_engine_nested_schedule () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  Sim.Engine.schedule e ~delay:1.0 (fun () ->
+      times := Sim.Engine.now e :: !times;
+      Sim.Engine.schedule e ~delay:1.5 (fun () ->
+          times := Sim.Engine.now e :: !times));
+  Sim.Engine.run e;
+  Alcotest.(check (list (float 0.0))) "relative times" [ 1.0; 2.5 ]
+    (List.rev !times)
+
+let test_fiber_sleep () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  Sim.Fiber.spawn e (fun () ->
+      seen := ("a", Sim.Engine.now e) :: !seen;
+      Sim.Fiber.sleep e 2.0;
+      seen := ("b", Sim.Engine.now e) :: !seen);
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "sleep advances virtual time"
+    [ ("a", 0.0); ("b", 2.0) ]
+    (List.rev !seen)
+
+let test_condition_await () =
+  let e = Sim.Engine.create () in
+  let cond = Sim.Condition.create () in
+  let flag = ref false in
+  let woke_at = ref (-1.0) in
+  Sim.Fiber.spawn e (fun () ->
+      Sim.Condition.await cond (fun () -> !flag);
+      woke_at := Sim.Engine.now e);
+  Sim.Engine.schedule e ~delay:1.0 (fun () ->
+      (* Signal without satisfying the predicate: must re-park. *)
+      Sim.Condition.signal cond);
+  Sim.Engine.schedule e ~delay:3.0 (fun () ->
+      flag := true;
+      Sim.Condition.signal cond);
+  Sim.Engine.run e;
+  Alcotest.(check (float 0.0)) "woke when predicate true" 3.0 !woke_at
+
+let test_condition_immediate () =
+  let e = Sim.Engine.create () in
+  let cond = Sim.Condition.create () in
+  let done_ = ref false in
+  Sim.Fiber.spawn e (fun () ->
+      Sim.Condition.await cond (fun () -> true);
+      done_ := true);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "true predicate returns without signal" true !done_
+
+let test_deadlock_detection () =
+  let e = Sim.Engine.create () in
+  let cond = Sim.Condition.create () in
+  Sim.Fiber.spawn ~blocking:true e (fun () ->
+      Sim.Condition.await cond (fun () -> false));
+  Alcotest.check_raises "deadlock raised"
+    (Sim.Engine.Deadlock
+       "simulation quiescent at t=0 with 1 blocking fiber(s) still suspended")
+    (fun () -> Sim.Engine.run_until_quiescent e)
+
+let with_net ?(n = 4) ?(d = 1.0) () =
+  let e = Sim.Engine.create () in
+  let net = Sim.Network.create e ~n ~delay:(Sim.Delay.fixed d) in
+  (e, net)
+
+let test_network_delivery () =
+  let e, net = with_net () in
+  let got = ref [] in
+  Sim.Network.set_handler net 1 (fun ~src msg ->
+      got := (src, msg, Sim.Engine.now e) :: !got);
+  Sim.Network.send net ~src:0 ~dst:1 "hello";
+  Sim.Engine.run e;
+  Alcotest.(check (list (triple int string (float 0.0))))
+    "delivered after D"
+    [ (0, "hello", 1.0) ]
+    (List.rev !got)
+
+let test_network_self_delivery_instant () =
+  let e, net = with_net () in
+  let at = ref (-1.0) in
+  Sim.Network.set_handler net 0 (fun ~src:_ _ -> at := Sim.Engine.now e);
+  Sim.Network.send net ~src:0 ~dst:0 "self";
+  Sim.Engine.run e;
+  Alcotest.(check (float 0.0)) "self message at current time" 0.0 !at
+
+let test_network_fifo () =
+  let e, net = with_net ~d:1.0 () in
+  let got = ref [] in
+  Sim.Network.set_handler net 1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 20 do
+    Sim.Network.send net ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "FIFO" (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_network_fifo_under_varying_delay () =
+  (* Adversarial per-message delays must not reorder a channel. *)
+  let e = Sim.Engine.create () in
+  let flip = ref true in
+  let delay =
+    Sim.Delay.custom ~d:5.0 (fun ~src:_ ~dst:_ ~now:_ ->
+        flip := not !flip;
+        if !flip then 5.0 else 0.5)
+  in
+  let net = Sim.Network.create e ~n:2 ~delay in
+  let got = ref [] in
+  Sim.Network.set_handler net 1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 10 do
+    Sim.Network.send net ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "FIFO despite delays"
+    (List.init 10 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_network_reliability_after_sender_crash () =
+  let e, net = with_net () in
+  let got = ref false in
+  Sim.Network.set_handler net 1 (fun ~src:_ _ -> got := true);
+  Sim.Network.send net ~src:0 ~dst:1 "survives";
+  Sim.Network.crash net 0;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "in-flight message survives sender crash" true !got
+
+let test_network_crashed_sender_sends_nothing () =
+  let e, net = with_net () in
+  let got = ref false in
+  Sim.Network.set_handler net 1 (fun ~src:_ _ -> got := true);
+  Sim.Network.crash net 0;
+  Sim.Network.send net ~src:0 ~dst:1 "dropped";
+  Sim.Engine.run e;
+  Alcotest.(check bool) "no send after crash" false !got
+
+let test_network_crashed_receiver_drops () =
+  let e, net = with_net () in
+  let got = ref false in
+  Sim.Network.set_handler net 1 (fun ~src:_ _ -> got := true);
+  Sim.Network.send net ~src:0 ~dst:1 "late";
+  Sim.Network.crash net 1;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "delivery dropped at crashed node" false !got
+
+let test_crash_during_broadcast () =
+  let e, net = with_net ~n:4 () in
+  let got = Array.make 4 false in
+  for i = 0 to 3 do
+    Sim.Network.set_handler net i (fun ~src:_ _ -> got.(i) <- true)
+  done;
+  Sim.Network.crash_during_next_broadcast net 0 ~deliver_to:[ 2 ];
+  Sim.Network.broadcast net ~src:0 "partial";
+  Sim.Engine.run e;
+  Alcotest.(check (list bool)) "only node 2 reached" [ false; false; true; false ]
+    (Array.to_list got);
+  Alcotest.(check bool) "sender crashed" true (Sim.Network.is_crashed net 0)
+
+let test_crash_during_matching_broadcast () =
+  let e, net = with_net ~n:3 () in
+  let got = ref [] in
+  for i = 0 to 2 do
+    Sim.Network.set_handler net i (fun ~src:_ msg -> got := (i, msg) :: !got)
+  done;
+  Sim.Network.crash_during_next_broadcast_matching net 0
+    ~match_:(fun msg -> msg = "value")
+    ~deliver_to:[ 1 ];
+  Sim.Network.broadcast net ~src:0 "control";
+  Sim.Network.broadcast net ~src:0 "value";
+  Sim.Network.broadcast net ~src:0 "after-crash";
+  Sim.Engine.run e;
+  let control = List.filter (fun (_, m) -> m = "control") !got in
+  let value = List.filter (fun (_, m) -> m = "value") !got in
+  let after = List.filter (fun (_, m) -> m = "after-crash") !got in
+  (* Node 0 crashes at t=0 (during the "value" broadcast), so its own
+     same-instant self-delivery of "control" is dropped; 1 and 2 get it. *)
+  Alcotest.(check int) "control reached both live nodes" 2
+    (List.length control);
+  Alcotest.(check (list (pair int string))) "value reached only node 1"
+    [ (1, "value") ] value;
+  Alcotest.(check int) "nothing after crash" 0 (List.length after)
+
+let test_delay_asymmetric () =
+  let d = Sim.Delay.asymmetric ~slow:[ 2 ] ~slow_d:1.0 ~fast_d:0.1 in
+  Alcotest.(check (float 0.001)) "fast link" 0.1
+    (Sim.Delay.sample d ~src:0 ~dst:1 ~now:0.0);
+  Alcotest.(check (float 0.001)) "slow src" 1.0
+    (Sim.Delay.sample d ~src:2 ~dst:1 ~now:0.0);
+  Alcotest.(check (float 0.001)) "slow dst" 1.0
+    (Sim.Delay.sample d ~src:0 ~dst:2 ~now:0.0);
+  Alcotest.(check (float 0.001)) "self instant" 0.0
+    (Sim.Delay.sample d ~src:2 ~dst:2 ~now:0.0);
+  Alcotest.(check (float 0.001)) "bound is slow_d" 1.0 (Sim.Delay.bound d)
+
+let test_on_crash_hook () =
+  let _, net = with_net () in
+  let crashed = ref [] in
+  Sim.Network.on_crash net (fun i -> crashed := i :: !crashed);
+  Sim.Network.crash net 2;
+  Sim.Network.crash net 2;
+  Alcotest.(check (list int)) "hook fired once" [ 2 ] !crashed
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "sim.rng",
+      [
+        case "deterministic" test_rng_deterministic;
+        case "split independence" test_rng_split_independent;
+        case "int bounds" test_rng_int_bounds;
+        case "float bounds" test_rng_float_bounds;
+      ] );
+    ( "sim.event_queue",
+      [
+        case "time order" test_event_queue_order;
+        case "fifo on ties" test_event_queue_fifo_ties;
+        case "random vs model" test_event_queue_interleaved;
+      ] );
+    ( "sim.engine",
+      [
+        case "time order" test_engine_runs_in_time_order;
+        case "until bound" test_engine_until;
+        case "nested schedule" test_engine_nested_schedule;
+      ] );
+    ( "sim.fiber",
+      [
+        case "sleep" test_fiber_sleep;
+        case "condition await" test_condition_await;
+        case "immediate predicate" test_condition_immediate;
+        case "deadlock detection" test_deadlock_detection;
+      ] );
+    ( "sim.network",
+      [
+        case "delivery" test_network_delivery;
+        case "self delivery instant" test_network_self_delivery_instant;
+        case "fifo" test_network_fifo;
+        case "fifo under varying delay" test_network_fifo_under_varying_delay;
+        case "reliability after sender crash"
+          test_network_reliability_after_sender_crash;
+        case "crashed sender sends nothing"
+          test_network_crashed_sender_sends_nothing;
+        case "crashed receiver drops" test_network_crashed_receiver_drops;
+        case "crash during broadcast" test_crash_during_broadcast;
+        case "crash during matching broadcast"
+          test_crash_during_matching_broadcast;
+        case "on_crash hook" test_on_crash_hook;
+        case "asymmetric delay" test_delay_asymmetric;
+      ] );
+  ]
