@@ -162,7 +162,7 @@ let fig_scan_vs_contention () =
     in
     let outcome =
       Harness.Scenario.run_and_check ~algo ~config ~workload
-        ~adversary:Harness.Adversary.No_faults ~seed
+        ~adversary:Harness.Adversary.No_faults ~seed ()
     in
     Harness.Runner.max_latency (Harness.Runner.scan_latencies outcome)
   in
@@ -211,7 +211,7 @@ let fig_mixture () =
                in
                let outcome =
                  Harness.Scenario.run_and_check ~algo ~config ~workload
-                   ~adversary:Harness.Adversary.No_faults ~seed
+                   ~adversary:Harness.Adversary.No_faults ~seed ()
                in
                let all =
                  Harness.Runner.update_latencies outcome
@@ -251,7 +251,7 @@ let table_realistic () =
         in
         let outcome =
           Harness.Scenario.run_and_check ~algo ~config ~workload
-            ~adversary:Harness.Adversary.No_faults ~seed
+            ~adversary:Harness.Adversary.No_faults ~seed ()
         in
         let cell sample =
           match Harness.Stats.summarize sample with
@@ -516,6 +516,37 @@ let ablation_renewal () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: the same (unmodified) algorithms over the lossy link +
+   reliable transport stack. Reported per loss rate: messages sent vs
+   wire packets (the retransmit overhead factor), packets lost or cut,
+   and the makespan stretch. The 0.00 row doubles as the zero-fault
+   equivalence check: overhead stays at 1 ack per data packet and no
+   retransmissions fire (rto = 2.5 D > round trip). *)
+
+let table_chaos () =
+  List.iter
+    (fun (algo : Harness.Algo.t) ->
+      let rows =
+        List.map
+          (fun (drop, dup, reorder, part_span) ->
+            Harness.Scenario.chaos_cells
+              (Harness.Scenario.chaos ~algo ~n:6 ~k:1 ~drop ~dup ~reorder
+                 ~part_span ~ops_per_node:4 ~seed))
+          [
+            (0.0, 0.0, 0.0, 0.);
+            (0.1, 0.1, 0.1, 0.);
+            (0.2, 0.1, 0.1, 0.);
+            (0.3, 0.1, 0.1, 0.);
+            (0.2, 0.1, 0.1, 6.);
+          ]
+      in
+      Harness.Table.print
+        ~title:
+          (Printf.sprintf "Chaos — %s on the lossy stack (n=6, k=1)" algo.name)
+        ~header:Harness.Scenario.chaos_header rows)
+    algos
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: wall-clock cost of simulating one
    standard experiment per algorithm. *)
 
@@ -560,6 +591,7 @@ let () =
   fig_messages_vs_n ();
   fig_mixture ();
   table_realistic ();
+  table_chaos ();
   table_byz ();
   la_early_stopping ();
   ablation_renewal ();

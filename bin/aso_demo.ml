@@ -336,13 +336,69 @@ let trace_cmd =
        ~doc:"Print the wire-level message flow of one UPDATE + SCAN pair.")
     Term.(const trace_impl $ Arg.(value & opt int 4 & info [ "n"; "nodes" ]))
 
+(* ---- chaos: lossy substrate, partitions, chaos sweep ----------------- *)
+
+let chaos_impl (algo : Harness.Algo.t) n k ops seed all drop dup reorder
+    part_span =
+  let seed64 = Int64.of_int seed in
+  let algos = if all then Harness.Algo.all else [ algo ] in
+  Format.printf
+    "Chaos: unmodified algorithms over the lossy link + reliable transport@.";
+  Format.printf
+    "(drop/dup/reorder i.i.d. per packet; partition over [2 D, %g D] heals;@."
+    (2.0 +. part_span);
+  Format.printf
+    "%d random crash(es); history checked; watchdog budget %g D).@.@." k
+    Harness.Runner.default_watchdog.budget;
+  let rows =
+    List.map
+      (fun algo ->
+        Harness.Scenario.chaos_cells
+          (Harness.Scenario.chaos ~algo ~n ~k ~drop ~dup ~reorder ~part_span
+             ~ops_per_node:ops ~seed:seed64))
+      algos
+  in
+  Harness.Table.print
+    ~title:
+      (Printf.sprintf "Chaos runs (n=%d, drop=%.2f, partition %g D)" n drop
+         part_span)
+    ~header:Harness.Scenario.chaos_header rows
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run algorithms over the lossy substrate: packet loss, \
+          duplication, reordering, a healing partition and random \
+          crashes, with every history checked and a liveness watchdog.")
+    Term.(
+      const chaos_impl $ algo_arg $ nodes_arg
+      $ Arg.(value & opt int 1 & info [ "k"; "crashes" ] ~docv:"K")
+      $ ops_arg $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "all" ] ~doc:"Run every algorithm, not just --algo.")
+      $ Arg.(
+          value & opt float 0.2
+          & info [ "drop" ] ~docv:"P" ~doc:"Per-packet drop probability.")
+      $ Arg.(
+          value & opt float 0.1
+          & info [ "dup" ] ~docv:"P" ~doc:"Per-packet duplication probability.")
+      $ Arg.(
+          value & opt float 0.1
+          & info [ "reorder" ] ~docv:"P"
+              ~doc:"Per-packet reordering probability.")
+      $ Arg.(
+          value & opt float 4.0
+          & info [ "partition" ] ~docv:"SPAN"
+              ~doc:"Partition duration in D (0 disables it)."))
+
 (* ---- fuzz: randomized verification campaign -------------------------- *)
 
-let fuzz_impl runs seed all =
+let fuzz_impl runs seed all chaos =
   let algos = if all then Harness.Algo.all else [ Harness.Algo.eq_aso ] in
-  let report =
-    Harness.Campaign.run ~algos ~runs ~seed:(Int64.of_int seed)
-  in
+  let campaign = if chaos then Harness.Campaign.chaos else Harness.Campaign.run in
+  let report = campaign ~algos ~runs ~seed:(Int64.of_int seed) in
   Format.printf "%a@." Harness.Campaign.pp report;
   if report.failures <> [] then exit 1
 
@@ -359,12 +415,21 @@ let fuzz_cmd =
       $ seed_arg
       $ Arg.(
           value & flag
-          & info [ "all" ] ~doc:"Fuzz every algorithm, not just eq-aso."))
+          & info [ "all" ] ~doc:"Fuzz every algorithm, not just eq-aso.")
+      $ Arg.(
+          value & flag
+          & info [ "chaos" ]
+              ~doc:
+                "Fuzz on the lossy substrate, sweeping loss rates and \
+                 partition durations."))
 
 let main_cmd =
   let doc = "fault-tolerant snapshot objects in message-passing systems" in
   Cmd.group
     (Cmd.info "aso_demo" ~version:"1.0.0" ~doc)
-    [ run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd; fuzz_cmd ]
+    [
+      run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd; chaos_cmd;
+      fuzz_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,3 +1,18 @@
+let net_stats net () =
+  let s = Sim.Network.stats net in
+  {
+    Instance.sent = s.sent;
+    delivered = s.delivered;
+    wire_sent = s.wire_sent;
+    wire_delivered = s.wire_delivered;
+    wire_lost = s.wire_lost;
+    wire_cut = s.wire_cut;
+    retransmits = s.retransmits;
+    acks = s.acks;
+    duplicated = s.duplicated;
+    reordered = s.reordered;
+  }
+
 let instance ~name ~f ~update ~scan ~net ~value_match =
   {
     Instance.name;
@@ -16,4 +31,15 @@ let instance ~name ~f ~update ~scan ~net ~value_match =
     is_crashed = (fun i -> Sim.Network.is_crashed net i);
     on_crash = (fun cb -> Sim.Network.on_crash net cb);
     messages = (fun () -> Sim.Network.messages_sent net);
+    partition = (fun groups -> Sim.Network.partition net groups);
+    heal = (fun () -> Sim.Network.heal net);
+    set_link_faults =
+      (fun ~drop ~dup ~reorder ->
+        Sim.Network.set_link_faults net { Sim.Link.drop; dup; reorder });
+    net_stats = net_stats net;
+    set_route_tracer =
+      (fun emit ->
+        Sim.Network.set_tracer net (fun event ->
+            emit (Format.asprintf "%a" Sim.Network.pp_event_route event)));
+    dump_net = (fun ppf -> Sim.Network.pp_state ppf net);
   }

@@ -5,6 +5,9 @@ type t =
   | Crash_at of (float * int) list
   | Crash_k_random of { k : int; window : float }
   | Chains of chain list
+  | Lossy of { drop : float; dup : float; reorder : float }
+  | Partition of { groups : int list list; from_ : float; until : float }
+  | Compose of t list
 
 let arm_chain (instance : _ Instance.t) { updater; relays; final } =
   (* Every member crashes specifically while relaying the chain's own
@@ -18,7 +21,7 @@ let arm_chain (instance : _ Instance.t) { updater; relays; final } =
   in
   hops updater relays
 
-let apply t ~rng ~engine instance =
+let rec apply t ~rng ~engine instance =
   match t with
   | No_faults -> ()
   | Crash_at crashes ->
@@ -43,6 +46,22 @@ let apply t ~rng ~engine instance =
         end
       done
   | Chains chains -> List.iter (arm_chain instance) chains
+  | Lossy { drop; dup; reorder } ->
+      (* Immediate: the link is faulty from t = 0. Requires the lossy
+         substrate (Instance.set_link_faults raises on Ideal). *)
+      instance.Instance.set_link_faults ~drop ~dup ~reorder
+  | Partition { groups; from_; until } ->
+      if until < from_ then invalid_arg "Adversary: partition heals before it starts";
+      Sim.Engine.schedule engine ~delay:from_ (fun () ->
+          instance.Instance.partition groups);
+      Sim.Engine.schedule engine ~delay:until (fun () ->
+          instance.Instance.heal ())
+  | Compose parts ->
+      (* Each part gets an independent RNG stream so adding a part never
+         perturbs its siblings' random choices. *)
+      List.iter
+        (fun part -> apply part ~rng:(Sim.Rng.split rng) ~engine instance)
+        parts
 
 let chains_for_budget ?(min_len = 1) ~n ~k ~scanner () =
   if k > n - 2 then invalid_arg "Adversary.chains_for_budget: k > n - 2";
@@ -80,10 +99,14 @@ let chains_for_budget ?(min_len = 1) ~n ~k ~scanner () =
     | [], _ -> []
   else chains
 
-let faulty_nodes = function
+let rec faulty_nodes = function
   | No_faults -> []
   | Crash_at crashes -> List.sort_uniq Int.compare (List.map snd crashes)
   | Crash_k_random _ -> []
   | Chains chains ->
       List.sort_uniq Int.compare
         (List.concat_map (fun c -> c.updater :: c.relays) chains)
+  (* Link faults and healed partitions delay messages; they crash no one. *)
+  | Lossy _ | Partition _ -> []
+  | Compose parts ->
+      List.sort_uniq Int.compare (List.concat_map faulty_nodes parts)

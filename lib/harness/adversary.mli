@@ -26,11 +26,25 @@ type t =
   | Crash_k_random of { k : int; window : float }
       (** [k] distinct random nodes at random times in [\[0, window)] *)
   | Chains of chain list
+  | Lossy of { drop : float; dup : float; reorder : float }
+      (** i.i.d. link faults from [t = 0]; requires running on the
+          lossy substrate ([Runner.run ~substrate:(Lossy ...)]), raises
+          [Invalid_argument] on the ideal network *)
+  | Partition of { groups : int list list; from_ : float; until : float }
+      (** cut the link layer into [groups] at virtual time [from_] and
+          heal it at [until]; unlisted nodes form one implicit group.
+          Lossy-substrate only, like {!Lossy} *)
+  | Compose of t list
+      (** apply several schedules together — e.g.
+          [Compose [Lossy ...; Partition ...; Chains ...]] for the full
+          chaos adversary *)
 
 val apply : t -> rng:Sim.Rng.t -> engine:Sim.Engine.t -> 'v Instance.t -> unit
-(** Install the faults: schedule timed crashes, arm chain crashes. Chain
-    updaters still need a workload that makes them update (see
-    {!Scenario}). *)
+(** Install the faults: schedule timed crashes, arm chain crashes, set
+    link fault rates, schedule partition cuts and heals. Chain updaters
+    still need a workload that makes them update (see {!Scenario}).
+    [Compose] parts receive independent RNG streams, so adding one part
+    never perturbs another's random choices. *)
 
 val chains_for_budget :
   ?min_len:int -> n:int -> k:int -> scanner:int -> unit -> chain list
@@ -54,4 +68,4 @@ val chains_for_budget :
 val faulty_nodes : t -> int list
 (** Nodes the schedule will crash (chain updaters and relays, timed
     crash targets). Random schedules report the empty list (unknown
-    until applied). *)
+    until applied); link faults and partitions crash no one. *)

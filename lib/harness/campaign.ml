@@ -81,6 +81,54 @@ let run ~algos ~runs ~seed =
     failures = List.rev !failures;
   }
 
+(* Chaos sweep grid: loss rate x partition duration (in D). Every grid
+   point also carries duplication and reordering at 10%. *)
+let chaos_grid =
+  [ (0.05, 0.); (0.15, 0.); (0.3, 0.); (0.05, 4.); (0.15, 4.); (0.3, 8.) ]
+
+let one_chaos_run (algo : Algo.t) rng run_index =
+  let drop, part_span =
+    List.nth chaos_grid ((run_index - 1) mod List.length chaos_grid)
+  in
+  let n = 4 + Sim.Rng.int rng 5 in
+  let f = (n - 1) / 2 in
+  let k = Sim.Rng.int rng (f + 1) in
+  let seed = Sim.Rng.int64 rng in
+  let describe verdict =
+    Printf.sprintf "chaos run %d: %s n=%d k=%d drop=%.2f part=%g: %s"
+      run_index algo.Algo.name n k drop part_span verdict
+  in
+  match
+    Scenario.chaos ~algo ~n ~k ~drop ~dup:0.1 ~reorder:0.1 ~part_span
+      ~ops_per_node:(2 + Sim.Rng.int rng 3)
+      ~seed
+  with
+  | exception exn -> (0, 0, Some (describe (Printexc.to_string exn)))
+  | row -> (row.Scenario.c_ops, row.Scenario.c_k, None)
+
+let chaos ~algos ~runs ~seed =
+  let rng = Sim.Rng.create seed in
+  let operations = ref 0 in
+  let crashes = ref 0 in
+  let failures = ref [] in
+  let executed = ref 0 in
+  for run_index = 1 to runs do
+    List.iter
+      (fun algo ->
+        incr executed;
+        let ops, crashed, failure = one_chaos_run algo rng run_index in
+        operations := !operations + ops;
+        crashes := !crashes + crashed;
+        Option.iter (fun f -> failures := f :: !failures) failure)
+      algos
+  done;
+  {
+    runs = !executed;
+    operations = !operations;
+    crashes_injected = !crashes;
+    failures = List.rev !failures;
+  }
+
 let pp ppf r =
   Format.fprintf ppf
     "campaign: %d runs, %d operations, %d crashes injected, %d failure(s)"

@@ -18,4 +18,13 @@ val run : algos:Algo.t list -> runs:int -> seed:int64 -> report
     level; any violation, liveness failure, or exception is reported,
     never raised. *)
 
+val chaos : algos:Algo.t list -> runs:int -> seed:int64 -> report
+(** Like {!run}, but on the {e lossy} substrate: each run walks a fixed
+    sweep grid of loss rates (0.05..0.3, plus 10% duplication and
+    reordering) and partition durations (0..8 D, healing), draws a
+    random [n] in 4..8, up to [f] random crashes, and a random
+    workload, then executes via {!Scenario.chaos} — watchdog-bounded,
+    history verified. Conditions (A0)–(A4) / (S1)–(S3) must hold under
+    chaos exactly as on the ideal network. *)
+
 val pp : Format.formatter -> report -> unit

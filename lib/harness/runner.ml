@@ -13,9 +13,14 @@ type outcome = {
   d : float;
   crashed : int list;
   algorithm : string;
+  net : Instance.net_stats;
 }
 
 exception Stuck of string
+
+type watchdog = { budget : float; trace : int }
+
+let default_watchdog = { budget = 400.; trace = 32 }
 
 type maker =
   Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> int Instance.t
@@ -54,10 +59,37 @@ let client_fiber engine (instance : int Instance.t) history next_value node
   in
   walk steps
 
-let run ?workload_seed ~make config ~workload ~adversary =
+(* The watchdog's post-mortem: the pending operations, the per-node
+   transport/link state, and the last traced messages — everything
+   needed to see {e where} a hung operation is waiting. *)
+let diagnose (instance : int Instance.t) history ring ~now ~budget =
+  let stuck =
+    List.filter
+      (fun (op : History.op) -> not (instance.is_crashed op.node))
+      (History.pending history)
+  in
+  Format.asprintf
+    "%s: liveness watchdog: %d operation(s) still pending at t=%g (budget \
+     %g D)@.pending:@.%a@.%t%t"
+    instance.name (List.length stuck) now budget
+    (Format.pp_print_list ~pp_sep:Format.pp_print_newline (fun ppf op ->
+         Format.fprintf ppf "  %a" History.pp_op op))
+    stuck
+    (fun ppf -> instance.dump_net ppf)
+    (fun ppf ->
+      if not (Queue.is_empty ring) then begin
+        Format.fprintf ppf "@.last %d traced message(s):" (Queue.length ring);
+        Queue.iter (fun line -> Format.fprintf ppf "@.  %s" line) ring
+      end)
+
+let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ~make config
+    ~workload ~adversary =
   let engine = Sim.Engine.create ~seed:config.seed () in
   let delay = make_delay engine config.delay in
-  let instance = make engine ~n:config.n ~f:config.f ~delay in
+  let instance =
+    Sim.Network.with_substrate substrate (fun () ->
+        make engine ~n:config.n ~f:config.f ~delay)
+  in
   let history = History.create () in
   let next_value = ref 1 in
   let adversary_rng =
@@ -70,7 +102,28 @@ let run ?workload_seed ~make config ~workload ~adversary =
         Sim.Fiber.spawn engine
           (client_fiber engine instance history next_value node steps))
     workload;
-  Sim.Engine.run_until_quiescent engine;
+  (match watchdog with
+  | None -> Sim.Engine.run_until_quiescent engine
+  | Some { budget; trace } ->
+      (* Bounded run: a protocol that hangs (or a transport stuck behind
+         an unhealed partition) becomes a failing test with a diagnostic
+         dump instead of a simulation that never goes quiescent. *)
+      let ring = Queue.create () in
+      if trace > 0 then
+        instance.set_route_tracer (fun line ->
+            Queue.push line ring;
+            if Queue.length ring > trace then ignore (Queue.pop ring));
+      let deadline = budget *. Sim.Delay.bound delay in
+      Sim.Engine.run ~until:deadline engine;
+      if
+        List.exists
+          (fun (op : History.op) -> not (instance.is_crashed op.node))
+          (History.pending history)
+      then
+        raise
+          (Stuck
+             (diagnose instance history ring ~now:(Sim.Engine.now engine)
+                ~budget)));
   (* Liveness: any operation still pending must belong to a node that
      crashed mid-operation. *)
   List.iter
@@ -89,6 +142,7 @@ let run ?workload_seed ~make config ~workload ~adversary =
     crashed =
       List.filter (fun i -> instance.is_crashed i) (List.init config.n Fun.id);
     algorithm = instance.name;
+    net = instance.net_stats ();
   }
 
 let latencies_of outcome ~keep =

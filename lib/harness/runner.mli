@@ -17,25 +17,53 @@ type outcome = {
   d : float;  (** the delay bound, for normalising latencies *)
   crashed : int list;  (** nodes that failed during the run *)
   algorithm : string;
+  net : Instance.net_stats;
+      (** both-layer message accounting;
+          [Instance.overhead_factor outcome.net] is the retransmit
+          overhead on the lossy substrate *)
 }
 
 exception Stuck of string
 (** Raised when an operation at a node that never crashed failed to
-    terminate — a liveness violation of the algorithm under test. *)
+    terminate — a liveness violation of the algorithm under test. With a
+    {!watchdog} the payload carries the full diagnostic dump. *)
+
+type watchdog = {
+  budget : float;
+      (** simulated-time budget in units of [D]; an operation still
+          pending when the clock passes [budget * D] counts as stuck *)
+  trace : int;  (** keep the last [trace] routed messages for the dump *)
+}
+(** Liveness watchdog: bound the run by simulated time instead of
+    waiting for quiescence, and convert a hang into a failing
+    {!Stuck} carrying the pending operations, the per-node
+    transport/link state, and the last-[trace] message trace. Needed
+    under chaos: an unhealed partition retransmits forever and the
+    engine never goes quiescent on its own. *)
+
+val default_watchdog : watchdog
+(** [budget = 400 D], [trace = 32] — generous for every algorithm in
+    this repo at the default [n]. *)
 
 type maker =
   Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> int Instance.t
 
 val run :
   ?workload_seed:int64 ->
+  ?substrate:Sim.Network.substrate ->
+  ?watchdog:watchdog ->
   make:maker ->
   config ->
   workload:Workload.t ->
   adversary:Adversary.t ->
   outcome
 (** Spawn one client fiber per node walking its schedule, install the
-    adversary, run the simulation to quiescence, and verify that every
-    operation at a surviving node completed. *)
+    adversary, run the simulation to quiescence (or to the watchdog's
+    deadline), and verify that every operation at a surviving node
+    completed. [substrate] (default {!Sim.Network.Ideal}) selects the
+    network stack the algorithm's [Network.create] calls land on —
+    pass [Lossy] to run an unmodified algorithm over the
+    drop/duplicate/reorder link with the reliable transport on top. *)
 
 val update_latencies : outcome -> float list
 (** Completed UPDATE durations divided by [D], invocation order. *)

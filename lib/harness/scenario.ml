@@ -10,9 +10,11 @@ type row = {
   end_time : float;
 }
 
-let run_and_check ~(algo : Algo.t) ~config ~workload ~adversary ~seed =
+let run_and_check ?substrate ?watchdog ~(algo : Algo.t) ~config ~workload
+    ~adversary ~seed () =
   let outcome =
-    Runner.run ~workload_seed:seed ~make:algo.make config ~workload ~adversary
+    Runner.run ~workload_seed:seed ?substrate ?watchdog ~make:algo.make config
+      ~workload ~adversary
   in
   let verdict =
     match algo.consistency with
@@ -94,7 +96,7 @@ let chain_storm ~algo ~k ~rounds ~seed =
   let config = { Runner.n; f; delay = Runner.Fixed_d 1.0; seed } in
   let outcome =
     run_and_check ~algo ~config ~workload
-      ~adversary:(Adversary.Chains chains) ~seed
+      ~adversary:(Adversary.Chains chains) ~seed ()
   in
   stats_row ~algo ~k:(List.length outcome.crashed) ~rounds outcome
 
@@ -104,6 +106,7 @@ let failure_free ~algo ~n ~rounds ~seed =
   let workload = Workload.closed_loop ~n ~rounds in
   let outcome =
     run_and_check ~algo ~config ~workload ~adversary:Adversary.No_faults ~seed
+      ()
   in
   stats_row ~algo ~k:0 ~rounds outcome
 
@@ -118,9 +121,90 @@ let random_crashes ~algo ~n ~k ~ops_per_node ~seed =
   let outcome =
     run_and_check ~algo ~config ~workload
       ~adversary:(Adversary.Crash_k_random { k; window = 10.0 })
-      ~seed
+      ~seed ()
   in
   stats_row ~algo ~k ~rounds:ops_per_node outcome
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the same algorithms, unmodified, on the lossy substrate. *)
+
+type chaos_row = {
+  c_algo : string;
+  drop : float;
+  dup : float;
+  reorder : float;
+  part_span : float;  (** partition duration in D; 0 = no partition *)
+  c_k : int;
+  c_ops : int;
+  c_msgs : int;
+  wire : int;
+  lost : int;
+  overhead : float;
+  c_end : float;
+}
+
+let two_halves n =
+  [ List.init (n / 2) Fun.id; List.init (n - (n / 2)) (fun i -> i + (n / 2)) ]
+
+let chaos ~algo ~n ~k ~drop ~dup ~reorder ~part_span ~ops_per_node ~seed =
+  let f = (n - 1) / 2 in
+  if k > f then invalid_arg "Scenario.chaos: k > f";
+  let rng = Sim.Rng.create seed in
+  let workload =
+    Workload.random rng ~n ~ops_per_node ~scan_fraction:0.5 ~max_gap:4.0
+  in
+  let parts =
+    [ Adversary.Lossy { drop; dup; reorder } ]
+    @ (if part_span > 0. then
+         [
+           Adversary.Partition
+             { groups = two_halves n; from_ = 2.0; until = 2.0 +. part_span };
+         ]
+       else [])
+    @
+    if k > 0 then [ Adversary.Crash_k_random { k; window = 10.0 } ] else []
+  in
+  let config = { Runner.n; f; delay = Runner.Fixed_d 1.0; seed } in
+  let outcome =
+    run_and_check
+      ~substrate:(Sim.Network.Lossy Sim.Link.no_faults)
+      ~watchdog:Runner.default_watchdog ~algo ~config ~workload
+      ~adversary:(Adversary.Compose parts) ~seed ()
+  in
+  {
+    c_algo = algo.Algo.name;
+    drop;
+    dup;
+    reorder;
+    part_span;
+    c_k = List.length outcome.crashed;
+    c_ops = List.length (History.completed outcome.history);
+    c_msgs = outcome.net.sent;
+    wire = outcome.net.wire_sent;
+    lost = outcome.net.wire_lost + outcome.net.wire_cut;
+    overhead = Instance.overhead_factor outcome.net;
+    c_end = outcome.end_time /. outcome.d;
+  }
+
+let chaos_header =
+  [ "algorithm"; "drop"; "dup"; "reorder"; "part"; "k"; "ops"; "msgs";
+    "wire"; "lost"; "overhead"; "makespan" ]
+
+let chaos_cells r =
+  [
+    r.c_algo;
+    Printf.sprintf "%.2f" r.drop;
+    Printf.sprintf "%.2f" r.dup;
+    Printf.sprintf "%.2f" r.reorder;
+    Table.cell_f r.part_span;
+    string_of_int r.c_k;
+    string_of_int r.c_ops;
+    string_of_int r.c_msgs;
+    string_of_int r.wire;
+    string_of_int r.lost;
+    Printf.sprintf "%.2f" r.overhead;
+    Table.cell_f r.c_end;
+  ]
 
 let header =
   [ "algorithm"; "k"; "rounds"; "upd worst"; "upd mean"; "scan worst";

@@ -39,11 +39,14 @@ val random_crashes :
     representative-average regime (not adversarial). *)
 
 val run_and_check :
+  ?substrate:Sim.Network.substrate ->
+  ?watchdog:Runner.watchdog ->
   algo:Algo.t ->
   config:Runner.config ->
   workload:Workload.t ->
   adversary:Adversary.t ->
   seed:int64 ->
+  unit ->
   Runner.outcome
 (** Shared runner: executes and then {e verifies} the history at the
     algorithm's declared consistency level, raising [Failure] on any
@@ -52,3 +55,42 @@ val run_and_check :
 
 val to_cells : row -> string list
 val header : string list
+
+(** {2 Chaos: unmodified algorithms on the lossy substrate} *)
+
+type chaos_row = {
+  c_algo : string;
+  drop : float;
+  dup : float;
+  reorder : float;
+  part_span : float;  (** partition duration in D; 0 = none *)
+  c_k : int;  (** crashes in the execution *)
+  c_ops : int;  (** completed operations *)
+  c_msgs : int;  (** logical messages *)
+  wire : int;  (** wire packets: data + retransmits + acks + dups *)
+  lost : int;  (** packets eaten by loss or a partition cut *)
+  overhead : float;  (** wire / logical *)
+  c_end : float;  (** makespan in D *)
+}
+
+val chaos :
+  algo:Algo.t ->
+  n:int ->
+  k:int ->
+  drop:float ->
+  dup:float ->
+  reorder:float ->
+  part_span:float ->
+  ops_per_node:int ->
+  seed:int64 ->
+  chaos_row
+(** Random workload on the lossy substrate with drop/duplication/
+    reordering from [t = 0], an optional node-split partition over
+    [\[2 D, 2 D + part_span\]] that then heals, and [k] random crashes —
+    all composed. Runs under {!Runner.default_watchdog}, so a liveness
+    hang raises {!Runner.Stuck} with diagnostics instead of spinning;
+    the history is verified at the algorithm's consistency level as in
+    {!run_and_check}. Raises [Invalid_argument] if [k > (n-1)/2]. *)
+
+val chaos_cells : chaos_row -> string list
+val chaos_header : string list

@@ -1,3 +1,19 @@
+type net_stats = {
+  sent : int;
+  delivered : int;
+  wire_sent : int;
+  wire_delivered : int;
+  wire_lost : int;
+  wire_cut : int;
+  retransmits : int;
+  acks : int;
+  duplicated : int;
+  reordered : int;
+}
+
+let overhead_factor s =
+  if s.sent = 0 then 1.0 else float_of_int s.wire_sent /. float_of_int s.sent
+
 type 'v t = {
   name : string;
   n : int;
@@ -10,4 +26,10 @@ type 'v t = {
   is_crashed : int -> bool;
   on_crash : (int -> unit) -> unit;
   messages : unit -> int;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+  set_link_faults : drop:float -> dup:float -> reorder:float -> unit;
+  net_stats : unit -> net_stats;
+  set_route_tracer : (string -> unit) -> unit;
+  dump_net : Format.formatter -> unit;
 }

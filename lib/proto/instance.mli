@@ -6,6 +6,26 @@
     all identically. [update]/[scan] block the calling fiber until the
     operation's response, as in the paper's client-thread model. *)
 
+type net_stats = {
+  sent : int;  (** logical messages handed to the network *)
+  delivered : int;  (** logical messages delivered to handlers *)
+  wire_sent : int;  (** wire packets incl. acks, retransmits, duplicates *)
+  wire_delivered : int;
+  wire_lost : int;  (** eaten by the lossy link *)
+  wire_cut : int;  (** dropped at a partition boundary *)
+  retransmits : int;
+  acks : int;
+  duplicated : int;
+  reordered : int;
+}
+(** Message accounting at both layers. On the ideal substrate wire
+    counts equal logical counts and the fault counters are zero. *)
+
+val overhead_factor : net_stats -> float
+(** [wire_sent / sent]: how many wire packets each logical message cost
+    (1.0 on the ideal substrate; grows with loss via retransmissions and
+    acks). *)
+
 type 'v t = {
   name : string;
   n : int;
@@ -26,4 +46,20 @@ type 'v t = {
   is_crashed : int -> bool;
   on_crash : (int -> unit) -> unit;
   messages : unit -> int;
+  partition : int list list -> unit;
+      (** Split the deployment's link layer into isolated groups (chaos
+          adversaries). Raises [Invalid_argument] on the ideal
+          substrate, where there is no link layer to cut. *)
+  heal : unit -> unit;  (** Remove the partition. *)
+  set_link_faults : drop:float -> dup:float -> reorder:float -> unit;
+      (** Set the link-layer loss/duplication/reordering rates. Raises
+          [Invalid_argument] on the ideal substrate. *)
+  net_stats : unit -> net_stats;
+  set_route_tracer : (string -> unit) -> unit;
+      (** Observe every logical send/delivery/drop as a payload-free
+          one-line string (time, kind, route) — feeds the liveness
+          watchdog's last-N message ring. *)
+  dump_net : Format.formatter -> unit;
+      (** Diagnostic dump of the network (and, on the lossy stack, the
+          per-node transport channel state). *)
 }

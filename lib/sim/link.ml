@@ -1,0 +1,155 @@
+type faults = { drop : float; dup : float; reorder : float }
+
+let no_faults = { drop = 0.; dup = 0.; reorder = 0. }
+
+let check_faults { drop; dup; reorder } =
+  let ok p = 0. <= p && p < 1. in
+  if not (ok drop && ok dup && ok reorder) then
+    invalid_arg "Sim.Link: fault probabilities must lie in [0, 1)"
+
+type 'p event =
+  | Wire_sent of { src : int; dst : int; at : float; packet : 'p }
+  | Wire_delivered of { src : int; dst : int; at : float; packet : 'p }
+  | Wire_lost of { src : int; dst : int; at : float; packet : 'p }
+  | Wire_cut of { src : int; dst : int; at : float; packet : 'p }
+
+type 'p t = {
+  engine : Engine.t;
+  n : int;
+  delay : Delay.t;
+  rng : Rng.t;
+  mutable faults : faults;
+  (* [None] = fully connected; [Some g] = node [i] reaches [j] iff
+     [g.(i) = g.(j)]. *)
+  mutable groups : int array option;
+  handlers : (src:int -> 'p -> unit) array;
+  (* FIFO clamp as in the ideal network; reordered packets bypass it. *)
+  last_delivery : float array array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  (* dropped by the loss model *)
+  mutable cut : int;
+  (* dropped because they crossed a partition *)
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable tracer : ('p event -> unit) option;
+}
+
+let create ?(faults = no_faults) engine ~n ~delay =
+  assert (n > 0);
+  check_faults faults;
+  {
+    engine;
+    n;
+    delay;
+    rng = Rng.split (Engine.rng engine);
+    faults;
+    groups = None;
+    handlers = Array.make n (fun ~src:_ _ -> ());
+    last_delivery = Array.make_matrix n n neg_infinity;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    cut = 0;
+    duplicated = 0;
+    reordered = 0;
+    tracer = None;
+  }
+
+let engine t = t.engine
+let size t = t.n
+let delay_bound t = Delay.bound t.delay
+let set_handler t i h = t.handlers.(i) <- h
+
+let set_faults t faults =
+  check_faults faults;
+  t.faults <- faults
+
+let faults t = t.faults
+
+let partition t groups =
+  let g = Array.make t.n (-1) in
+  List.iteri
+    (fun gi members ->
+      List.iter
+        (fun node ->
+          if node < 0 || node >= t.n then
+            invalid_arg "Sim.Link.partition: node out of range";
+          g.(node) <- gi)
+        members)
+    groups;
+  t.groups <- Some g
+
+let heal t = t.groups <- None
+let partitioned t = t.groups <> None
+
+let reachable t ~src ~dst =
+  src = dst
+  || match t.groups with None -> true | Some g -> g.(src) = g.(dst)
+
+let trace t ev = match t.tracer with None -> () | Some f -> f ev
+let set_tracer t f = t.tracer <- Some f
+
+(* Draw only when the probability is positive, so a zero-fault link makes
+   exactly the RNG draws of the ideal network (none). *)
+let hit t p = p > 0. && Rng.float t.rng 1.0 < p
+
+let deliver_at t ~src ~dst ~at packet =
+  Engine.schedule t.engine
+    ~delay:(at -. Engine.now t.engine)
+    (fun () ->
+      t.delivered <- t.delivered + 1;
+      trace t (Wire_delivered { src; dst; at = Engine.now t.engine; packet });
+      t.handlers.(dst) ~src packet)
+
+let transmit t ~src ~dst packet =
+  let now = Engine.now t.engine in
+  t.sent <- t.sent + 1;
+  trace t (Wire_sent { src; dst; at = now; packet });
+  if not (reachable t ~src ~dst) then begin
+    t.cut <- t.cut + 1;
+    trace t (Wire_cut { src; dst; at = now; packet })
+  end
+  else if hit t t.faults.drop then begin
+    t.lost <- t.lost + 1;
+    trace t (Wire_lost { src; dst; at = now; packet })
+  end
+  else begin
+    let d = Delay.sample t.delay ~src ~dst ~now in
+    let at =
+      if src <> dst && hit t t.faults.reorder then begin
+        (* Fresh delay plus jitter, not clamped to the channel's previous
+           delivery: a later packet may overtake earlier ones. *)
+        t.reordered <- t.reordered + 1;
+        now +. d +. Rng.float t.rng (Delay.bound t.delay)
+      end
+      else begin
+        let at = Float.max (now +. d) t.last_delivery.(src).(dst) in
+        t.last_delivery.(src).(dst) <- at;
+        at
+      end
+    in
+    deliver_at t ~src ~dst ~at packet
+  end
+
+let send t ~src ~dst packet =
+  transmit t ~src ~dst packet;
+  if src <> dst && hit t t.faults.dup then begin
+    t.duplicated <- t.duplicated + 1;
+    transmit t ~src ~dst packet
+  end
+
+let packets_sent t = t.sent
+let packets_delivered t = t.delivered
+let packets_lost t = t.lost
+let packets_cut t = t.cut
+let packets_duplicated t = t.duplicated
+let packets_reordered t = t.reordered
+
+let pp_state ppf t =
+  Format.fprintf ppf
+    "link: faults={drop=%.2f dup=%.2f reorder=%.2f} partitioned=%b \
+     sent=%d delivered=%d lost=%d cut=%d dup'd=%d reordered=%d"
+    t.faults.drop t.faults.dup t.faults.reorder (partitioned t) t.sent
+    t.delivered t.lost t.cut t.duplicated t.reordered

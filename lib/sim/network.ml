@@ -1,11 +1,29 @@
+type substrate = Ideal | Lossy of Link.faults
+
+(* Ambient substrate for [create]: algorithms build their own networks
+   deep inside [make] functions with no substrate parameter, so the
+   harness selects the stack dynamically around the construction. *)
+let ambient = ref Ideal
+
+let with_substrate s f =
+  let saved = !ambient in
+  ambient := s;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+type 'm backend =
+  | Direct of {
+      (* FIFO clamp: latest scheduled delivery time per (src, dst). *)
+      last_delivery : float array array;
+    }
+  | Stack of 'm Transport.t
+
 type 'm t = {
   engine : Engine.t;
   n : int;
   delay : Delay.t;
+  backend : 'm backend;
   handlers : (src:int -> 'm -> unit) array;
   crashed : bool array;
-  (* FIFO clamp: latest scheduled delivery time per (src, dst). *)
-  last_delivery : float array array;
   (* Armed crash-during-broadcast faults: the next broadcast whose
      message matches reaches only the allowed destinations, then the
      node dies. *)
@@ -21,25 +39,57 @@ and 'm event =
   | Delivered of { src : int; dst : int; at : float; msg : 'm }
   | Dropped of { src : int; dst : int; at : float; msg : 'm }
 
-let create engine ~n ~delay =
+let trace t event = match t.tracer with None -> () | Some f -> f event
+
+(* Logical delivery point, shared by both backends: the destination's
+   crash is checked at delivery time. *)
+let deliver t ~src ~dst msg =
+  if not t.crashed.(dst) then begin
+    t.delivered <- t.delivered + 1;
+    trace t (Delivered { src; dst; at = Engine.now t.engine; msg });
+    t.handlers.(dst) ~src msg
+  end
+  else trace t (Dropped { src; dst; at = Engine.now t.engine; msg })
+
+let create ?substrate engine ~n ~delay =
   assert (n > 0);
-  {
-    engine;
-    n;
-    delay;
-    handlers = Array.make n (fun ~src:_ _ -> ());
-    crashed = Array.make n false;
-    last_delivery = Array.make_matrix n n neg_infinity;
-    pending_bcast_crash = Array.make n None;
-    crash_hooks = Queue.create ();
-    sent = 0;
-    delivered = 0;
-    tracer = None;
-  }
+  let substrate = Option.value substrate ~default:!ambient in
+  let t =
+    {
+      engine;
+      n;
+      delay;
+      backend =
+        (match substrate with
+        | Ideal -> Direct { last_delivery = Array.make_matrix n n neg_infinity }
+        | Lossy faults -> Stack (Transport.create ~faults engine ~n ~delay));
+      handlers = Array.make n (fun ~src:_ _ -> ());
+      crashed = Array.make n false;
+      pending_bcast_crash = Array.make n None;
+      crash_hooks = Queue.create ();
+      sent = 0;
+      delivered = 0;
+      tracer = None;
+    }
+  in
+  (match t.backend with
+  | Direct _ -> ()
+  | Stack tr ->
+      for i = 0 to n - 1 do
+        Transport.set_handler tr i (fun ~src msg -> deliver t ~src ~dst:i msg)
+      done);
+  t
 
 let engine t = t.engine
 let size t = t.n
 let delay_bound t = Delay.bound t.delay
+
+let substrate t =
+  match t.backend with
+  | Direct _ -> Ideal
+  | Stack tr -> Lossy (Link.faults (Transport.link tr))
+
+let transport t = match t.backend with Direct _ -> None | Stack tr -> Some tr
 let set_handler t i h = t.handlers.(i) <- h
 let is_crashed t i = t.crashed.(i)
 
@@ -54,29 +104,37 @@ let on_crash t f = Queue.push f t.crash_hooks
 let crash t i =
   if not t.crashed.(i) then begin
     t.crashed.(i) <- true;
+    (match t.backend with Direct _ -> () | Stack tr -> Transport.kill tr i);
     Queue.iter (fun f -> f i) t.crash_hooks
   end
 
-(* Reliability: delivery is scheduled at send time and happens regardless
-   of the sender's later fate; only the destination's crash suppresses
-   the handler (checked at delivery time). *)
-let trace t event = match t.tracer with None -> () | Some f -> f event
-
+(* Ideal channels: delivery is scheduled at send time and happens
+   regardless of the sender's later fate; only the destination's crash
+   suppresses the handler (checked at delivery time). Over the lossy
+   stack the transport provides the same FIFO/exactly-once contract
+   between live nodes; a sender's crash additionally cancels its
+   retransmissions, so an unacknowledged message may be lost — the
+   honest reading of "reliable channels" over a real network. *)
 let send t ~src ~dst msg =
   if not t.crashed.(src) then begin
     t.sent <- t.sent + 1;
     let now = Engine.now t.engine in
     trace t (Sent { src; dst; at = now; msg });
-    let d = Delay.sample t.delay ~src ~dst ~now in
-    let at = Float.max (now +. d) t.last_delivery.(src).(dst) in
-    t.last_delivery.(src).(dst) <- at;
-    Engine.schedule t.engine ~delay:(at -. now) (fun () ->
-        if not t.crashed.(dst) then begin
-          t.delivered <- t.delivered + 1;
-          trace t (Delivered { src; dst; at = Engine.now t.engine; msg });
-          t.handlers.(dst) ~src msg
-        end
-        else trace t (Dropped { src; dst; at = Engine.now t.engine; msg }))
+    match t.backend with
+    | Direct { last_delivery } ->
+        let d = Delay.sample t.delay ~src ~dst ~now in
+        let at = Float.max (now +. d) last_delivery.(src).(dst) in
+        last_delivery.(src).(dst) <- at;
+        Engine.schedule t.engine ~delay:(at -. now) (fun () ->
+            deliver t ~src ~dst msg)
+    | Stack tr ->
+        if src = dst then
+          (* Loopback needs no reliability protocol; deliver at the
+             current time via the event queue, as the ideal network
+             does, to preserve handler atomicity. *)
+          Engine.schedule t.engine ~delay:0. (fun () ->
+              deliver t ~src ~dst msg)
+        else Transport.send tr ~src ~dst msg
   end
 
 let broadcast t ~src msg =
@@ -102,3 +160,91 @@ let crash_during_next_broadcast t i ~deliver_to =
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let set_tracer t f = t.tracer <- Some f
+
+(* ---- link-layer chaos controls -------------------------------------- *)
+
+let no_link_layer op =
+  invalid_arg
+    (Printf.sprintf
+       "Sim.Network.%s: the ideal network has no link layer (create the \
+        network with the Lossy substrate)"
+       op)
+
+let set_link_faults t faults =
+  match t.backend with
+  | Direct _ -> no_link_layer "set_link_faults"
+  | Stack tr -> Link.set_faults (Transport.link tr) faults
+
+let partition t groups =
+  match t.backend with
+  | Direct _ -> no_link_layer "partition"
+  | Stack tr -> Link.partition (Transport.link tr) groups
+
+let heal t =
+  match t.backend with
+  | Direct _ -> no_link_layer "heal"
+  | Stack tr -> Link.heal (Transport.link tr)
+
+(* ---- accounting ------------------------------------------------------ *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  wire_sent : int;
+  wire_delivered : int;
+  wire_lost : int;
+  wire_cut : int;
+  retransmits : int;
+  acks : int;
+  duplicated : int;
+  reordered : int;
+}
+
+let stats t =
+  match t.backend with
+  | Direct _ ->
+      {
+        sent = t.sent;
+        delivered = t.delivered;
+        wire_sent = t.sent;
+        wire_delivered = t.delivered;
+        wire_lost = 0;
+        wire_cut = 0;
+        retransmits = 0;
+        acks = 0;
+        duplicated = 0;
+        reordered = 0;
+      }
+  | Stack tr ->
+      let link = Transport.link tr in
+      {
+        sent = t.sent;
+        delivered = t.delivered;
+        wire_sent = Link.packets_sent link;
+        wire_delivered = Link.packets_delivered link;
+        wire_lost = Link.packets_lost link;
+        wire_cut = Link.packets_cut link;
+        retransmits = Transport.retransmits tr;
+        acks = Transport.acks_sent tr;
+        duplicated = Link.packets_duplicated link;
+        reordered = Link.packets_reordered link;
+      }
+
+let pp_event_route ppf = function
+  | Sent { src; dst; at; _ } ->
+      Format.fprintf ppf "t=%-8.2f sent      %d -> %d" at src dst
+  | Delivered { src; dst; at; _ } ->
+      Format.fprintf ppf "t=%-8.2f delivered %d -> %d" at src dst
+  | Dropped { src; dst; at; _ } ->
+      Format.fprintf ppf "t=%-8.2f dropped   %d -> %d (dst crashed)" at src dst
+
+let pp_state ppf t =
+  Format.fprintf ppf "network: n=%d sent=%d delivered=%d crashed={%s}" t.n
+    t.sent t.delivered
+    (String.concat ","
+       (List.filter_map
+          (fun i -> if t.crashed.(i) then Some (string_of_int i) else None)
+          (List.init t.n Fun.id)));
+  match t.backend with
+  | Direct _ -> Format.fprintf ppf "@.  substrate: ideal (reliable FIFO axiom)"
+  | Stack tr -> Format.fprintf ppf "@.  %a" Transport.pp_state tr

@@ -1,0 +1,204 @@
+type 'm packet = Data of { seq : int; payload : 'm } | Ack of { upto : int }
+
+(* Sender side of one ordered channel (src, dst). [unacked] holds
+   (seq, payload) in increasing seq order. *)
+type 'm tx = {
+  mutable next_seq : int;
+  unacked : (int * 'm) Queue.t;
+  mutable rto : float;
+  (* Bumping the generation cancels the outstanding timer: the scheduled
+     closure compares and becomes a no-op. *)
+  mutable timer_gen : int;
+  mutable timer_armed : bool;
+}
+
+(* Receiver side of one ordered channel: [expected] is the next in-order
+   sequence number; anything later waits in [ooo]. *)
+type 'm rx = { mutable expected : int; ooo : (int, 'm) Hashtbl.t }
+
+type 'm t = {
+  engine : Engine.t;
+  n : int;
+  link : 'm packet Link.t;
+  handlers : (src:int -> 'm -> unit) array;
+  dead : bool array;
+  tx : 'm tx array array; (* tx.(src).(dst) *)
+  rx : 'm rx array array; (* rx.(dst).(src) *)
+  rto0 : float;
+  backoff : float;
+  rto_max : float;
+  mutable delivered : int;
+  mutable data_sent : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+}
+
+let cancel_timer tx =
+  tx.timer_gen <- tx.timer_gen + 1;
+  tx.timer_armed <- false
+
+(* Arm the retransmission timer for channel (src, dst). On expiry, resend
+   everything still unacked and back off, doubling up to the cap. *)
+let rec arm_timer t ~src ~dst =
+  let tx = t.tx.(src).(dst) in
+  tx.timer_armed <- true;
+  let gen = tx.timer_gen in
+  Engine.schedule t.engine ~delay:tx.rto (fun () ->
+      if tx.timer_gen = gen && not t.dead.(src) && not t.dead.(dst) then
+        if Queue.is_empty tx.unacked then tx.timer_armed <- false
+        else begin
+          Queue.iter
+            (fun (seq, payload) ->
+              t.retransmits <- t.retransmits + 1;
+              Link.send t.link ~src ~dst (Data { seq; payload }))
+            tx.unacked;
+          tx.rto <- Float.min (tx.rto *. t.backoff) t.rto_max;
+          tx.timer_gen <- tx.timer_gen + 1;
+          arm_timer t ~src ~dst
+        end)
+
+let handle_data t ~me ~src ~seq payload =
+  let rx = t.rx.(me).(src) in
+  if seq >= rx.expected && not (Hashtbl.mem rx.ooo seq) then begin
+    Hashtbl.replace rx.ooo seq payload;
+    while Hashtbl.mem rx.ooo rx.expected do
+      let m = Hashtbl.find rx.ooo rx.expected in
+      Hashtbl.remove rx.ooo rx.expected;
+      rx.expected <- rx.expected + 1;
+      t.delivered <- t.delivered + 1;
+      t.handlers.(me) ~src m
+    done
+  end;
+  (* Always (re-)ack cumulatively — also on duplicates, since the
+     original ack may have been the packet that was lost. *)
+  if not t.dead.(src) then begin
+    t.acks_sent <- t.acks_sent + 1;
+    Link.send t.link ~src:me ~dst:src (Ack { upto = rx.expected })
+  end
+
+let handle_ack t ~me ~src ~upto =
+  let tx = t.tx.(me).(src) in
+  let progressed = ref false in
+  while
+    (not (Queue.is_empty tx.unacked)) && fst (Queue.peek tx.unacked) < upto
+  do
+    ignore (Queue.pop tx.unacked);
+    progressed := true
+  done;
+  if !progressed then begin
+    cancel_timer tx;
+    tx.rto <- t.rto0;
+    if not (Queue.is_empty tx.unacked) then arm_timer t ~src:me ~dst:src
+  end
+
+let create ?rto0 ?(backoff = 2.0) ?rto_max ?faults engine ~n ~delay =
+  let d = Delay.bound delay in
+  let rto0 = Option.value rto0 ~default:(2.5 *. d) in
+  let rto_max = Option.value rto_max ~default:(16. *. d) in
+  assert (rto0 > 0. && backoff >= 1.0 && rto_max >= rto0);
+  let t =
+    {
+      engine;
+      n;
+      link = Link.create ?faults engine ~n ~delay;
+      handlers = Array.make n (fun ~src:_ _ -> ());
+      dead = Array.make n false;
+      tx =
+        Array.init n (fun _ ->
+            Array.init n (fun _ ->
+                {
+                  next_seq = 0;
+                  unacked = Queue.create ();
+                  rto = rto0;
+                  timer_gen = 0;
+                  timer_armed = false;
+                }));
+      rx =
+        Array.init n (fun _ ->
+            Array.init n (fun _ -> { expected = 0; ooo = Hashtbl.create 8 }));
+      rto0;
+      backoff;
+      rto_max;
+      delivered = 0;
+      data_sent = 0;
+      retransmits = 0;
+      acks_sent = 0;
+    }
+  in
+  for i = 0 to n - 1 do
+    Link.set_handler t.link i (fun ~src packet ->
+        if not t.dead.(i) then
+          match packet with
+          | Data { seq; payload } -> handle_data t ~me:i ~src ~seq payload
+          | Ack { upto } -> handle_ack t ~me:i ~src ~upto)
+  done;
+  t
+
+let link t = t.link
+let engine t = t.engine
+let size t = t.n
+let set_handler t i h = t.handlers.(i) <- h
+
+let send t ~src ~dst m =
+  if src = dst then invalid_arg "Sim.Transport.send: use a local delivery";
+  (* A dead destination never acks, so data to it would be retransmitted
+     forever and the simulation could not go quiescent. The simulator
+     plays oracle and drops such sends at the door — observationally
+     identical, since the ideal network also discards them (at delivery
+     time). Dead sources send nothing, as everywhere else. *)
+  if not (t.dead.(src) || t.dead.(dst)) then begin
+    let tx = t.tx.(src).(dst) in
+    let seq = tx.next_seq in
+    tx.next_seq <- seq + 1;
+    Queue.push (seq, m) tx.unacked;
+    t.data_sent <- t.data_sent + 1;
+    Link.send t.link ~src ~dst (Data { seq; payload = m });
+    if not tx.timer_armed then arm_timer t ~src ~dst
+  end
+
+let kill t i =
+  if not t.dead.(i) then begin
+    t.dead.(i) <- true;
+    for j = 0 to t.n - 1 do
+      (* The dead node stops (re)transmitting... *)
+      cancel_timer t.tx.(i).(j);
+      Queue.clear t.tx.(i).(j).unacked;
+      (* ...and peers stop retransmitting to it: no ack will ever come. *)
+      cancel_timer t.tx.(j).(i);
+      Queue.clear t.tx.(j).(i).unacked;
+      Hashtbl.reset t.rx.(i).(j).ooo
+    done
+  end
+
+let is_dead t i = t.dead.(i)
+let messages_delivered t = t.delivered
+let data_sent t = t.data_sent
+let retransmits t = t.retransmits
+let acks_sent t = t.acks_sent
+
+let pp_state ppf t =
+  Format.fprintf ppf
+    "transport: data=%d retransmits=%d acks=%d delivered=%d@.  %a"
+    t.data_sent t.retransmits t.acks_sent t.delivered Link.pp_state t.link;
+  for i = 0 to t.n - 1 do
+    let busy =
+      Array.exists (fun tx -> not (Queue.is_empty tx.unacked)) t.tx.(i)
+      || Array.exists (fun rx -> Hashtbl.length rx.ooo > 0) t.rx.(i)
+    in
+    if busy then begin
+      Format.fprintf ppf "@.  node %d%s:" i
+        (if t.dead.(i) then " (dead)" else "");
+      for j = 0 to t.n - 1 do
+        let tx = t.tx.(i).(j) in
+        let rx = t.rx.(i).(j) in
+        if not (Queue.is_empty tx.unacked) then
+          Format.fprintf ppf " [->%d unacked=%d lo=%d rto=%.1f]" j
+            (Queue.length tx.unacked)
+            (fst (Queue.peek tx.unacked))
+            tx.rto;
+        if Hashtbl.length rx.ooo > 0 then
+          Format.fprintf ppf " [<-%d expected=%d buffered=%d]" j rx.expected
+            (Hashtbl.length rx.ooo)
+      done
+    end
+  done

@@ -1,0 +1,72 @@
+(** Reliable FIFO transport over a {!Link}: the protocol layer that turns
+    the paper's Section II-A channel {e assumption} into code.
+
+    Per ordered pair [(src, dst)], payloads are numbered, buffered until
+    cumulatively acknowledged, retransmitted on a timer with exponential
+    backoff (capped), and delivered to the destination handler exactly
+    once, in send order — restoring the ideal {!Network} contract between
+    live nodes over links that lose, duplicate and reorder packets and
+    across partitions that eventually heal.
+
+    Crash handling is by simulation oracle ({!kill}): a dead node neither
+    transmits (including retransmissions — a crashed node must not keep
+    "sending") nor delivers, and peers abandon channels towards it so the
+    event queue can drain. Consequently, over a {e faulty} link, a
+    message whose sender crashes before it is acknowledged may be lost —
+    exactly the weakening the reliable-channel assumption papers over,
+    and why the chaos campaign checks safety under crash + loss. *)
+
+type 'm packet = Data of { seq : int; payload : 'm } | Ack of { upto : int }
+(** Wire format. [Ack upto] is cumulative: every [Data] with [seq < upto]
+    was received in order. *)
+
+type 'm t
+
+val create :
+  ?rto0:float ->
+  ?backoff:float ->
+  ?rto_max:float ->
+  ?faults:Link.faults ->
+  Engine.t ->
+  n:int ->
+  delay:Delay.t ->
+  'm t
+(** Creates the underlying ['m packet Link.t] and installs its handlers.
+    [rto0] (default [2.5 * D]) must exceed one round trip ([2 D]) so a
+    zero-fault stack never retransmits; [backoff] (default 2.0)
+    multiplies the timer on each expiry up to [rto_max] (default
+    [16 * D]). *)
+
+val link : 'm t -> 'm packet Link.t
+(** The underlying link, for fault/partition control and wire tracing. *)
+
+val engine : _ t -> Engine.t
+val size : _ t -> int
+
+val set_handler : 'm t -> int -> (src:int -> 'm -> unit) -> unit
+(** In-order, exactly-once payload delivery for node [i]. *)
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Enqueue a payload on channel [(src, dst)]. No-op when either end is
+    {!kill}ed. @raise Invalid_argument on [src = dst] (loopback is the
+    caller's business — it needs no reliability protocol). *)
+
+val kill : _ t -> int -> unit
+(** Crash node [i]: drop its send/receive state, cancel every
+    retransmission timer touching it (both directions). Idempotent. *)
+
+val is_dead : _ t -> int -> bool
+
+val messages_delivered : _ t -> int
+(** Payloads handed to handlers (each exactly once). *)
+
+val data_sent : _ t -> int
+(** First transmissions, excluding retransmits (logical data volume). *)
+
+val retransmits : _ t -> int
+val acks_sent : _ t -> int
+
+val pp_state : Format.formatter -> _ t -> unit
+(** Global counters plus, for every node with in-flight state, its
+    per-channel sender/receiver summary — the watchdog's diagnostic
+    dump. *)

@@ -17,6 +17,7 @@ let () =
          Test_kernel.suites;
          Test_lattice_core.suites;
          Test_harness.suites;
+         Test_transport.suites;
          Test_sso.suites;
          Test_stress.suites;
          Test_configs.suites;
