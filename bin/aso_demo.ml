@@ -274,67 +274,68 @@ let sweep_cmd =
       const sweep_impl $ algo_arg
       $ Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table."))
 
-(* ---- trace: wire-level view of one EQ-ASO operation pair ------------ *)
+(* ---- trace: capture a structured execution trace --------------------- *)
 
-let trace_impl n =
+let trace_impl (algo : Harness.Algo.t) n ops seed out =
   let f = Quorum.max_crash_faults n in
-  let engine = Sim.Engine.create ~seed:1L () in
-  let t = Aso_core.Eq_aso.create engine ~n ~f ~delay:(Sim.Delay.fixed 1.0) in
-  let net = Aso_core.Lattice_core.net (Aso_core.Eq_aso.core t) in
-  let per_kind = Hashtbl.create 8 in
-  let timeline = ref [] in
-  Sim.Network.set_tracer net (function
-    | Sim.Network.Sent { src; dst; at; msg } ->
-        let kind = Aso_core.Lattice_core.Msg.kind msg in
-        Hashtbl.replace per_kind kind
-          (1 + Option.value (Hashtbl.find_opt per_kind kind) ~default:0);
-        if src <> dst then timeline := (at, src, dst, kind) :: !timeline
-    | Sim.Network.Delivered _ | Sim.Network.Dropped _ -> ());
-  Sim.Fiber.spawn engine (fun () ->
-      Aso_core.Eq_aso.update t ~node:0 7;
-      ignore (Aso_core.Eq_aso.scan t ~node:1));
-  Sim.Engine.run_until_quiescent engine;
-  Format.printf
-    "Wire trace: one UPDATE (node 0) followed by one SCAN (node 1), n=%d@.@."
-    n;
-  Format.printf "%-8s %-5s %s@." "t (D)" "kind" "flow";
-  let by_time =
-    List.sort
-      (fun (t1, _, _, _) (t2, _, _, _) -> Float.compare t1 t2)
-      (List.rev !timeline)
+  let seed64 = Int64.of_int seed in
+  let rng = Sim.Rng.create seed64 in
+  let workload =
+    Harness.Workload.random rng ~n ~ops_per_node:ops ~scan_fraction:0.5
+      ~max_gap:4.0
   in
-  (* Summarize broadcasts: group (time, kind, src) into one line. *)
-  let grouped = Hashtbl.create 32 in
-  let order = ref [] in
-  List.iter
-    (fun (at, src, dst, kind) ->
-      let key = (at, src, kind) in
-      match Hashtbl.find_opt grouped key with
-      | Some dsts -> dsts := dst :: !dsts
-      | None ->
-          Hashtbl.replace grouped key (ref [ dst ]);
-          order := key :: !order)
-    by_time;
-  List.iter
-    (fun ((at, src, kind) as key) ->
-      let dsts = !(Hashtbl.find grouped key) in
-      let flow =
-        if List.length dsts >= n - 1 then Printf.sprintf "%d -> all" src
-        else
-          Printf.sprintf "%d -> {%s}" src
-            (String.concat "," (List.map string_of_int (List.rev dsts)))
-      in
-      Format.printf "%-8.2f %-9s %s@." at kind flow)
-    (List.rev !order);
-  Format.printf "@.Message totals by kind:@.";
-  Hashtbl.iter (fun kind c -> Format.printf "  %-9s %4d@." kind c) per_kind;
-  Format.printf "  %-9s %4d@." "total" (Sim.Network.messages_sent net)
+  let config =
+    { Harness.Runner.n; f; delay = Harness.Runner.Fixed_d 1.0; seed = seed64 }
+  in
+  let tr = Obs.Trace.create () in
+  let outcome =
+    Harness.Runner.run ~workload_seed:seed64 ~trace:tr ~make:algo.make config
+      ~workload ~adversary:Harness.Adversary.No_faults
+  in
+  let json = Obs.Trace.to_chrome ~process_name:algo.name tr in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Format.printf "algorithm   : %s (%s)@." outcome.algorithm algo.paper_row;
+  Format.printf "nodes       : n=%d f=%d@." n f;
+  Format.printf "operations  : %d completed@."
+    (List.length (History.completed outcome.history));
+  Format.printf "makespan    : %.1f D@." (outcome.end_time /. outcome.d);
+  Format.printf "trace       : %d events -> %s (%d bytes)@."
+    (Obs.Trace.length tr) out (String.length json);
+  (match
+     Option.bind
+       (Obs.Metrics.find_samples outcome.metrics "aso.rounds_per_update")
+       Obs.Metrics.summary
+   with
+  | Some s ->
+      Format.printf "rounds/upd  : mean %.2f max %.0f@." s.Obs.Metrics.mean
+        s.Obs.Metrics.max
+  | None -> ());
+  Format.printf
+    "Open the file in https://ui.perfetto.dev (or chrome://tracing): one@.";
+  Format.printf
+    "track per node; UPDATE/SCAN spans decompose into protocol phases.@."
 
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Print the wire-level message flow of one UPDATE + SCAN pair.")
-    Term.(const trace_impl $ Arg.(value & opt int 4 & info [ "n"; "nodes" ]))
+       ~doc:
+         "Run a workload under the structured tracer and export a Chrome \
+          trace-event JSON file viewable in Perfetto, with one track per \
+          node and operation spans decomposed into protocol phases.")
+    Term.(
+      const trace_impl
+      $ Arg.(
+          value
+          & pos 0 algo_conv Harness.Algo.eq_aso
+          & info [] ~docv:"ALGO" ~doc:"Algorithm to trace (default eq-aso).")
+      $ nodes_arg $ ops_arg $ seed_arg
+      $ Arg.(
+          value
+          & opt string "trace.json"
+          & info [ "o"; "out" ] ~docv:"FILE"
+              ~doc:"Output file for the Chrome trace-event JSON."))
 
 (* ---- chaos: lossy substrate, partitions, chaos sweep ----------------- *)
 

@@ -6,6 +6,14 @@ module Msg = struct
     | Collect_reply of { req : int; vector : 'v Reg_store.vector }
     | Write_back of { req : int; vector : 'v Reg_store.vector }
     | Write_back_ack of { req : int }
+
+  let kind = function
+    | Write _ -> "write"
+    | Write_ack _ -> "writeAck"
+    | Collect_req _ -> "collect"
+    | Collect_reply _ -> "collectReply"
+    | Write_back _ -> "writeBack"
+    | Write_back_ack _ -> "writeBackAck"
 end
 
 type 'v node = {
@@ -24,7 +32,19 @@ type 'v t = {
   f : int;
   nodes : 'v node array;
   mutable collect_rounds : int;
+  obs : Obs.Trace.t;
+  c_collect_rounds : Obs.Metrics.counter;
 }
+
+let span t ~pid ?(cat = "phase") name f =
+  if not (Obs.Trace.enabled t.obs) then f ()
+  else begin
+    let now () = Sim.Engine.now (Sim.Network.engine t.net) in
+    Obs.Trace.span_begin t.obs ~ts:(now ()) ~pid ~cat name;
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.span_end t.obs ~ts:(now ()) ~pid ~cat name)
+      f
+  end
 
 let handle t nd ~src msg =
   (match msg with
@@ -54,6 +74,7 @@ let handle t nd ~src msg =
 let create engine ~n ~f ~delay =
   Quorum.check_crash ~n ~f;
   let net = Sim.Network.create engine ~n ~delay in
+  Sim.Network.set_msg_label net Msg.kind;
   let make_node id =
     {
       id;
@@ -64,7 +85,12 @@ let create engine ~n ~f ~delay =
       seq = 0;
     }
   in
-  let t = { net; n; f; nodes = Array.init n make_node; collect_rounds = 0 } in
+  let t =
+    { net; n; f; nodes = Array.init n make_node; collect_rounds = 0;
+      obs = Sim.Engine.trace engine;
+      c_collect_rounds =
+        Obs.Metrics.counter (Sim.Network.metrics net) "dc.collect_rounds" }
+  in
   Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
   t
 
@@ -74,6 +100,7 @@ let await_quorum t nd req =
   Collector.forget nd.acks ~req
 
 let update t ~node v =
+  span t ~pid:node ~cat:"op" "UPDATE" @@ fun () ->
   let nd = t.nodes.(node) in
   nd.seq <- nd.seq + 1;
   let entry = { Reg_store.ts = Timestamp.make ~tag:nd.seq ~writer:node; value = v } in
@@ -83,6 +110,8 @@ let update t ~node v =
 
 let collect t nd =
   t.collect_rounds <- t.collect_rounds + 1;
+  Obs.Metrics.incr t.c_collect_rounds;
+  span t ~pid:nd.id "collect" @@ fun () ->
   let req = Collector.fresh nd.acks in
   Hashtbl.replace nd.collects req (Reg_store.copy nd.reg);
   Sim.Network.broadcast t.net ~src:nd.id (Msg.Collect_req { req });
@@ -99,6 +128,7 @@ let write_back t nd vector =
   await_quorum t nd req
 
 let scan t ~node =
+  span t ~pid:node ~cat:"op" "SCAN" @@ fun () ->
   let nd = t.nodes.(node) in
   let rec stabilise previous =
     let current = collect t nd in

@@ -11,6 +11,19 @@ module Msg = struct
     | Commit_ack of { req : int }
     | Collect_req of { req : int }
     | Collect_reply of { req : int; committed : Timestamp.t list }
+
+  let kind = function
+    | Value _ -> "value"
+    | Value_ack _ -> "valueAck"
+    | Prop _ -> "prop"
+    | Read_round _ -> "readRound"
+    | Round_ack _ -> "roundAck"
+    | Write_round _ -> "writeRound"
+    | Write_round_ack _ -> "writeRoundAck"
+    | Commit _ -> "commit"
+    | Commit_ack _ -> "commitAck"
+    | Collect_req _ -> "collect"
+    | Collect_reply _ -> "collectReply"
 end
 
 module K = Aso_core.Eq_kernel
@@ -39,7 +52,19 @@ type 'v t = {
   f : int;
   nodes : 'v node array;
   mutable rounds_retried : int;
+  obs : Obs.Trace.t;
+  c_rounds_retried : Obs.Metrics.counter;
 }
+
+let span t ~pid ?(cat = "phase") name f =
+  if not (Obs.Trace.enabled t.obs) then f ()
+  else begin
+    let now () = Sim.Engine.now (Sim.Network.engine t.net) in
+    Obs.Trace.span_begin t.obs ~ts:(now ()) ~pid ~cat name;
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.span_end t.obs ~ts:(now ()) ~pid ~cat name)
+      f
+  end
 
 let round_kernel t nd r =
   match Hashtbl.find_opt nd.rounds r with
@@ -110,6 +135,7 @@ let handle t nd ~src msg =
 let create engine ~n ~f ~delay =
   Quorum.check_crash ~n ~f;
   let net = Sim.Network.create engine ~n ~delay in
+  Sim.Network.set_msg_label net Msg.kind;
   let make_node id =
     let changed = Sim.Condition.create () in
     {
@@ -130,7 +156,12 @@ let create engine ~n ~f ~delay =
           changed;
         }
   in
-  let t = { net; n; f; nodes = Array.init n make_node; rounds_retried = 0 } in
+  let t =
+    { net; n; f; nodes = Array.init n make_node; rounds_retried = 0;
+      obs = Sim.Engine.trace engine;
+      c_rounds_retried =
+        Obs.Metrics.counter (Sim.Network.metrics net) "la.rounds_retried" }
+  in
   Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
   t
 
@@ -195,11 +226,13 @@ let rec attempt t nd r =
   let r' = read_round t nd in
   if r' > r then begin
     t.rounds_retried <- t.rounds_retried + 1;
+    Obs.Metrics.incr t.c_rounds_retried;
     attempt t nd r'
   end
   else learned
 
 let scan_view t ~node =
+  span t ~pid:node ~cat:"op" "SCAN" @@ fun () ->
   let nd = t.nodes.(node) in
   let r = read_round t nd in
   attempt t nd r
@@ -210,6 +243,7 @@ let scan t ~node =
   View.extract view ~n:t.n ~value_of:(K.value_of nd.values)
 
 let update t ~node v =
+  span t ~pid:node ~cat:"op" "UPDATE" @@ fun () ->
   let nd = t.nodes.(node) in
   (* Read the round first: the quorum answering has forwarded every
      completed update's value to us already (FIFO), which is what makes

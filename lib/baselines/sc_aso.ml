@@ -8,6 +8,14 @@ module Msg = struct
     | Collect_reply of { req : int; vector : 'v payload Reg_store.vector }
     | Write_back of { req : int; vector : 'v payload Reg_store.vector }
     | Write_back_ack of { req : int }
+
+  let kind = function
+    | Store _ -> "store"
+    | Store_ack _ -> "storeAck"
+    | Collect_req _ -> "collect"
+    | Collect_reply _ -> "collectReply"
+    | Write_back _ -> "writeBack"
+    | Write_back_ack _ -> "writeBackAck"
 end
 
 type 'v node = {
@@ -25,7 +33,19 @@ type 'v t = {
   f : int;
   nodes : 'v node array;
   mutable borrowed_scans : int;
+  obs : Obs.Trace.t;
+  c_borrowed_scans : Obs.Metrics.counter;
 }
+
+let span t ~pid ?(cat = "phase") name f =
+  if not (Obs.Trace.enabled t.obs) then f ()
+  else begin
+    let now () = Sim.Engine.now (Sim.Network.engine t.net) in
+    Obs.Trace.span_begin t.obs ~ts:(now ()) ~pid ~cat name;
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.span_end t.obs ~ts:(now ()) ~pid ~cat name)
+      f
+  end
 
 let handle t nd ~src msg =
   (match msg with
@@ -53,6 +73,7 @@ let handle t nd ~src msg =
 let create engine ~n ~f ~delay =
   Quorum.check_crash ~n ~f;
   let net = Sim.Network.create engine ~n ~delay in
+  Sim.Network.set_msg_label net Msg.kind;
   let make_node id =
     {
       id;
@@ -63,7 +84,12 @@ let create engine ~n ~f ~delay =
       seq = 0;
     }
   in
-  let t = { net; n; f; nodes = Array.init n make_node; borrowed_scans = 0 } in
+  let t =
+    { net; n; f; nodes = Array.init n make_node; borrowed_scans = 0;
+      obs = Sim.Engine.trace engine;
+      c_borrowed_scans =
+        Obs.Metrics.counter (Sim.Network.metrics net) "sc.borrowed_scans" }
+  in
   Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
   t
 
@@ -73,6 +99,7 @@ let await_quorum t nd req =
   Collector.forget nd.acks ~req
 
 let collect t nd =
+  span t ~pid:nd.id "collect" @@ fun () ->
   let req = Collector.fresh nd.acks in
   Hashtbl.replace nd.collects req (Reg_store.copy nd.reg);
   Sim.Network.broadcast t.net ~src:nd.id (Msg.Collect_req { req });
@@ -115,6 +142,7 @@ let scan_vector t nd =
     match note current with
     | Some (entry : 'v payload Reg_store.entry) ->
         t.borrowed_scans <- t.borrowed_scans + 1;
+        Obs.Metrics.incr t.c_borrowed_scans;
         entry.value.embedded
     | None ->
         if Reg_store.equal_ts previous current then current
@@ -127,12 +155,14 @@ let scan_vector t nd =
   vector
 
 let scan t ~node =
+  span t ~pid:node ~cat:"op" "SCAN" @@ fun () ->
   let nd = t.nodes.(node) in
   Array.map
     (Option.map (fun (p : 'v payload) -> p.value))
     (Reg_store.extract (scan_vector t nd))
 
 let update t ~node v =
+  span t ~pid:node ~cat:"op" "UPDATE" @@ fun () ->
   let nd = t.nodes.(node) in
   let embedded = scan_vector t nd in
   nd.seq <- nd.seq + 1;

@@ -16,7 +16,21 @@ type 'v t = {
   f : int;
   nodes : 'v node array;
   sync_on_update : bool;
+  obs : Obs.Trace.t;
+  c_syncs : Obs.Metrics.counter;
 }
+
+let span t ~pid ?(cat = "phase") name f =
+  if not (Obs.Trace.enabled t.obs) then f ()
+  else begin
+    let now () =
+      Sim.Engine.now (Sim.Network.engine (Scd_broadcast.net t.scd))
+    in
+    Obs.Trace.span_begin t.obs ~ts:(now ()) ~pid ~cat name;
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.span_end t.obs ~ts:(now ()) ~pid ~cat name)
+      f
+  end
 
 let create ?(sync_on_update = true) engine ~n ~f ~delay =
   let nodes = Array.init n (fun _ -> { reg = Reg_store.create ~n; seq = 0; nonce = 0 }) in
@@ -25,7 +39,14 @@ let create ?(sync_on_update = true) engine ~n ~f ~delay =
     Scd_broadcast.create engine ~n ~f ~delay ~deliver:(fun ~node batch ->
         !deliver_ref ~node batch)
   in
-  let t = { scd; n; f; nodes; sync_on_update } in
+  let t =
+    { scd; n; f; nodes; sync_on_update;
+      obs = Sim.Engine.trace engine;
+      c_syncs =
+        Obs.Metrics.counter
+          (Sim.Network.metrics (Scd_broadcast.net scd))
+          "scd.syncs" }
+  in
   (deliver_ref :=
      fun ~node batch ->
        let nd = t.nodes.(node) in
@@ -47,6 +68,8 @@ let await_own_delivery t ~node id =
     (fun () -> Scd_broadcast.delivered t.scd ~node id)
 
 let sync t ~node =
+  Obs.Metrics.incr t.c_syncs;
+  span t ~pid:node "sync" @@ fun () ->
   let nd = t.nodes.(node) in
   nd.nonce <- nd.nonce + 1;
   let id =
@@ -55,6 +78,7 @@ let sync t ~node =
   await_own_delivery t ~node id
 
 let update t ~node v =
+  span t ~pid:node ~cat:"op" "UPDATE" @@ fun () ->
   let nd = t.nodes.(node) in
   nd.seq <- nd.seq + 1;
   let entry =
@@ -65,6 +89,7 @@ let update t ~node v =
   if t.sync_on_update then sync t ~node
 
 let scan t ~node =
+  span t ~pid:node ~cat:"op" "SCAN" @@ fun () ->
   sync t ~node;
   Reg_store.extract t.nodes.(node).reg
 

@@ -10,6 +10,16 @@ module Msg = struct
     | Write_tag of { req : int; tag : int }
     | Write_ack of { req : int }
     | Echo_tag of { tag : int }
+
+  let kind = function
+    | Rbc (Rbc.Send _) -> "rbc.send"
+    | Rbc (Rbc.Echo _) -> "rbc.echo"
+    | Rbc (Rbc.Ready _) -> "rbc.ready"
+    | Read_tag _ -> "readTag"
+    | Read_ack _ -> "readAck"
+    | Write_tag _ -> "writeTag"
+    | Write_ack _ -> "writeAck"
+    | Echo_tag _ -> "echoTag"
 end
 
 type 'v node = {
@@ -19,6 +29,7 @@ type 'v node = {
   (* forwards received before the writer's own value anchored them *)
   unanchored : (Timestamp.t, int list ref) Hashtbl.t;
   mutable max_tag : int;
+  mutable lattice_count : int;
   reads : Collector.t;
   writes : Collector.t;
   changed : Sim.Condition.t;
@@ -32,7 +43,23 @@ type 'v t = {
   max_attempts : int;
   nodes : 'v node array;
   mutable lattice_attempts : int;
+  obs : Obs.Trace.t;
+  c_lattice_attempts : Obs.Metrics.counter;
+  rounds_per_update : Obs.Metrics.histogram;
+  rounds_per_scan : Obs.Metrics.histogram;
 }
+
+let now t = Sim.Engine.now (Sim.Network.engine t.net)
+
+let span t nd ?(cat = "phase") ?args name f =
+  if not (Obs.Trace.enabled t.obs) then f ()
+  else begin
+    Obs.Trace.span_begin t.obs ~ts:(now t) ~pid:nd.id ~cat ?args name;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.span_end t.obs ~ts:(now t) ~pid:nd.id ~cat name)
+      f
+  end
 
 module K = Aso_core.Eq_kernel
 
@@ -79,17 +106,20 @@ let handle t nd ~src msg =
 let create ?(max_attempts = 10_000) engine ~n ~f ~delay =
   Quorum.check_byz ~n ~f;
   let net = Sim.Network.create engine ~n ~delay in
+  Sim.Network.set_msg_label net Msg.kind;
+  let metrics = Sim.Network.metrics net in
   let make_node id =
     let changed = Sim.Condition.create () in
     (* Delivery closes over the node being built; it only fires once the
        simulation runs, well after [self] is set. *)
     let self = ref None in
     let rbc =
-      Rbc.create ~n ~f ~me:id
+      Rbc.create ~metrics ~n ~f ~me:id
         ~send_wire:(fun ~dst wire ->
           Sim.Network.send net ~src:id ~dst (Msg.Rbc wire))
         ~deliver:(fun ~src payload ->
           Option.iter (fun nd -> on_rbc_deliver nd ~src payload) !self)
+        ()
     in
     let forward ts _value = Rbc.broadcast rbc (Fwd { ts }) in
     let nd =
@@ -99,6 +129,7 @@ let create ?(max_attempts = 10_000) engine ~n ~f ~delay =
         kernel = K.create ~n ~me:id ~forward ~changed;
         unanchored = Hashtbl.create 16;
         max_tag = 0;
+        lattice_count = 0;
         reads = Collector.create ();
         writes = Collector.create ();
         changed;
@@ -110,7 +141,11 @@ let create ?(max_attempts = 10_000) engine ~n ~f ~delay =
   in
   let t =
     { net; n; f; max_attempts; nodes = Array.init n make_node;
-      lattice_attempts = 0 }
+      lattice_attempts = 0;
+      obs = Sim.Engine.trace engine;
+      c_lattice_attempts = Obs.Metrics.counter metrics "byz.lattice_attempts";
+      rounds_per_update = Obs.Metrics.histogram metrics "aso.rounds_per_update";
+      rounds_per_scan = Obs.Metrics.histogram metrics "aso.rounds_per_scan" }
   in
   Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
   t
@@ -118,6 +153,7 @@ let create ?(max_attempts = 10_000) engine ~n ~f ~delay =
 let quorum t = t.n - t.f
 
 let read_tag t nd =
+  span t nd "readTag" @@ fun () ->
   let req = Collector.fresh nd.reads in
   Sim.Network.broadcast t.net ~src:nd.id (Msg.Read_tag { req });
   Sim.Condition.await nd.changed (fun () ->
@@ -127,6 +163,7 @@ let read_tag t nd =
   tag
 
 let write_tag t nd tag =
+  span t nd ~args:[ ("tag", Obs.Trace.Int tag) ] "writeTag" @@ fun () ->
   let req = Collector.fresh nd.writes in
   Sim.Network.broadcast t.net ~src:nd.id (Msg.Write_tag { req; tag });
   Sim.Condition.await nd.changed (fun () ->
@@ -135,12 +172,16 @@ let write_tag t nd tag =
 
 let lattice t nd r =
   t.lattice_attempts <- t.lattice_attempts + 1;
+  Obs.Metrics.incr t.c_lattice_attempts;
+  nd.lattice_count <- nd.lattice_count + 1;
+  span t nd ~args:[ ("tag", Obs.Trace.Int r) ] "lattice" @@ fun () ->
   write_tag t nd r;
   let v_star = K.await_eq nd.kernel ~quorum:(quorum t) ~max_tag:(Some r) in
   if nd.max_tag <= r then Some v_star else None
 
 (* Renewal without borrowing: repeat at the freshest tag until good. *)
 let renew t nd r0 =
+  span t nd ~args:[ ("tag", Obs.Trace.Int r0) ] "latticeRenewal" @@ fun () ->
   let rec go attempt r =
     if attempt > t.max_attempts then
       failwith "Byz_eq_aso: lattice renewal starved (max_attempts exceeded)";
@@ -154,10 +195,18 @@ let begin_op nd =
   if nd.busy then invalid_arg "Byz_eq_aso: concurrent operation at a node";
   nd.busy <- true
 
+let observing_rounds hist nd f =
+  let before = nd.lattice_count in
+  let result = f () in
+  Obs.Metrics.observe hist (float_of_int (nd.lattice_count - before));
+  result
+
 let update_with_view t ~node v =
   let nd = t.nodes.(node) in
   begin_op nd;
   Fun.protect ~finally:(fun () -> nd.busy <- false) @@ fun () ->
+  span t nd ~cat:"op" "UPDATE" @@ fun () ->
+  observing_rounds t.rounds_per_update nd @@ fun () ->
   let r = read_tag t nd in
   let ts = Timestamp.make ~tag:(r + 1) ~writer:node in
   Rbc.broadcast nd.rbc (Value { ts; value = v });
@@ -183,6 +232,8 @@ let scan_view t ~node =
   let nd = t.nodes.(node) in
   begin_op nd;
   Fun.protect ~finally:(fun () -> nd.busy <- false) @@ fun () ->
+  span t nd ~cat:"op" "SCAN" @@ fun () ->
+  observing_rounds t.rounds_per_scan nd @@ fun () ->
   let r = read_tag t nd in
   renew t nd r
 

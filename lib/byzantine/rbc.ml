@@ -30,11 +30,17 @@ type 'p t = {
   next_deliver : int array;  (* per-origin FIFO cursor *)
   pending : (int * int, 'p) Hashtbl.t;  (* completed, awaiting FIFO turn *)
   mutable seq : int;
-  mutable delivered_count : int;
+  c_broadcasts : Obs.Metrics.counter;
+  c_delivered : Obs.Metrics.counter;
+  c_echoes : Obs.Metrics.counter;
+  c_readies : Obs.Metrics.counter;
 }
 
-let create ~n ~f ~me ~send_wire ~deliver =
+let create ?metrics ~n ~f ~me ~send_wire ~deliver () =
   Quorum.check_byz ~n ~f;
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   {
     n;
     f;
@@ -45,7 +51,10 @@ let create ~n ~f ~me ~send_wire ~deliver =
     next_deliver = Array.make n 0;
     pending = Hashtbl.create 16;
     seq = 0;
-    delivered_count = 0;
+    c_broadcasts = Obs.Metrics.counter metrics "rbc.broadcasts";
+    c_delivered = Obs.Metrics.counter metrics "rbc.delivered";
+    c_echoes = Obs.Metrics.counter metrics "rbc.echoes_sent";
+    c_readies = Obs.Metrics.counter metrics "rbc.readies_sent";
   }
 
 let slot t key =
@@ -83,7 +92,7 @@ let flush_fifo t origin =
     | Some payload ->
         Hashtbl.remove t.pending (origin, seq);
         t.next_deliver.(origin) <- seq + 1;
-        t.delivered_count <- t.delivered_count + 1;
+        Obs.Metrics.incr t.c_delivered;
         t.deliver ~src:origin payload;
         next ()
   in
@@ -97,6 +106,7 @@ let try_progress t key origin s =
          || List.length c.readies >= ready_amplify t)
     then begin
       s.readied <- true;
+      Obs.Metrics.incr t.c_readies;
       broadcast_wire t (Ready { origin; seq = snd key; payload = c.payload })
     end
   in
@@ -123,6 +133,7 @@ let handle t ~src msg =
       let s = slot t key in
       if not s.echoed then begin
         s.echoed <- true;
+        Obs.Metrics.incr t.c_echoes;
         broadcast_wire t (Echo { origin = src; seq; payload })
       end;
       try_progress t key src s
@@ -142,6 +153,7 @@ let handle t ~src msg =
 let broadcast t payload =
   let seq = t.seq in
   t.seq <- seq + 1;
+  Obs.Metrics.incr t.c_broadcasts;
   broadcast_wire t (Send { seq; payload })
 
-let delivered_count t = t.delivered_count
+let delivered_count t = Obs.Metrics.count t.c_delivered

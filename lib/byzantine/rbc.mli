@@ -34,15 +34,20 @@ type 'p wire =
 type 'p t
 
 val create :
+  ?metrics:Obs.Metrics.t ->
   n:int ->
   f:int ->
   me:int ->
   send_wire:(dst:int -> 'p wire -> unit) ->
   deliver:(src:int -> 'p -> unit) ->
+  unit ->
   'p t
 (** [send_wire] transmits to one destination (the owner's network);
     [deliver] is the upcall, invoked in per-sender FIFO order. Requires
-    [n > 3f]. *)
+    [n > 3f]. Broadcast/echo/ready/delivery counters register in
+    [metrics] (fresh registry if omitted) under ["rbc.*"] — shared
+    across the deployment's instances when the owner passes its
+    network's registry. *)
 
 val broadcast : 'p t -> 'p -> unit
 (** Reliably broadcast the next payload in this node's sequence. *)

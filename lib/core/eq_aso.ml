@@ -1,13 +1,36 @@
 module LC = Lattice_core
 
-type 'v t = { core : 'v LC.t }
+type 'v t = {
+  core : 'v LC.t;
+  rounds_per_update : Obs.Metrics.histogram;
+  rounds_per_scan : Obs.Metrics.histogram;
+}
 
-let create engine ~n ~f ~delay = { core = LC.create engine ~n ~f ~delay }
+let create engine ~n ~f ~delay =
+  let core = LC.create engine ~n ~f ~delay in
+  let metrics = Sim.Network.metrics (LC.net core) in
+  {
+    core;
+    rounds_per_update = Obs.Metrics.histogram metrics "aso.rounds_per_update";
+    rounds_per_scan = Obs.Metrics.histogram metrics "aso.rounds_per_scan";
+  }
+
+(* Rounds-per-op = lattice operations the op itself ran. A fiber that
+   dies mid-op (node crash) never reaches [observe], so histograms hold
+   completed operations only — the quantity the paper's amortized
+   bounds speak about. *)
+let observing_rounds hist nd f =
+  let before = LC.node_lattice_count nd in
+  let result = f () in
+  Obs.Metrics.observe hist (float_of_int (LC.node_lattice_count nd - before));
+  result
 
 let update t ~node v =
   let nd = LC.node t.core node in
   LC.begin_op nd;
   Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  LC.span t.core nd ~cat:"op" "UPDATE" @@ fun () ->
+  observing_rounds t.rounds_per_update nd @@ fun () ->
   let r = LC.read_tag t.core nd in
   let ts = LC.fresh_timestamp t.core nd r in
   LC.broadcast_value t.core nd ts v;
@@ -21,6 +44,8 @@ let scan_view t ~node =
   let nd = LC.node t.core node in
   LC.begin_op nd;
   Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  LC.span t.core nd ~cat:"op" "SCAN" @@ fun () ->
+  observing_rounds t.rounds_per_scan nd @@ fun () ->
   let r = LC.read_tag t.core nd in
   LC.lattice_renewal t.core nd r
 

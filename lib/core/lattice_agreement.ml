@@ -1,5 +1,7 @@
 module Msg = struct
   type 'v t = Value of { ts : Timestamp.t; value : 'v }
+
+  let kind = function Value _ -> "value"
 end
 
 type 'v node = {
@@ -15,11 +17,14 @@ type 'v t = {
   n : int;
   f : int;
   nodes : 'v node array;
+  obs : Obs.Trace.t;
+  proposals : Obs.Metrics.counter;
 }
 
 let create engine ~n ~f ~delay =
   Quorum.check_crash ~n ~f;
   let net = Sim.Network.create engine ~n ~delay in
+  Sim.Network.set_msg_label net Msg.kind;
   let make_node id =
     let changed = Sim.Condition.create () in
     let forward ts value =
@@ -33,7 +38,16 @@ let create engine ~n ~f ~delay =
       proposed = false;
     }
   in
-  let t = { net; n; f; nodes = Array.init n make_node } in
+  let t =
+    {
+      net;
+      n;
+      f;
+      nodes = Array.init n make_node;
+      obs = Sim.Engine.trace engine;
+      proposals = Obs.Metrics.counter (Sim.Network.metrics net) "la.proposals";
+    }
+  in
   Array.iter
     (fun nd ->
       Sim.Network.set_handler net nd.id (fun ~src msg ->
@@ -47,6 +61,17 @@ let propose t ~node values =
   let nd = t.nodes.(node) in
   if nd.proposed then invalid_arg "Lattice_agreement.propose: one-shot";
   nd.proposed <- true;
+  Obs.Metrics.incr t.proposals;
+  let now () = Sim.Engine.now (Sim.Network.engine t.net) in
+  if Obs.Trace.enabled t.obs then
+    Obs.Trace.span_begin t.obs ~ts:(now ()) ~pid:node ~cat:"op"
+      ~args:[ ("inputs", Obs.Trace.Int (List.length values)) ]
+      "PROPOSE";
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.Trace.enabled t.obs then
+        Obs.Trace.span_end t.obs ~ts:(now ()) ~pid:node ~cat:"op" "PROPOSE")
+  @@ fun () ->
   let own_ts =
     List.mapi
       (fun idx v ->

@@ -22,6 +22,9 @@
 (** Wire message: a proposal element with its identifying timestamp. *)
 module Msg : sig
   type 'v t = Value of { ts : Timestamp.t; value : 'v }
+
+  val kind : 'v t -> string
+  (** Wire-protocol message name, for tracing. *)
 end
 
 type 'v t

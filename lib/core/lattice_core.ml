@@ -22,6 +22,9 @@ type 'v node = {
   id : int;
   kernel : 'v Eq_kernel.t;
   mutable max_tag : int;
+  (* Lattice operations run by this node, ever; operations diff it to
+     measure their own rounds-per-op. *)
+  mutable lattice_count : int;
   (* tag -> first borrowed view announced for that tag (line 49) *)
   borrowed : (int, View.t) Hashtbl.t;
   reads : Collector.t;
@@ -49,7 +52,32 @@ type 'v t = {
   (* Ablation switch for technique (T2): when off, a renewal keeps
      running lattice operations at fresh tags instead of borrowing. *)
   mutable borrowing : bool;
+  obs : Obs.Trace.t;
+  (* Registry mirrors of [stats], so campaign/bench aggregation sees the
+     protocol counters next to the network's. *)
+  c_lattice_ops : Obs.Metrics.counter;
+  c_good_lattice_ops : Obs.Metrics.counter;
+  c_direct_views : Obs.Metrics.counter;
+  c_indirect_views : Obs.Metrics.counter;
 }
+
+let engine t = Sim.Network.engine t.net
+let now t = Sim.Engine.now (engine t)
+let trace t = t.obs
+
+(* Protocol-phase span around a blocking section, on the node's track.
+   [Fun.protect] keeps the span stack balanced if the fiber dies by
+   exception; a crashed node's fiber simply never resumes, leaving an
+   open span — which is exactly what its track should show. *)
+let span t nd ?(cat = "phase") ?args name f =
+  if not (Obs.Trace.enabled t.obs) then f ()
+  else begin
+    Obs.Trace.span_begin t.obs ~ts:(now t) ~pid:nd.id ~cat ?args name;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.span_end t.obs ~ts:(now t) ~pid:nd.id ~cat name)
+      f
+  end
 
 (* Handlers run atomically (single engine step) and end with one signal,
    matching the "all event handlers executed atomically" requirement. *)
@@ -86,6 +114,7 @@ let handle t nd ~src msg =
 let create engine ~n ~f ~delay =
   Quorum.check_crash ~n ~f;
   let net = Sim.Network.create engine ~n ~delay in
+  Sim.Network.set_msg_label net Msg.kind;
   let make_node id =
     let changed = Sim.Condition.create () in
     let forward ts value =
@@ -95,6 +124,7 @@ let create engine ~n ~f ~delay =
       id;
       kernel = Eq_kernel.create ~n ~me:id ~forward ~changed;
       max_tag = 0;
+      lattice_count = 0;
       borrowed = Hashtbl.create 16;
       reads = Collector.create ();
       writes = Collector.create ();
@@ -103,6 +133,7 @@ let create engine ~n ~f ~delay =
       good_view_hook = None;
     }
   in
+  let metrics = Sim.Network.metrics net in
   let t =
     {
       net;
@@ -113,6 +144,11 @@ let create engine ~n ~f ~delay =
         { lattice_ops = 0; good_lattice_ops = 0; direct_views = 0;
           indirect_views = 0 };
       borrowing = true;
+      obs = Sim.Engine.trace engine;
+      c_lattice_ops = Obs.Metrics.counter metrics "aso.lattice_ops";
+      c_good_lattice_ops = Obs.Metrics.counter metrics "aso.good_lattice_ops";
+      c_direct_views = Obs.Metrics.counter metrics "aso.direct_views";
+      c_indirect_views = Obs.Metrics.counter metrics "aso.indirect_views";
     }
   in
   Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
@@ -124,6 +160,7 @@ let net t = t.net
 let node t i = t.nodes.(i)
 let node_id nd = nd.id
 let stats t = t.stats
+let node_lattice_count nd = nd.lattice_count
 let max_tag nd = nd.max_tag
 let my_view nd = Eq_kernel.my_view nd.kernel
 let kernel nd = nd.kernel
@@ -138,6 +175,7 @@ let end_op nd = nd.busy <- false
 let quorum t = t.n - t.f
 
 let read_tag t nd =
+  span t nd "readTag" @@ fun () ->
   let req = Collector.fresh nd.reads in
   Sim.Network.broadcast t.net ~src:nd.id (Msg.Read_tag { req });
   Sim.Condition.await nd.changed (fun () ->
@@ -147,6 +185,7 @@ let read_tag t nd =
   tag
 
 let write_tag t nd tag =
+  span t nd ~args:[ ("tag", Obs.Trace.Int tag) ] "writeTag" @@ fun () ->
   let req = Collector.fresh nd.writes in
   Sim.Network.broadcast t.net ~src:nd.id (Msg.Write_tag { req; tag });
   Sim.Condition.await nd.changed (fun () ->
@@ -161,17 +200,22 @@ let broadcast_value t nd ts value =
 
 let lattice t nd r =
   t.stats.lattice_ops <- t.stats.lattice_ops + 1;
+  Obs.Metrics.incr t.c_lattice_ops;
+  nd.lattice_count <- nd.lattice_count + 1;
+  span t nd ~args:[ ("tag", Obs.Trace.Int r) ] "lattice" @@ fun () ->
   write_tag t nd r;
   let v_star = Eq_kernel.await_eq nd.kernel ~quorum:(quorum t) ~max_tag:(Some r) in
   (* Lines 16-21 run without suspension: atomic w.r.t. handlers. *)
   if nd.max_tag <= r then begin
     t.stats.good_lattice_ops <- t.stats.good_lattice_ops + 1;
+    Obs.Metrics.incr t.c_good_lattice_ops;
     Sim.Network.broadcast t.net ~src:nd.id (Msg.Good_la { tag = r });
     (true, v_star)
   end
   else (false, View.empty)
 
 let lattice_renewal t nd r0 =
+  span t nd ~args:[ ("tag", Obs.Trace.Int r0) ] "latticeRenewal" @@ fun () ->
   let rec phases phase r =
     let ok, view = lattice t nd r in
     if ok then `Direct view
@@ -181,6 +225,7 @@ let lattice_renewal t nd r0 =
   match phases 1 r0 with
   | `Direct view ->
       t.stats.direct_views <- t.stats.direct_views + 1;
+      Obs.Metrics.incr t.c_direct_views;
       view
   | `Borrow r ->
       (* [r] is the tag of the third, failed, lattice operation. A good
@@ -188,8 +233,10 @@ let lattice_renewal t nd r0 =
          argument of Section III-E), so a "goodLA" for it arrives —
          possibly it already did, hence awaiting on the table, not on
          the message. *)
-      Sim.Condition.await nd.changed (fun () -> Hashtbl.mem nd.borrowed r);
+      span t nd ~args:[ ("tag", Obs.Trace.Int r) ] "borrowWait" (fun () ->
+          Sim.Condition.await nd.changed (fun () -> Hashtbl.mem nd.borrowed r));
       t.stats.indirect_views <- t.stats.indirect_views + 1;
+      Obs.Metrics.incr t.c_indirect_views;
       Hashtbl.find nd.borrowed r
 
 let extract t nd view =

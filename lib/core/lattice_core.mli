@@ -55,6 +55,26 @@ val node : 'v t -> int -> 'v node
 val node_id : _ node -> int
 val stats : _ t -> stats
 
+val node_lattice_count : _ node -> int
+(** Lattice operations this node has run, ever. An operation diffs it
+    around its own execution to measure rounds-per-op (the quantity the
+    paper bounds by O(1) failure-free and O(min(k, sqrt k + c)) under
+    failure chains). *)
+
+val trace : _ t -> Obs.Trace.t
+(** The engine's trace, as captured at creation ({!Sim.Engine.trace}). *)
+
+val now : _ t -> float
+(** Current virtual time, for stamping trace events. *)
+
+val span :
+  'v t -> 'v node -> ?cat:string -> ?args:(string * Obs.Trace.value) list ->
+  string -> (unit -> 'a) -> 'a
+(** [span t nd name f] runs [f] inside a trace span on [nd]'s track
+    (default [cat] is ["phase"]; operations pass [~cat:"op"]). A no-op
+    wrapper when tracing is disabled; the span is closed on exceptions
+    too. *)
+
 val begin_op : _ node -> unit
 (** Marks the node busy. @raise Invalid_argument if an operation is
     already pending (nodes are sequential, Section II-A). *)

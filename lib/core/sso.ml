@@ -5,6 +5,8 @@ type 'v t = {
   (* Largest good-lattice-operation view known at each node; every entry
      returned by a scan. Monotone, and always equal to some good view. *)
   local_views : View.t array;
+  rounds_per_update : Obs.Metrics.histogram;
+  rounds_per_scan : Obs.Metrics.histogram;
 }
 
 let create engine ~n ~f ~delay =
@@ -14,12 +16,20 @@ let create engine ~n ~f ~delay =
     LC.set_good_view_hook (LC.node core i) (fun good_view ->
         local_views.(i) <- View.union local_views.(i) good_view)
   done;
-  { core; local_views }
+  let metrics = Sim.Network.metrics (LC.net core) in
+  {
+    core;
+    local_views;
+    rounds_per_update = Obs.Metrics.histogram metrics "aso.rounds_per_update";
+    rounds_per_scan = Obs.Metrics.histogram metrics "aso.rounds_per_scan";
+  }
 
 let update t ~node v =
   let nd = LC.node t.core node in
   LC.begin_op nd;
   Fun.protect ~finally:(fun () -> LC.end_op nd) @@ fun () ->
+  LC.span t.core nd ~cat:"op" "UPDATE" @@ fun () ->
+  let before = LC.node_lattice_count nd in
   let r = LC.read_tag t.core nd in
   let ts = LC.fresh_timestamp t.core nd r in
   LC.broadcast_value t.core nd ts v;
@@ -33,12 +43,21 @@ let update t ~node v =
          [ts] (within one message delay of the broadcast). *)
       until_visible (max (LC.max_tag nd) (Timestamp.tag ts))
   in
-  until_visible (max (r + 1) (LC.max_tag nd))
+  until_visible (max (r + 1) (LC.max_tag nd));
+  Obs.Metrics.observe t.rounds_per_update
+    (float_of_int (LC.node_lattice_count nd - before))
 
 let scan_view t ~node = t.local_views.(node)
 
+(* The fast scan is local: zero lattice operations, zero messages. The
+   histogram records that directly, and the trace gets an instant
+   rather than a zero-width span. *)
 let scan t ~node =
   let nd = LC.node t.core node in
+  let obs = LC.trace t.core in
+  if Obs.Trace.enabled obs then
+    Obs.Trace.instant obs ~ts:(LC.now t.core) ~pid:node ~cat:"op" "SCAN";
+  Obs.Metrics.observe t.rounds_per_scan 0.;
   LC.extract t.core nd t.local_views.(node)
 
 let core t = t.core

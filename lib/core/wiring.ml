@@ -37,9 +37,6 @@ let instance ~name ~f ~update ~scan ~net ~value_match =
       (fun ~drop ~dup ~reorder ->
         Sim.Network.set_link_faults net { Sim.Link.drop; dup; reorder });
     net_stats = net_stats net;
-    set_route_tracer =
-      (fun emit ->
-        Sim.Network.set_tracer net (fun event ->
-            emit (Format.asprintf "%a" Sim.Network.pp_event_route event)));
+    metrics = (fun () -> Obs.Metrics.snapshot (Sim.Network.metrics net));
     dump_net = (fun ppf -> Sim.Network.pp_state ppf net);
   }

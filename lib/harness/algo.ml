@@ -81,4 +81,6 @@ let scd_aso =
 
 let all = [ stacked_aso; dc_aso; sc_aso; scd_aso; la_aso; eq_aso; sso ]
 
-let find name = List.find (fun a -> a.name = name) all
+let find name =
+  let canon = String.map (function '_' -> '-' | c -> c) name in
+  List.find (fun a -> a.name = canon) all

@@ -26,4 +26,5 @@ val all : t list
     paper's algorithms last). *)
 
 val find : string -> t
-(** @raise Not_found for unknown names. *)
+(** Underscores are accepted as dashes ([find "eq_aso"] = [find
+    "eq-aso"]). @raise Not_found for unknown names. *)

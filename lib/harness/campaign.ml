@@ -3,6 +3,7 @@ type report = {
   operations : int;
   crashes_injected : int;
   failures : string list;
+  metrics : Obs.Metrics.snapshot;
 }
 
 let one_run (algo : Algo.t) rng run_index =
@@ -45,7 +46,7 @@ let one_run (algo : Algo.t) rng run_index =
       { Runner.n; f; delay; seed }
       ~workload ~adversary
   with
-  | exception exn -> (0, 0, Some (describe (Printexc.to_string exn)))
+  | exception exn -> (0, 0, [], Some (describe (Printexc.to_string exn)))
   | outcome -> (
       let ops = List.length (History.completed outcome.history) in
       let crashed = List.length outcome.crashed in
@@ -55,8 +56,8 @@ let one_run (algo : Algo.t) rng run_index =
         | Algo.Sequential -> Runner.check_sequential outcome
       in
       match verdict with
-      | Ok () -> (ops, crashed, None)
-      | Error e -> (ops, crashed, Some (describe e)))
+      | Ok () -> (ops, crashed, outcome.metrics, None)
+      | Error e -> (ops, crashed, outcome.metrics, Some (describe e)))
 
 let run ~algos ~runs ~seed =
   let rng = Sim.Rng.create seed in
@@ -64,13 +65,15 @@ let run ~algos ~runs ~seed =
   let crashes = ref 0 in
   let failures = ref [] in
   let executed = ref 0 in
+  let metrics = ref [] in
   for run_index = 1 to runs do
     List.iter
       (fun algo ->
         incr executed;
-        let ops, crashed, failure = one_run algo rng run_index in
+        let ops, crashed, run_metrics, failure = one_run algo rng run_index in
         operations := !operations + ops;
         crashes := !crashes + crashed;
+        metrics := Obs.Metrics.merge !metrics run_metrics;
         Option.iter (fun f -> failures := f :: !failures) failure)
       algos
   done;
@@ -79,6 +82,7 @@ let run ~algos ~runs ~seed =
     operations = !operations;
     crashes_injected = !crashes;
     failures = List.rev !failures;
+    metrics = !metrics;
   }
 
 (* Chaos sweep grid: loss rate x partition duration (in D). Every grid
@@ -103,8 +107,8 @@ let one_chaos_run (algo : Algo.t) rng run_index =
       ~ops_per_node:(2 + Sim.Rng.int rng 3)
       ~seed
   with
-  | exception exn -> (0, 0, Some (describe (Printexc.to_string exn)))
-  | row -> (row.Scenario.c_ops, row.Scenario.c_k, None)
+  | exception exn -> (0, 0, [], Some (describe (Printexc.to_string exn)))
+  | row -> (row.Scenario.c_ops, row.Scenario.c_k, row.Scenario.c_metrics, None)
 
 let chaos ~algos ~runs ~seed =
   let rng = Sim.Rng.create seed in
@@ -112,13 +116,17 @@ let chaos ~algos ~runs ~seed =
   let crashes = ref 0 in
   let failures = ref [] in
   let executed = ref 0 in
+  let metrics = ref [] in
   for run_index = 1 to runs do
     List.iter
       (fun algo ->
         incr executed;
-        let ops, crashed, failure = one_chaos_run algo rng run_index in
+        let ops, crashed, run_metrics, failure =
+          one_chaos_run algo rng run_index
+        in
         operations := !operations + ops;
         crashes := !crashes + crashed;
+        metrics := Obs.Metrics.merge !metrics run_metrics;
         Option.iter (fun f -> failures := f :: !failures) failure)
       algos
   done;
@@ -127,6 +135,7 @@ let chaos ~algos ~runs ~seed =
     operations = !operations;
     crashes_injected = !crashes;
     failures = List.rev !failures;
+    metrics = !metrics;
   }
 
 let pp ppf r =
@@ -134,4 +143,22 @@ let pp ppf r =
     "campaign: %d runs, %d operations, %d crashes injected, %d failure(s)"
     r.runs r.operations r.crashes_injected
     (List.length r.failures);
+  (* Key aggregates from the merged registry — the full snapshot is in
+     [r.metrics] for callers that want more. *)
+  let count name =
+    Option.value ~default:0 (Obs.Metrics.find_count r.metrics name)
+  in
+  if r.metrics <> [] then begin
+    Format.fprintf ppf "@.  messages: %d sent, %d delivered" (count "net.sent")
+      (count "net.delivered");
+    match
+      Option.bind
+        (Obs.Metrics.find_samples r.metrics "aso.rounds_per_update")
+        Obs.Metrics.summary
+    with
+    | Some s ->
+        Format.fprintf ppf "@.  rounds/update: mean %.2f max %.0f (%d samples)"
+          s.Obs.Metrics.mean s.Obs.Metrics.max s.Obs.Metrics.s_count
+    | None -> ()
+  end;
   List.iter (fun f -> Format.fprintf ppf "@.  FAILED %s" f) r.failures

@@ -8,6 +8,9 @@ type report = {
   operations : int;  (** completed operations across all runs *)
   crashes_injected : int;
   failures : string list;  (** descriptions of failed runs, if any *)
+  metrics : Obs.Metrics.snapshot;
+      (** every run's metrics registry {!Obs.Metrics.merge}d together:
+          counters summed, histogram samples concatenated *)
 }
 
 val run : algos:Algo.t list -> runs:int -> seed:int64 -> report

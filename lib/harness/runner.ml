@@ -14,6 +14,7 @@ type outcome = {
   crashed : int list;
   algorithm : string;
   net : Instance.net_stats;
+  metrics : Obs.Metrics.snapshot;
 }
 
 exception Stuck of string
@@ -60,9 +61,9 @@ let client_fiber engine (instance : int Instance.t) history next_value node
   walk steps
 
 (* The watchdog's post-mortem: the pending operations, the per-node
-   transport/link state, and the last traced messages — everything
-   needed to see {e where} a hung operation is waiting. *)
-let diagnose (instance : int Instance.t) history ring ~now ~budget =
+   transport/link state, and the tail of the structured trace —
+   everything needed to see {e where} a hung operation is waiting. *)
+let diagnose (instance : int Instance.t) history ~tail ~now ~budget =
   let stuck =
     List.filter
       (fun (op : History.op) -> not (instance.is_crashed op.node))
@@ -77,14 +78,29 @@ let diagnose (instance : int Instance.t) history ring ~now ~budget =
     stuck
     (fun ppf -> instance.dump_net ppf)
     (fun ppf ->
-      if not (Queue.is_empty ring) then begin
-        Format.fprintf ppf "@.last %d traced message(s):" (Queue.length ring);
-        Queue.iter (fun line -> Format.fprintf ppf "@.  %s" line) ring
+      if tail <> [] then begin
+        Format.fprintf ppf "@.last %d trace event(s):" (List.length tail);
+        List.iter
+          (fun ev -> Format.fprintf ppf "@.  %a" Obs.Trace.pp_event ev)
+          tail
       end)
 
-let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ~make config
-    ~workload ~adversary =
+let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace ~make
+    config ~workload ~adversary =
   let engine = Sim.Engine.create ~seed:config.seed () in
+  (* One trace serves both consumers: a caller-supplied unbounded trace
+     for export, or the watchdog's bounded ring for the [Stuck] tail.
+     Attached before [make] so every component captures it at creation;
+     with neither, the noop trace keeps schedules bit-identical to an
+     uninstrumented run. *)
+  let obs =
+    match (trace, watchdog) with
+    | Some tr, _ -> tr
+    | None, Some { trace = cap; _ } when cap > 0 ->
+        Obs.Trace.create ~capacity:cap ()
+    | None, _ -> Obs.Trace.noop
+  in
+  Sim.Engine.set_trace engine obs;
   let delay = make_delay engine config.delay in
   let instance =
     Sim.Network.with_substrate substrate (fun () ->
@@ -104,15 +120,10 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ~make config
     workload;
   (match watchdog with
   | None -> Sim.Engine.run_until_quiescent engine
-  | Some { budget; trace } ->
+  | Some { budget; trace = tail_n } ->
       (* Bounded run: a protocol that hangs (or a transport stuck behind
          an unhealed partition) becomes a failing test with a diagnostic
          dump instead of a simulation that never goes quiescent. *)
-      let ring = Queue.create () in
-      if trace > 0 then
-        instance.set_route_tracer (fun line ->
-            Queue.push line ring;
-            if Queue.length ring > trace then ignore (Queue.pop ring));
       let deadline = budget *. Sim.Delay.bound delay in
       Sim.Engine.run ~until:deadline engine;
       if
@@ -122,8 +133,8 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ~make config
       then
         raise
           (Stuck
-             (diagnose instance history ring ~now:(Sim.Engine.now engine)
-                ~budget)));
+             (diagnose instance history ~tail:(Obs.Trace.tail obs tail_n)
+                ~now:(Sim.Engine.now engine) ~budget)));
   (* Liveness: any operation still pending must belong to a node that
      crashed mid-operation. *)
   List.iter
@@ -143,6 +154,13 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ~make config
       List.filter (fun i -> instance.is_crashed i) (List.init config.n Fun.id);
     algorithm = instance.name;
     net = instance.net_stats ();
+    metrics =
+      instance.metrics ()
+      @ [
+          ("engine.steps", Obs.Metrics.Count (Sim.Engine.steps engine));
+          ( "engine.time_advances",
+            Obs.Metrics.Count (Sim.Engine.time_advances engine) );
+        ];
   }
 
 let latencies_of outcome ~keep =

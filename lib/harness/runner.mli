@@ -21,6 +21,11 @@ type outcome = {
       (** both-layer message accounting;
           [Instance.overhead_factor outcome.net] is the retransmit
           overhead on the lossy substrate *)
+  metrics : Obs.Metrics.snapshot;
+      (** the deployment's full metrics registry (network, wire,
+          protocol counters, rounds-per-op histograms) plus
+          ["engine.steps"] and ["engine.time_advances"]; mergeable
+          across runs with {!Obs.Metrics.merge} *)
 }
 
 exception Stuck of string
@@ -32,14 +37,16 @@ type watchdog = {
   budget : float;
       (** simulated-time budget in units of [D]; an operation still
           pending when the clock passes [budget * D] counts as stuck *)
-  trace : int;  (** keep the last [trace] routed messages for the dump *)
+  trace : int;  (** keep the last [trace] trace events for the dump *)
 }
 (** Liveness watchdog: bound the run by simulated time instead of
     waiting for quiescence, and convert a hang into a failing
     {!Stuck} carrying the pending operations, the per-node
-    transport/link state, and the last-[trace] message trace. Needed
-    under chaos: an unhealed partition retransmits forever and the
-    engine never goes quiescent on its own. *)
+    transport/link state, and the tail of the structured trace (an
+    {!Obs.Trace} ring of the last [trace] events — the same stream
+    the exporters consume). Needed under chaos: an unhealed partition
+    retransmits forever and the engine never goes quiescent on its
+    own. *)
 
 val default_watchdog : watchdog
 (** [budget = 400 D], [trace = 32] — generous for every algorithm in
@@ -52,6 +59,7 @@ val run :
   ?workload_seed:int64 ->
   ?substrate:Sim.Network.substrate ->
   ?watchdog:watchdog ->
+  ?trace:Obs.Trace.t ->
   make:maker ->
   config ->
   workload:Workload.t ->
@@ -63,7 +71,15 @@ val run :
     completed. [substrate] (default {!Sim.Network.Ideal}) selects the
     network stack the algorithm's [Network.create] calls land on —
     pass [Lossy] to run an unmodified algorithm over the
-    drop/duplicate/reorder link with the reliable transport on top. *)
+    drop/duplicate/reorder link with the reliable transport on top.
+
+    [trace] attaches a caller-owned {!Obs.Trace} to the engine before
+    construction, so every layer (wire, network, protocol phases,
+    operations) emits into it — export it afterwards with
+    {!Obs.Trace.to_chrome} or {!Obs.Trace.to_jsonl}. Without [trace],
+    a watchdog with [trace > 0] attaches a bounded ring of that many
+    events for the {!Stuck} post-mortem; with neither, the noop trace
+    is used and the schedule is identical to an uninstrumented run. *)
 
 val update_latencies : outcome -> float list
 (** Completed UPDATE durations divided by [D], invocation order. *)

@@ -6,6 +6,8 @@ type row = {
   mean_update : float;
   worst_scan : float;
   mean_scan : float;
+  mean_rounds_upd : float;
+  max_rounds_upd : float;
   messages : int;
   end_time : float;
 }
@@ -30,6 +32,19 @@ let stats_row ~(algo : Algo.t) ~k ~rounds outcome =
   let updates = Runner.update_latencies outcome in
   let scans = Runner.scan_latencies outcome in
   let or_nan f = function [] -> Float.nan | l -> f l in
+  (* Rounds-per-UPDATE: lattice operations per completed update, sampled
+     by the instrumented algorithms; nan for algorithms without the
+     histogram (register baselines). *)
+  let mean_rounds_upd, max_rounds_upd =
+    match
+      Option.bind
+        (Obs.Metrics.find_samples outcome.Runner.metrics
+           "aso.rounds_per_update")
+        Obs.Metrics.summary
+    with
+    | Some s -> (s.Obs.Metrics.mean, s.Obs.Metrics.max)
+    | None -> (Float.nan, Float.nan)
+  in
   {
     algo = algo.name;
     k;
@@ -38,6 +53,8 @@ let stats_row ~(algo : Algo.t) ~k ~rounds outcome =
     mean_update = or_nan Runner.mean_latency updates;
     worst_scan = or_nan Runner.max_latency scans;
     mean_scan = or_nan Runner.mean_latency scans;
+    mean_rounds_upd;
+    max_rounds_upd;
     messages = outcome.messages;
     end_time = (outcome.end_time /. outcome.d);
   }
@@ -141,6 +158,7 @@ type chaos_row = {
   lost : int;
   overhead : float;
   c_end : float;
+  c_metrics : Obs.Metrics.snapshot;
 }
 
 let two_halves n =
@@ -184,6 +202,7 @@ let chaos ~algo ~n ~k ~drop ~dup ~reorder ~part_span ~ops_per_node ~seed =
     lost = outcome.net.wire_lost + outcome.net.wire_cut;
     overhead = Instance.overhead_factor outcome.net;
     c_end = outcome.end_time /. outcome.d;
+    c_metrics = outcome.metrics;
   }
 
 let chaos_header =
@@ -208,7 +227,7 @@ let chaos_cells r =
 
 let header =
   [ "algorithm"; "k"; "rounds"; "upd worst"; "upd mean"; "scan worst";
-    "scan mean"; "msgs"; "makespan" ]
+    "scan mean"; "la/upd"; "msgs"; "makespan" ]
 
 let to_cells r =
   [
@@ -219,6 +238,7 @@ let to_cells r =
     Table.cell_f r.mean_update;
     Table.cell_f r.worst_scan;
     Table.cell_f r.mean_scan;
+    Table.cell_n r.mean_rounds_upd;
     string_of_int r.messages;
     Table.cell_f r.end_time;
   ]

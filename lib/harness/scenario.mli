@@ -15,6 +15,11 @@ type row = {
   mean_update : float;
   worst_scan : float;
   mean_scan : float;
+  mean_rounds_upd : float;
+      (** mean lattice operations per completed UPDATE, from the
+          ["aso.rounds_per_update"] histogram; nan for algorithms that
+          don't sample it (register baselines) *)
+  max_rounds_upd : float;  (** max of the same histogram; nan if absent *)
   messages : int;
   end_time : float;  (** virtual makespan, in D *)
 }
@@ -71,6 +76,7 @@ type chaos_row = {
   lost : int;  (** packets eaten by loss or a partition cut *)
   overhead : float;  (** wire / logical *)
   c_end : float;  (** makespan in D *)
+  c_metrics : Obs.Metrics.snapshot;  (** the run's full metrics registry *)
 }
 
 val chaos :

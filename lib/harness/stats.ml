@@ -34,7 +34,28 @@ let pp_summary ppf s =
     "n=%d mean=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f" s.count
     s.mean s.min s.p50 s.p90 s.p99 s.max
 
+(* RFC 4180: a cell containing a comma, double quote, CR or LF is
+   wrapped in double quotes, with embedded quotes doubled. *)
+let csv_cell cell =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) cell
+  in
+  if not needs_quoting then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let csv ?(out = stdout) ~header rows =
-  let emit row = output_string out (String.concat "," row ^ "\n") in
+  let emit row =
+    output_string out (String.concat "," (List.map csv_cell row) ^ "\n")
+  in
   emit header;
   List.iter emit rows

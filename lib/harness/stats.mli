@@ -16,7 +16,12 @@ val summarize : float list -> summary option
 
 val pp_summary : Format.formatter -> summary -> unit
 
+val csv_cell : string -> string
+(** RFC 4180 escaping for one cell: quoted (with embedded double quotes
+    doubled) iff it contains a comma, quote, CR or LF; returned
+    verbatim otherwise. *)
+
 val csv :
   ?out:out_channel -> header:string list -> string list list -> unit
-(** Write rows as comma-separated values (cells must not contain
-    commas; the harness only emits numbers and identifiers). *)
+(** Write rows as comma-separated values, escaping each cell per
+    RFC 4180 ({!csv_cell}), with ["\n"] line endings. *)

@@ -29,4 +29,6 @@ let print ?(out = Format.std_formatter) ~title ~header rows =
 let cell_f v =
   if Float.is_nan v then "-" else Printf.sprintf "%.1f D" v
 
+let cell_n v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v
+
 let cell_opt_f = function None -> "-" | Some v -> cell_f v

@@ -8,4 +8,8 @@ val print :
 val cell_f : float -> string
 (** Format a latency in D units: ["12.0 D"], or ["-"] for NaN. *)
 
+val cell_n : float -> string
+(** Format a unitless quantity (a count, a ratio): ["2.0"], or ["-"]
+    for NaN. *)
+
 val cell_opt_f : float option -> string

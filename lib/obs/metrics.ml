@@ -1,0 +1,149 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable level : float }
+
+type histogram = {
+  h_name : string;
+  mutable samples : float list; (* newest first *)
+  mutable h_count : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t name make describe =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match describe m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %S already registered as a %s" name
+               (kind_name m)))
+  | None ->
+      let v, m = make () in
+      Hashtbl.replace t.tbl name m;
+      t.order <- name :: t.order;
+      v
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c_name = name; count = 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g_name = name; level = 0. } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h = { h_name = name; samples = []; h_count = 0 } in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+let counter_name c = c.c_name
+
+let set g v = g.level <- v
+let level g = g.level
+let gauge_name g = g.g_name
+
+let observe h v =
+  h.samples <- v :: h.samples;
+  h.h_count <- h.h_count + 1
+
+let histogram_name h = h.h_name
+
+(* ---- snapshots ------------------------------------------------------- *)
+
+type stat =
+  | Count of int
+  | Level of float
+  | Samples of float list (* oldest first *)
+
+type snapshot = (string * stat) list
+
+let snapshot t =
+  List.rev_map
+    (fun name ->
+      ( name,
+        match Hashtbl.find t.tbl name with
+        | C c -> Count c.count
+        | G g -> Level g.level
+        | H h -> Samples (List.rev h.samples) ))
+    t.order
+
+let merge_stat name a b =
+  match (a, b) with
+  | Count x, Count y -> Count (x + y)
+  | Level x, Level y -> Level (Float.max x y)
+  | Samples x, Samples y -> Samples (x @ y)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics.merge: %S has conflicting kinds" name)
+
+(* Union keyed by name: counters add, gauges keep the max, histograms
+   concatenate samples. Order: [a]'s entries, then [b]'s new ones. *)
+let merge a b =
+  let merged =
+    List.map
+      (fun (name, sa) ->
+        match List.assoc_opt name b with
+        | None -> (name, sa)
+        | Some sb -> (name, merge_stat name sa sb))
+      a
+  in
+  merged @ List.filter (fun (name, _) -> not (List.mem_assoc name a)) b
+
+let find snap name = List.assoc_opt name snap
+
+let find_count snap name =
+  match find snap name with Some (Count c) -> Some c | _ -> None
+
+let find_samples snap name =
+  match find snap name with Some (Samples s) -> Some s | _ -> None
+
+type summary = { s_count : int; mean : float; min : float; max : float }
+
+let summary = function
+  | [] -> None
+  | samples ->
+      let n = List.length samples in
+      Some
+        {
+          s_count = n;
+          mean = List.fold_left ( +. ) 0. samples /. float_of_int n;
+          min = List.fold_left Float.min infinity samples;
+          max = List.fold_left Float.max neg_infinity samples;
+        }
+
+let pp_stat ppf = function
+  | Count c -> Format.pp_print_int ppf c
+  | Level l -> Format.fprintf ppf "%g" l
+  | Samples s -> (
+      match summary s with
+      | None -> Format.pp_print_string ppf "(empty)"
+      | Some { s_count; mean; min; max } ->
+          Format.fprintf ppf "n=%d mean=%.2f min=%.2f max=%.2f" s_count mean
+            min max)
+
+let pp_snapshot ppf snap =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline
+    (fun ppf (name, stat) ->
+      Format.fprintf ppf "%-32s %a" name pp_stat stat)
+    ppf snap

@@ -1,0 +1,73 @@
+(** A registry of named counters, gauges, and histograms.
+
+    Each deployment (one network stack plus the algorithm wired onto it)
+    owns one registry; components obtain their instruments once at
+    creation time, so the hot path is a single unboxed mutable-field
+    update — no hashing, no allocation. A {!snapshot} freezes the
+    registry into plain data that can be {!merge}d across runs (counters
+    add, gauges keep the max, histogram samples concatenate), which is
+    how campaigns and benches aggregate per-run measurements into
+    tables.
+
+    Metric names are flat dotted strings (["link.wire_sent"],
+    ["aso.rounds_per_update"]); registering a name twice returns the
+    existing instrument, and registering it at a different kind is an
+    error. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find-or-create. @raise Invalid_argument if [name] is registered as a
+    different kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+val counter_name : counter -> string
+
+val set : gauge -> float -> unit
+val level : gauge -> float
+val gauge_name : gauge -> string
+
+val observe : histogram -> float -> unit
+val histogram_name : histogram -> string
+
+(** {2 Snapshots} *)
+
+type stat =
+  | Count of int
+  | Level of float
+  | Samples of float list  (** observation order *)
+
+type snapshot = (string * stat) list
+(** Registration order. *)
+
+val snapshot : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Union by name: counters add, gauges keep the max, histograms
+    concatenate samples ([a]'s before [b]'s). Order: [a]'s entries
+    first, then names only in [b].
+    @raise Invalid_argument if a name carries different kinds. *)
+
+val find : snapshot -> string -> stat option
+val find_count : snapshot -> string -> int option
+val find_samples : snapshot -> string -> float list option
+
+type summary = { s_count : int; mean : float; min : float; max : float }
+
+val summary : float list -> summary option
+(** [None] on an empty sample list. *)
+
+val pp_stat : Format.formatter -> stat -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

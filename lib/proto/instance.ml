@@ -30,6 +30,6 @@ type 'v t = {
   heal : unit -> unit;
   set_link_faults : drop:float -> dup:float -> reorder:float -> unit;
   net_stats : unit -> net_stats;
-  set_route_tracer : (string -> unit) -> unit;
+  metrics : unit -> Obs.Metrics.snapshot;
   dump_net : Format.formatter -> unit;
 }

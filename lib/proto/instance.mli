@@ -55,10 +55,11 @@ type 'v t = {
       (** Set the link-layer loss/duplication/reordering rates. Raises
           [Invalid_argument] on the ideal substrate. *)
   net_stats : unit -> net_stats;
-  set_route_tracer : (string -> unit) -> unit;
-      (** Observe every logical send/delivery/drop as a payload-free
-          one-line string (time, kind, route) — feeds the liveness
-          watchdog's last-N message ring. *)
+  metrics : unit -> Obs.Metrics.snapshot;
+      (** Snapshot of the deployment's metrics registry: network/wire
+          counters plus whatever protocol counters and histograms the
+          algorithm registered (quorum phases, lattice renewals,
+          rounds-per-operation, ...). *)
   dump_net : Format.formatter -> unit;
       (** Diagnostic dump of the network (and, on the lossy stack, the
           per-node transport channel state). *)

@@ -6,6 +6,14 @@ module Msg = struct
     | Read_r of { req : int; vector : 'v Reg_store.vector }
     | Write_back of { req : int; vector : 'v Reg_store.vector }
     | Write_back_ack of { req : int }
+
+  let kind = function
+    | Write _ -> "write"
+    | Write_ack _ -> "writeAck"
+    | Read_q _ -> "readQ"
+    | Read_r _ -> "readR"
+    | Write_back _ -> "writeBack"
+    | Write_back_ack _ -> "writeBackAck"
 end
 
 type 'v node = {
@@ -51,6 +59,7 @@ let handle t nd ~src msg =
 let create engine ~n ~f ~delay =
   Quorum.check_crash ~n ~f;
   let net = Sim.Network.create engine ~n ~delay in
+  Sim.Network.set_msg_label net Msg.kind;
   let make_node id =
     {
       id;

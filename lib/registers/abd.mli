@@ -23,6 +23,9 @@ module Msg : sig
     | Read_r of { req : int; vector : 'v Reg_store.vector }
     | Write_back of { req : int; vector : 'v Reg_store.vector }
     | Write_back_ack of { req : int }
+
+  val kind : 'v t -> string
+  (** Wire-protocol message name, for tracing. *)
 end
 
 type 'v t

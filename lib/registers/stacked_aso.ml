@@ -1,8 +1,21 @@
 type 'v payload = { value : 'v; embedded : 'v payload Reg_store.vector }
 
-type 'v t = { abd : 'v payload Abd.t; n : int; f : int }
+type 'v t = { abd : 'v payload Abd.t; n : int; f : int; obs : Obs.Trace.t }
 
-let create engine ~n ~f ~delay = { abd = Abd.create engine ~n ~f ~delay; n; f }
+let create engine ~n ~f ~delay =
+  { abd = Abd.create engine ~n ~f ~delay; n; f;
+    obs = Sim.Engine.trace engine }
+
+let span t ~pid name f =
+  if not (Obs.Trace.enabled t.obs) then f ()
+  else begin
+    let now () = Sim.Engine.now (Sim.Network.engine (Abd.net t.abd)) in
+    Obs.Trace.span_begin t.obs ~ts:(now ()) ~pid ~cat:"op" name;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.span_end t.obs ~ts:(now ()) ~pid ~cat:"op" name)
+      f
+  end
 
 (* Afek et al.'s scan: repeated collects; a clean double collect returns
    directly, a writer seen moving twice is borrowed from. Identical
@@ -38,11 +51,13 @@ let scan_vector t node =
   stabilise first
 
 let scan t ~node =
+  span t ~pid:node "SCAN" @@ fun () ->
   Array.map
     (Option.map (fun (p : 'v payload) -> p.value))
     (Reg_store.extract (scan_vector t node))
 
 let update t ~node v =
+  span t ~pid:node "UPDATE" @@ fun () ->
   let embedded = scan_vector t node in
   Abd.write t.abd ~node { value = v; embedded }
 

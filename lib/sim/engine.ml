@@ -4,6 +4,9 @@ type t = {
   runnable : (unit -> unit) Queue.t;
   rng : Rng.t;
   mutable blocking : int;
+  mutable steps : int;
+  mutable time_advances : int;
+  mutable trace : Obs.Trace.t;
 }
 
 exception Deadlock of string
@@ -15,10 +18,17 @@ let create ?(seed = 1L) () =
     runnable = Queue.create ();
     rng = Rng.create seed;
     blocking = 0;
+    steps = 0;
+    time_advances = 0;
+    trace = Obs.Trace.noop;
   }
 
 let now t = t.now
 let rng t = t.rng
+let steps t = t.steps
+let time_advances t = t.time_advances
+let trace t = t.trace
+let set_trace t trace = t.trace <- trace
 
 let schedule t ~delay f =
   assert (delay >= 0.);
@@ -39,6 +49,7 @@ let run_loop t ~until ~max_steps =
   let steps = ref 0 in
   let bump () =
     incr steps;
+    t.steps <- t.steps + 1;
     if !steps > max_steps then
       failwith
         (Printf.sprintf "Sim.Engine: exceeded %d steps at t=%g (livelock?)"
@@ -61,6 +72,7 @@ let run_loop t ~until ~max_steps =
             | Some tf -> tf
             | None -> assert false
           in
+          if time > t.now then t.time_advances <- t.time_advances + 1;
           t.now <- time;
           f ()
   done

@@ -23,6 +23,24 @@ val rng : t -> Rng.t
 (** Engine-owned generator; use {!Rng.split} to derive per-concern
     streams. *)
 
+val steps : t -> int
+(** Engine steps (handler/fiber resumptions) executed over the engine's
+    lifetime — the discrete-event analogue of instructions retired. *)
+
+val time_advances : t -> int
+(** Times the virtual clock moved strictly forward. With
+    {!Delay.fixed}[ 1.0] this counts the distinct delivery instants the
+    execution visited. *)
+
+val trace : t -> Obs.Trace.t
+(** The engine's trace — {!Obs.Trace.noop} unless the harness attached
+    one. Components capture it at creation time; tracing never perturbs
+    the schedule (no RNG draws, no event-queue interaction). *)
+
+val set_trace : t -> Obs.Trace.t -> unit
+(** Attach a trace. Call before constructing the components that should
+    emit into it — they capture the engine's trace when created. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at time [now t +. delay].
     Requires [delay >= 0.]. *)

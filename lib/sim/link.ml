@@ -25,20 +25,25 @@ type 'p t = {
   handlers : (src:int -> 'p -> unit) array;
   (* FIFO clamp as in the ideal network; reordered packets bypass it. *)
   last_delivery : float array array;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable lost : int;
+  metrics : Obs.Metrics.t;
+  sent : Obs.Metrics.counter;
+  delivered : Obs.Metrics.counter;
+  lost : Obs.Metrics.counter;
   (* dropped by the loss model *)
-  mutable cut : int;
+  cut : Obs.Metrics.counter;
   (* dropped because they crossed a partition *)
-  mutable duplicated : int;
-  mutable reordered : int;
+  duplicated : Obs.Metrics.counter;
+  reordered : Obs.Metrics.counter;
+  obs : Obs.Trace.t;
   mutable tracer : ('p event -> unit) option;
 }
 
-let create ?(faults = no_faults) engine ~n ~delay =
+let create ?(faults = no_faults) ?metrics engine ~n ~delay =
   assert (n > 0);
   check_faults faults;
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   {
     engine;
     n;
@@ -48,12 +53,14 @@ let create ?(faults = no_faults) engine ~n ~delay =
     groups = None;
     handlers = Array.make n (fun ~src:_ _ -> ());
     last_delivery = Array.make_matrix n n neg_infinity;
-    sent = 0;
-    delivered = 0;
-    lost = 0;
-    cut = 0;
-    duplicated = 0;
-    reordered = 0;
+    metrics;
+    sent = Obs.Metrics.counter metrics "link.wire_sent";
+    delivered = Obs.Metrics.counter metrics "link.wire_delivered";
+    lost = Obs.Metrics.counter metrics "link.wire_lost";
+    cut = Obs.Metrics.counter metrics "link.wire_cut";
+    duplicated = Obs.Metrics.counter metrics "link.duplicated";
+    reordered = Obs.Metrics.counter metrics "link.reordered";
+    obs = Engine.trace engine;
     tracer = None;
   }
 
@@ -90,6 +97,16 @@ let reachable t ~src ~dst =
 
 let trace t ev = match t.tracer with None -> () | Some f -> f ev
 let set_tracer t f = t.tracer <- Some f
+let metrics t = t.metrics
+
+(* Wire-level observability: a span-free instant per packet fate, on
+   the track of the node that acted (sender for sent/lost/cut, receiver
+   for delivered). Guarded so the disabled trace allocates nothing. *)
+let obs_wire t ~name ~pid ~src ~dst ~at =
+  if Obs.Trace.enabled t.obs then
+    Obs.Trace.instant t.obs ~ts:at ~pid ~cat:"wire"
+      ~args:[ ("src", Obs.Trace.Int src); ("dst", Obs.Trace.Int dst) ]
+      name
 
 (* Draw only when the probability is positive, so a zero-fault link makes
    exactly the RNG draws of the ideal network (none). *)
@@ -99,20 +116,24 @@ let deliver_at t ~src ~dst ~at packet =
   Engine.schedule t.engine
     ~delay:(at -. Engine.now t.engine)
     (fun () ->
-      t.delivered <- t.delivered + 1;
-      trace t (Wire_delivered { src; dst; at = Engine.now t.engine; packet });
+      Obs.Metrics.incr t.delivered;
+      let at = Engine.now t.engine in
+      obs_wire t ~name:"wire_delivered" ~pid:dst ~src ~dst ~at;
+      trace t (Wire_delivered { src; dst; at; packet });
       t.handlers.(dst) ~src packet)
 
 let transmit t ~src ~dst packet =
   let now = Engine.now t.engine in
-  t.sent <- t.sent + 1;
+  Obs.Metrics.incr t.sent;
   trace t (Wire_sent { src; dst; at = now; packet });
   if not (reachable t ~src ~dst) then begin
-    t.cut <- t.cut + 1;
+    Obs.Metrics.incr t.cut;
+    obs_wire t ~name:"wire_cut" ~pid:src ~src ~dst ~at:now;
     trace t (Wire_cut { src; dst; at = now; packet })
   end
   else if hit t t.faults.drop then begin
-    t.lost <- t.lost + 1;
+    Obs.Metrics.incr t.lost;
+    obs_wire t ~name:"wire_lost" ~pid:src ~src ~dst ~at:now;
     trace t (Wire_lost { src; dst; at = now; packet })
   end
   else begin
@@ -121,7 +142,7 @@ let transmit t ~src ~dst packet =
       if src <> dst && hit t t.faults.reorder then begin
         (* Fresh delay plus jitter, not clamped to the channel's previous
            delivery: a later packet may overtake earlier ones. *)
-        t.reordered <- t.reordered + 1;
+        Obs.Metrics.incr t.reordered;
         now +. d +. Rng.float t.rng (Delay.bound t.delay)
       end
       else begin
@@ -136,20 +157,21 @@ let transmit t ~src ~dst packet =
 let send t ~src ~dst packet =
   transmit t ~src ~dst packet;
   if src <> dst && hit t t.faults.dup then begin
-    t.duplicated <- t.duplicated + 1;
+    Obs.Metrics.incr t.duplicated;
     transmit t ~src ~dst packet
   end
 
-let packets_sent t = t.sent
-let packets_delivered t = t.delivered
-let packets_lost t = t.lost
-let packets_cut t = t.cut
-let packets_duplicated t = t.duplicated
-let packets_reordered t = t.reordered
+let packets_sent t = Obs.Metrics.count t.sent
+let packets_delivered t = Obs.Metrics.count t.delivered
+let packets_lost t = Obs.Metrics.count t.lost
+let packets_cut t = Obs.Metrics.count t.cut
+let packets_duplicated t = Obs.Metrics.count t.duplicated
+let packets_reordered t = Obs.Metrics.count t.reordered
 
 let pp_state ppf t =
   Format.fprintf ppf
     "link: faults={drop=%.2f dup=%.2f reorder=%.2f} partitioned=%b \
      sent=%d delivered=%d lost=%d cut=%d dup'd=%d reordered=%d"
-    t.faults.drop t.faults.dup t.faults.reorder (partitioned t) t.sent
-    t.delivered t.lost t.cut t.duplicated t.reordered
+    t.faults.drop t.faults.dup t.faults.reorder (partitioned t)
+    (packets_sent t) (packets_delivered t) (packets_lost t) (packets_cut t)
+    (packets_duplicated t) (packets_reordered t)

@@ -28,13 +28,21 @@ val no_faults : faults
 
 type 'p t
 
-val create : ?faults:faults -> Engine.t -> n:int -> delay:Delay.t -> 'p t
-(** [n]-node link fabric. Default faults: {!no_faults}.
+val create :
+  ?faults:faults -> ?metrics:Obs.Metrics.t -> Engine.t -> n:int ->
+  delay:Delay.t -> 'p t
+(** [n]-node link fabric. Default faults: {!no_faults}. Wire counters
+    register in [metrics] (fresh registry if omitted) under
+    ["link.*"]; wire-level instants are emitted to the engine's trace
+    when one is attached.
     @raise Invalid_argument if a probability lies outside [[0, 1)]. *)
 
 val engine : _ t -> Engine.t
 val size : _ t -> int
 val delay_bound : _ t -> float
+
+val metrics : _ t -> Obs.Metrics.t
+(** The registry holding this link's ["link.*"] counters. *)
 
 val set_handler : 'p t -> int -> (src:int -> 'p -> unit) -> unit
 val send : 'p t -> src:int -> dst:int -> 'p -> unit

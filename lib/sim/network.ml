@@ -29,8 +29,15 @@ type 'm t = {
      node dies. *)
   pending_bcast_crash : (('m -> bool) * int list) option array;
   crash_hooks : (int -> unit) Queue.t;
-  mutable sent : int;
-  mutable delivered : int;
+  metrics : Obs.Metrics.t;
+  sent : Obs.Metrics.counter;
+  delivered : Obs.Metrics.counter;
+  dropped : Obs.Metrics.counter;
+  broadcasts : Obs.Metrics.counter;
+  obs : Obs.Trace.t;
+  (* Payload-free message label for trace events; algorithms install
+     their wire-protocol kind function ({!set_msg_label}). *)
+  mutable msg_label : ('m -> string) option;
   mutable tracer : ('m event -> unit) option;
 }
 
@@ -41,19 +48,38 @@ and 'm event =
 
 let trace t event = match t.tracer with None -> () | Some f -> f event
 
+let label t msg =
+  match t.msg_label with None -> "msg" | Some f -> f msg
+
+(* Logical message instants on the acting node's track; guarded so the
+   disabled trace costs one branch and allocates nothing. *)
+let obs_msg t ~name ~pid ~src ~dst msg =
+  if Obs.Trace.enabled t.obs then
+    Obs.Trace.instant t.obs ~ts:(Engine.now t.engine) ~pid ~cat:"net"
+      ~args:
+        [ ("kind", Obs.Trace.Str (label t msg)); ("src", Obs.Trace.Int src);
+          ("dst", Obs.Trace.Int dst) ]
+      name
+
 (* Logical delivery point, shared by both backends: the destination's
    crash is checked at delivery time. *)
 let deliver t ~src ~dst msg =
   if not t.crashed.(dst) then begin
-    t.delivered <- t.delivered + 1;
+    Obs.Metrics.incr t.delivered;
+    obs_msg t ~name:"recv" ~pid:dst ~src ~dst msg;
     trace t (Delivered { src; dst; at = Engine.now t.engine; msg });
     t.handlers.(dst) ~src msg
   end
-  else trace t (Dropped { src; dst; at = Engine.now t.engine; msg })
+  else begin
+    Obs.Metrics.incr t.dropped;
+    obs_msg t ~name:"drop" ~pid:dst ~src ~dst msg;
+    trace t (Dropped { src; dst; at = Engine.now t.engine; msg })
+  end
 
 let create ?substrate engine ~n ~delay =
   assert (n > 0);
   let substrate = Option.value substrate ~default:!ambient in
+  let metrics = Obs.Metrics.create () in
   let t =
     {
       engine;
@@ -62,13 +88,19 @@ let create ?substrate engine ~n ~delay =
       backend =
         (match substrate with
         | Ideal -> Direct { last_delivery = Array.make_matrix n n neg_infinity }
-        | Lossy faults -> Stack (Transport.create ~faults engine ~n ~delay));
+        | Lossy faults ->
+            Stack (Transport.create ~faults ~metrics engine ~n ~delay));
       handlers = Array.make n (fun ~src:_ _ -> ());
       crashed = Array.make n false;
       pending_bcast_crash = Array.make n None;
       crash_hooks = Queue.create ();
-      sent = 0;
-      delivered = 0;
+      metrics;
+      sent = Obs.Metrics.counter metrics "net.sent";
+      delivered = Obs.Metrics.counter metrics "net.delivered";
+      dropped = Obs.Metrics.counter metrics "net.dropped";
+      broadcasts = Obs.Metrics.counter metrics "net.broadcasts";
+      obs = Engine.trace engine;
+      msg_label = None;
       tracer = None;
     }
   in
@@ -117,7 +149,8 @@ let crash t i =
    honest reading of "reliable channels" over a real network. *)
 let send t ~src ~dst msg =
   if not t.crashed.(src) then begin
-    t.sent <- t.sent + 1;
+    Obs.Metrics.incr t.sent;
+    obs_msg t ~name:"send" ~pid:src ~src ~dst msg;
     let now = Engine.now t.engine in
     trace t (Sent { src; dst; at = now; msg });
     match t.backend with
@@ -138,7 +171,8 @@ let send t ~src ~dst msg =
   end
 
 let broadcast t ~src msg =
-  if not t.crashed.(src) then
+  if not t.crashed.(src) then begin
+    Obs.Metrics.incr t.broadcasts;
     match t.pending_bcast_crash.(src) with
     | Some (match_, allow) when match_ msg ->
         t.pending_bcast_crash.(src) <- None;
@@ -150,6 +184,7 @@ let broadcast t ~src msg =
         for dst = 0 to t.n - 1 do
           send t ~src ~dst msg
         done
+  end
 
 let crash_during_next_broadcast_matching t i ~match_ ~deliver_to =
   t.pending_bcast_crash.(i) <- Some (match_, deliver_to)
@@ -157,9 +192,11 @@ let crash_during_next_broadcast_matching t i ~match_ ~deliver_to =
 let crash_during_next_broadcast t i ~deliver_to =
   crash_during_next_broadcast_matching t i ~match_:(fun _ -> true) ~deliver_to
 
-let messages_sent t = t.sent
-let messages_delivered t = t.delivered
+let messages_sent t = Obs.Metrics.count t.sent
+let messages_delivered t = Obs.Metrics.count t.delivered
+let metrics t = t.metrics
 let set_tracer t f = t.tracer <- Some f
+let set_msg_label t f = t.msg_label <- Some f
 
 (* ---- link-layer chaos controls -------------------------------------- *)
 
@@ -201,13 +238,14 @@ type stats = {
 }
 
 let stats t =
+  let sent = messages_sent t and delivered = messages_delivered t in
   match t.backend with
   | Direct _ ->
       {
-        sent = t.sent;
-        delivered = t.delivered;
-        wire_sent = t.sent;
-        wire_delivered = t.delivered;
+        sent;
+        delivered;
+        wire_sent = sent;
+        wire_delivered = delivered;
         wire_lost = 0;
         wire_cut = 0;
         retransmits = 0;
@@ -218,8 +256,8 @@ let stats t =
   | Stack tr ->
       let link = Transport.link tr in
       {
-        sent = t.sent;
-        delivered = t.delivered;
+        sent;
+        delivered;
         wire_sent = Link.packets_sent link;
         wire_delivered = Link.packets_delivered link;
         wire_lost = Link.packets_lost link;
@@ -240,7 +278,7 @@ let pp_event_route ppf = function
 
 let pp_state ppf t =
   Format.fprintf ppf "network: n=%d sent=%d delivered=%d crashed={%s}" t.n
-    t.sent t.delivered
+    (messages_sent t) (messages_delivered t)
     (String.concat ","
        (List.filter_map
           (fun i -> if t.crashed.(i) then Some (string_of_int i) else None)

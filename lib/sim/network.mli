@@ -109,6 +109,19 @@ val messages_sent : _ t -> int
 val messages_delivered : _ t -> int
 (** Messages whose destination handler actually ran. *)
 
+val metrics : _ t -> Obs.Metrics.t
+(** The deployment's metrics registry. The network registers
+    ["net.sent"], ["net.delivered"], ["net.dropped"] and
+    ["net.broadcasts"]; on the {!Lossy} substrate the transport and
+    link share the same registry (["transport.*"], ["link.*"]);
+    algorithms add their protocol counters here so one snapshot covers
+    the whole deployment. *)
+
+val set_msg_label : 'm t -> ('m -> string) -> unit
+(** Install the payload-free message-kind labeler used for [cat:"net"]
+    trace instants (e.g. ["writeTag"]); until installed, events are
+    labelled ["msg"]. Independent of {!set_tracer}. *)
+
 (** {2 Link-layer chaos controls}
 
     Only meaningful on the {!Lossy} substrate.

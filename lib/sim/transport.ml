@@ -27,10 +27,10 @@ type 'm t = {
   rto0 : float;
   backoff : float;
   rto_max : float;
-  mutable delivered : int;
-  mutable data_sent : int;
-  mutable retransmits : int;
-  mutable acks_sent : int;
+  delivered : Obs.Metrics.counter;
+  data_sent : Obs.Metrics.counter;
+  retransmits : Obs.Metrics.counter;
+  acks_sent : Obs.Metrics.counter;
 }
 
 let cancel_timer tx =
@@ -49,7 +49,7 @@ let rec arm_timer t ~src ~dst =
         else begin
           Queue.iter
             (fun (seq, payload) ->
-              t.retransmits <- t.retransmits + 1;
+              Obs.Metrics.incr t.retransmits;
               Link.send t.link ~src ~dst (Data { seq; payload }))
             tx.unacked;
           tx.rto <- Float.min (tx.rto *. t.backoff) t.rto_max;
@@ -65,14 +65,14 @@ let handle_data t ~me ~src ~seq payload =
       let m = Hashtbl.find rx.ooo rx.expected in
       Hashtbl.remove rx.ooo rx.expected;
       rx.expected <- rx.expected + 1;
-      t.delivered <- t.delivered + 1;
+      Obs.Metrics.incr t.delivered;
       t.handlers.(me) ~src m
     done
   end;
   (* Always (re-)ack cumulatively — also on duplicates, since the
      original ack may have been the packet that was lost. *)
   if not t.dead.(src) then begin
-    t.acks_sent <- t.acks_sent + 1;
+    Obs.Metrics.incr t.acks_sent;
     Link.send t.link ~src:me ~dst:src (Ack { upto = rx.expected })
   end
 
@@ -91,16 +91,19 @@ let handle_ack t ~me ~src ~upto =
     if not (Queue.is_empty tx.unacked) then arm_timer t ~src:me ~dst:src
   end
 
-let create ?rto0 ?(backoff = 2.0) ?rto_max ?faults engine ~n ~delay =
+let create ?rto0 ?(backoff = 2.0) ?rto_max ?faults ?metrics engine ~n ~delay =
   let d = Delay.bound delay in
   let rto0 = Option.value rto0 ~default:(2.5 *. d) in
   let rto_max = Option.value rto_max ~default:(16. *. d) in
   assert (rto0 > 0. && backoff >= 1.0 && rto_max >= rto0);
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   let t =
     {
       engine;
       n;
-      link = Link.create ?faults engine ~n ~delay;
+      link = Link.create ?faults ~metrics engine ~n ~delay;
       handlers = Array.make n (fun ~src:_ _ -> ());
       dead = Array.make n false;
       tx =
@@ -119,10 +122,10 @@ let create ?rto0 ?(backoff = 2.0) ?rto_max ?faults engine ~n ~delay =
       rto0;
       backoff;
       rto_max;
-      delivered = 0;
-      data_sent = 0;
-      retransmits = 0;
-      acks_sent = 0;
+      delivered = Obs.Metrics.counter metrics "transport.delivered";
+      data_sent = Obs.Metrics.counter metrics "transport.data_sent";
+      retransmits = Obs.Metrics.counter metrics "transport.retransmits";
+      acks_sent = Obs.Metrics.counter metrics "transport.acks_sent";
     }
   in
   for i = 0 to n - 1 do
@@ -151,7 +154,7 @@ let send t ~src ~dst m =
     let seq = tx.next_seq in
     tx.next_seq <- seq + 1;
     Queue.push (seq, m) tx.unacked;
-    t.data_sent <- t.data_sent + 1;
+    Obs.Metrics.incr t.data_sent;
     Link.send t.link ~src ~dst (Data { seq; payload = m });
     if not tx.timer_armed then arm_timer t ~src ~dst
   end
@@ -171,15 +174,17 @@ let kill t i =
   end
 
 let is_dead t i = t.dead.(i)
-let messages_delivered t = t.delivered
-let data_sent t = t.data_sent
-let retransmits t = t.retransmits
-let acks_sent t = t.acks_sent
+let messages_delivered t = Obs.Metrics.count t.delivered
+let data_sent t = Obs.Metrics.count t.data_sent
+let retransmits t = Obs.Metrics.count t.retransmits
+let acks_sent t = Obs.Metrics.count t.acks_sent
+let metrics t = Link.metrics t.link
 
 let pp_state ppf t =
   Format.fprintf ppf
     "transport: data=%d retransmits=%d acks=%d delivered=%d@.  %a"
-    t.data_sent t.retransmits t.acks_sent t.delivered Link.pp_state t.link;
+    (data_sent t) (retransmits t) (acks_sent t) (messages_delivered t)
+    Link.pp_state t.link;
   for i = 0 to t.n - 1 do
     let busy =
       Array.exists (fun tx -> not (Queue.is_empty tx.unacked)) t.tx.(i)

@@ -27,6 +27,7 @@ val create :
   ?backoff:float ->
   ?rto_max:float ->
   ?faults:Link.faults ->
+  ?metrics:Obs.Metrics.t ->
   Engine.t ->
   n:int ->
   delay:Delay.t ->
@@ -35,10 +36,15 @@ val create :
     [rto0] (default [2.5 * D]) must exceed one round trip ([2 D]) so a
     zero-fault stack never retransmits; [backoff] (default 2.0)
     multiplies the timer on each expiry up to [rto_max] (default
-    [16 * D]). *)
+    [16 * D]). Transport counters register in [metrics] (fresh registry
+    if omitted) under ["transport.*"], alongside the link's
+    ["link.*"]. *)
 
 val link : 'm t -> 'm packet Link.t
 (** The underlying link, for fault/partition control and wire tracing. *)
+
+val metrics : _ t -> Obs.Metrics.t
+(** The registry shared with the underlying link. *)
 
 val engine : _ t -> Engine.t
 val size : _ t -> int

@@ -20,7 +20,8 @@ let make_rbc_net ?(n = 4) ?(f = 1) ?(seed = 1L) () =
         Byzantine.Rbc.create ~n ~f ~me
           ~send_wire:(fun ~dst wire -> Sim.Network.send net ~src:me ~dst wire)
           ~deliver:(fun ~src payload ->
-            delivered.(me) := (src, payload) :: !(delivered.(me))))
+            delivered.(me) := (src, payload) :: !(delivered.(me)))
+          ())
   in
   Array.iteri
     (fun me rbc ->
@@ -131,6 +132,7 @@ let test_rbc_fifo_gap_held_back () =
     Byzantine.Rbc.create ~n:4 ~f:1 ~me:0
       ~send_wire:(fun ~dst:_ _ -> ())
       ~deliver:(fun ~src payload -> held := (src, payload) :: !held)
+      ()
   in
   let feed seq payload =
     Byzantine.Rbc.handle rbc ~src:2 (Byzantine.Rbc.Send { seq; payload });

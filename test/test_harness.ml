@@ -100,6 +100,29 @@ let test_stats_singleton () =
       Alcotest.(check (float 0.001)) "mean" 3.5 s.mean
   | None -> Alcotest.fail "singleton"
 
+let test_stats_two () =
+  (* nearest rank, n=2: rank(0.5) = ceil(1.0) = 1 (the lower value),
+     rank(0.9) = ceil(1.8) = 2. *)
+  match Harness.Stats.summarize [ 20.0; 10.0 ] with
+  | Some s ->
+      Alcotest.(check (float 0.001)) "mean" 15.0 s.mean;
+      Alcotest.(check (float 0.001)) "p50 is the lower value" 10.0 s.p50;
+      Alcotest.(check (float 0.001)) "p90 is the upper value" 20.0 s.p90;
+      Alcotest.(check (float 0.001)) "p99 is the upper value" 20.0 s.p99;
+      Alcotest.(check (float 0.001)) "min" 10.0 s.min;
+      Alcotest.(check (float 0.001)) "max" 20.0 s.max
+  | None -> Alcotest.fail "two-element sample"
+
+let test_stats_all_equal () =
+  match Harness.Stats.summarize [ 4.0; 4.0; 4.0; 4.0; 4.0 ] with
+  | Some s ->
+      Alcotest.(check int) "count" 5 s.count;
+      List.iter
+        (fun (label, v) -> Alcotest.(check (float 0.001)) label 4.0 v)
+        [ ("mean", s.mean); ("min", s.min); ("max", s.max); ("p50", s.p50);
+          ("p90", s.p90); ("p99", s.p99) ]
+  | None -> Alcotest.fail "all-equal sample"
+
 let test_csv_output () =
   let path = Filename.temp_file "snapshot_mp" ".csv" in
   let oc = open_out path in
@@ -110,6 +133,29 @@ let test_csv_output () =
   close_in ic;
   Sys.remove path;
   Alcotest.(check (list string)) "csv lines" [ "a,b"; "1,2"; "3,4" ] lines
+
+let test_csv_quoting () =
+  Alcotest.(check string) "plain passes through" "plain"
+    (Harness.Stats.csv_cell "plain");
+  Alcotest.(check string) "comma quoted" "\"a,b\""
+    (Harness.Stats.csv_cell "a,b");
+  Alcotest.(check string) "embedded quotes doubled" "\"say \"\"hi\"\"\""
+    (Harness.Stats.csv_cell "say \"hi\"");
+  Alcotest.(check string) "newline quoted" "\"line\nbreak\""
+    (Harness.Stats.csv_cell "line\nbreak");
+  (* end to end: a row containing a comma cell stays one logical record *)
+  let path = Filename.temp_file "snapshot_mp" ".csv" in
+  let oc = open_out path in
+  Harness.Stats.csv ~out:oc ~header:[ "k"; "note" ]
+    [ [ "1"; "worst, amortized" ] ];
+  close_out oc;
+  let ic = open_in path in
+  let lines = List.init 2 (fun _ -> input_line ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "quoted record"
+    [ "k,note"; "1,\"worst, amortized\"" ]
+    lines
 
 let test_runner_detects_stuck () =
   (* A deliberately broken "algorithm" whose scan never returns. *)
@@ -185,7 +231,10 @@ let suites =
         case "stats summary" test_stats_summary;
         case "stats empty" test_stats_empty;
         case "stats singleton" test_stats_singleton;
+        case "stats two elements" test_stats_two;
+        case "stats all equal" test_stats_all_equal;
         case "csv output" test_csv_output;
+        case "csv quoting" test_csv_quoting;
         case "runner detects stuck" test_runner_detects_stuck;
         case "network tracer counts" test_tracer_counts;
       ] );

@@ -20,5 +20,6 @@ let () =
          Test_transport.suites;
          Test_sso.suites;
          Test_stress.suites;
+         Test_obs.suites;
          Test_configs.suites;
        ])

@@ -1,0 +1,337 @@
+(* Observability layer: span nesting and event order, ring-buffer
+   eviction, metrics registry semantics and merge, exporter validity
+   (Chrome trace-event JSON and JSONL), and schedule-identity — a run
+   traced and untraced takes exactly the same schedule. *)
+
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+
+(* ---- traces --------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  Trace.span_begin tr ~ts:0.0 ~pid:1 ~cat:"op" "UPDATE";
+  Trace.span_begin tr ~ts:0.5 ~pid:1 "readTag";
+  Trace.instant tr ~ts:0.7 ~pid:1 ~cat:"net" "send";
+  Trace.span_end tr ~ts:1.0 ~pid:1 "readTag";
+  Trace.span_end tr ~ts:2.0 ~pid:1 ~cat:"op" "UPDATE";
+  let evs = Trace.events tr in
+  Alcotest.(check int) "five events" 5 (List.length evs);
+  Alcotest.(check bool) "B B i E E" true
+    (List.map (fun e -> e.Trace.kind) evs
+    = [ Trace.Begin; Trace.Begin; Trace.Instant; Trace.End; Trace.End ]);
+  Alcotest.(check (list string)) "names in emit order"
+    [ "UPDATE"; "readTag"; "send"; "readTag"; "UPDATE" ]
+    (List.map (fun e -> e.Trace.name) evs);
+  (* strict stack discipline: ends close in reverse of begins *)
+  let depth = ref 0 and min_depth = ref 0 in
+  List.iter
+    (fun e ->
+      (match e.Trace.kind with
+      | Trace.Begin -> incr depth
+      | Trace.End -> decr depth
+      | _ -> ());
+      min_depth := min !min_depth !depth)
+    evs;
+  Alcotest.(check int) "spans balanced" 0 !depth;
+  Alcotest.(check int) "never negative depth" 0 !min_depth
+
+let test_ring_eviction () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.instant tr ~ts:(float_of_int i) ~pid:0 (string_of_int i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Trace.length tr);
+  Alcotest.(check int) "emitted counts all" 10 (Trace.emitted tr);
+  Alcotest.(check int) "evicted the rest" 6 (Trace.evicted tr);
+  Alcotest.(check (list string)) "keeps the newest, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.name) (Trace.events tr));
+  Alcotest.(check (list string)) "tail is a suffix" [ "9"; "10" ]
+    (List.map (fun e -> e.Trace.name) (Trace.tail tr 2))
+
+let test_noop_trace () =
+  Alcotest.(check bool) "noop disabled" false (Trace.enabled Trace.noop);
+  Trace.instant Trace.noop ~ts:0.0 ~pid:0 "dropped";
+  Trace.span_begin Trace.noop ~ts:0.0 ~pid:0 "dropped";
+  Alcotest.(check int) "noop buffers nothing" 0 (Trace.length Trace.noop);
+  Alcotest.(check bool) "created trace enabled" true
+    (Trace.enabled (Trace.create ()))
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let test_metrics_find_or_create () =
+  let m = Metrics.create () in
+  let c1 = Metrics.counter m "net.sent" in
+  let c2 = Metrics.counter m "net.sent" in
+  Metrics.incr c1;
+  Metrics.add c2 2;
+  Alcotest.(check int) "same instrument" 3 (Metrics.count c1);
+  Alcotest.(check bool) "kind clash rejected" true
+    (match Metrics.histogram m "net.sent" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_metrics_merge () =
+  let a = Metrics.create () in
+  Metrics.add (Metrics.counter a "net.sent") 3;
+  Metrics.set (Metrics.gauge a "queue.depth") 2.0;
+  Metrics.observe (Metrics.histogram a "rounds") 1.0;
+  Metrics.observe (Metrics.histogram a "rounds") 2.0;
+  let b = Metrics.create () in
+  Metrics.add (Metrics.counter b "net.sent") 4;
+  Metrics.set (Metrics.gauge b "queue.depth") 1.0;
+  Metrics.observe (Metrics.histogram b "rounds") 5.0;
+  Metrics.incr (Metrics.counter b "only.b");
+  let m = Metrics.merge (Metrics.snapshot a) (Metrics.snapshot b) in
+  Alcotest.(check (option int)) "counters add" (Some 7)
+    (Metrics.find_count m "net.sent");
+  Alcotest.(check bool) "gauges keep max" true
+    (Metrics.find m "queue.depth" = Some (Metrics.Level 2.0));
+  Alcotest.(check bool) "samples concatenate in order" true
+    (Metrics.find_samples m "rounds" = Some [ 1.0; 2.0; 5.0 ]);
+  Alcotest.(check (option int)) "b-only names appended" (Some 1)
+    (Metrics.find_count m "only.b");
+  (* merging with the empty snapshot is the identity *)
+  Alcotest.(check bool) "left identity" true (Metrics.merge [] m = m);
+  Alcotest.(check bool) "right identity" true (Metrics.merge m [] = m)
+
+let test_metrics_summary () =
+  Alcotest.(check bool) "empty has no summary" true
+    (Metrics.summary [] = None);
+  match Metrics.summary [ 2.0; 4.0; 6.0 ] with
+  | None -> Alcotest.fail "non-empty sample"
+  | Some s ->
+      Alcotest.(check int) "count" 3 s.Metrics.s_count;
+      Alcotest.(check (float 1e-9)) "mean" 4.0 s.Metrics.mean;
+      Alcotest.(check (float 1e-9)) "min" 2.0 s.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max" 6.0 s.Metrics.max
+
+(* ---- exporters ------------------------------------------------------ *)
+
+(* A minimal JSON syntax checker — enough to assert the exporters emit
+   well-formed JSON without a parser dependency. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let peek () = if !pos >= n then fail () else s.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c = if peek () <> c then fail () else advance () in
+  let literal w = String.iter (fun c -> expect c) w in
+  let number () =
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    if not (is_num (peek ())) then fail ();
+    while !pos < n && is_num s.[!pos] do
+      advance ()
+    done
+  in
+  let string_ () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then fail ();
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail ();
+          advance ();
+          go ()
+      | c when Char.code c < 0x20 -> fail ()
+      | _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            string_ ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ()
+            | '}' -> advance ()
+            | _ -> fail ()
+          in
+          members ()
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then advance ()
+        else
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elements ()
+            | ']' -> advance ()
+            | _ -> fail ()
+          in
+          elements ()
+    | '"' -> string_ ()
+    | 't' -> literal "true"
+    | 'f' -> literal "false"
+    | 'n' -> literal "null"
+    | _ -> number ()
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () -> !pos = n
+  | exception Exit -> false
+
+let awkward_trace () =
+  (* Args exercise every value constructor plus JSON-hostile strings. *)
+  let tr = Trace.create () in
+  Trace.span_begin tr ~ts:0.0 ~pid:0 ~cat:"op"
+    ~args:
+      [
+        ("quote", Trace.Str "say \"hi\"");
+        ("newline", Trace.Str "a\nb\tc\\d");
+        ("count", Trace.Int (-3));
+        ("frac", Trace.Float 0.5);
+        ("flag", Trace.Bool true);
+      ]
+    "UPDATE";
+  Trace.instant tr ~ts:0.25 ~pid:1 ~cat:"net" "send";
+  Trace.counter tr ~ts:0.5 ~pid:0 ~value:2.0 "pending";
+  Trace.span_end tr ~ts:1.0 ~pid:0 ~cat:"op" "UPDATE";
+  tr
+
+let count_occurrences needle haystack =
+  let rec go from acc =
+    match String.index_from_opt haystack from needle.[0] with
+    | None -> acc
+    | Some i ->
+        if
+          i + String.length needle <= String.length haystack
+          && String.sub haystack i (String.length needle) = needle
+        then go (i + 1) (acc + 1)
+        else go (i + 1) acc
+  in
+  go 0 0
+
+let test_chrome_export () =
+  let tr = awkward_trace () in
+  let json = Trace.to_chrome ~process_name:"test" tr in
+  Alcotest.(check bool) "valid JSON" true (json_valid json);
+  Alcotest.(check bool) "traceEvents envelope" true
+    (count_occurrences "\"traceEvents\"" json = 1);
+  Alcotest.(check int) "begin/end balanced"
+    (count_occurrences "\"ph\":\"B\"" json)
+    (count_occurrences "\"ph\":\"E\"" json);
+  (* both pids got a named track *)
+  Alcotest.(check int) "two thread_name metadata" 2
+    (count_occurrences "\"thread_name\"" json)
+
+let test_jsonl_export () =
+  let tr = awkward_trace () in
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Trace.to_jsonl tr))
+  in
+  Alcotest.(check int) "one line per event" (Trace.length tr)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) ("valid JSON line: " ^ l) true (json_valid l))
+    lines
+
+(* ---- end to end ----------------------------------------------------- *)
+
+let run_once ?trace () =
+  let config =
+    { Harness.Runner.n = 5; f = 2; delay = Harness.Runner.Fixed_d 1.0;
+      seed = 7L }
+  in
+  let rng = Sim.Rng.create 7L in
+  let workload =
+    Harness.Workload.random rng ~n:5 ~ops_per_node:3 ~scan_fraction:0.5
+      ~max_gap:2.0
+  in
+  Harness.Runner.run ~workload_seed:7L ?trace ~make:Harness.Algo.eq_aso.make
+    config ~workload ~adversary:Harness.Adversary.No_faults
+
+let test_schedule_identity () =
+  let plain = run_once () in
+  let tr = Trace.create () in
+  let traced = run_once ~trace:tr () in
+  Alcotest.(check (float 0.0)) "same makespan" plain.end_time traced.end_time;
+  Alcotest.(check int) "same messages" plain.messages traced.messages;
+  Alcotest.(check int) "same history"
+    (List.length (History.completed plain.history))
+    (List.length (History.completed traced.history));
+  Alcotest.(check bool) "trace captured the run" true (Trace.length tr > 0)
+
+let test_traced_run_contents () =
+  let tr = Trace.create () in
+  let outcome = run_once ~trace:tr () in
+  let names =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun e -> if e.Trace.kind = Trace.Begin then Some e.Trace.name else None)
+         (Trace.events tr))
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) ("phase span " ^ phase) true
+        (List.mem phase names))
+    [ "UPDATE"; "SCAN"; "readTag"; "writeTag"; "lattice" ];
+  (* wire-level instants ride the same stream *)
+  Alcotest.(check bool) "net instants present" true
+    (List.exists (fun e -> e.Trace.cat = "net") (Trace.events tr));
+  (* the outcome snapshot carries protocol and engine metrics *)
+  Alcotest.(check bool) "rounds histogram sampled" true
+    (match Metrics.find_samples outcome.metrics "aso.rounds_per_update" with
+    | Some (_ :: _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "engine steps counted" true
+    (match Metrics.find_count outcome.metrics "engine.steps" with
+    | Some s -> s > 0
+    | None -> false)
+
+let suites =
+  [
+    ( "obs",
+      let case name f = Alcotest.test_case name `Quick f in
+      [
+        case "span nesting" test_span_nesting;
+        case "ring eviction" test_ring_eviction;
+        case "noop trace" test_noop_trace;
+        case "metrics find-or-create" test_metrics_find_or_create;
+        case "metrics merge" test_metrics_merge;
+        case "metrics summary" test_metrics_summary;
+        case "chrome export is valid JSON" test_chrome_export;
+        case "jsonl export is valid JSON" test_jsonl_export;
+        case "schedule identical traced or not" test_schedule_identity;
+        case "traced run has phases and metrics" test_traced_run_contents;
+      ] );
+  ]

@@ -72,7 +72,8 @@ let prop_rbc_agreement_random_adversary =
             Byzantine.Rbc.create ~n ~f ~me
               ~send_wire:(fun ~dst wire -> Sim.Network.send net ~src:me ~dst wire)
               ~deliver:(fun ~src payload ->
-                delivered.(me) := (src, payload) :: !(delivered.(me))))
+                delivered.(me) := (src, payload) :: !(delivered.(me)))
+              ())
       in
       Array.iteri
         (fun me rbc ->
