@@ -590,6 +590,52 @@ let table_chaos () =
     algos
 
 (* ------------------------------------------------------------------ *)
+(* Model-checking throughput: schedules/second of bounded DFS over the
+   canonical 2-op configuration (one update, one later scan, n=3), per
+   algorithm. Also reports how hard each protocol is to explore — the
+   choice-point count and the commuting-tie prune ratio. *)
+
+let table_mc_throughput () =
+  let rows =
+    List.map
+      (fun (algo : Harness.Algo.t) ->
+        let spec =
+          {
+            Mc.Replay.default_spec with
+            algo = algo.name;
+            workload = Mc.Replay.Pair { updater = 0; scanner = 1; gap = 6.0 };
+          }
+        in
+        let sys =
+          match Mc.Replay.to_sys spec with
+          | Ok sys -> sys
+          | Error e -> failwith e
+        in
+        let t0 = Sys.time () in
+        let report =
+          Mc.Explore.explore sys
+            (Mc.Explore.Dfs { max_schedules = 400; max_depth = 10 })
+        in
+        let dt = Sys.time () -. t0 in
+        [
+          algo.name;
+          string_of_int report.schedules;
+          string_of_int report.pruned;
+          string_of_int report.max_choice_points;
+          (if report.exhausted then "yes" else "no");
+          Printf.sprintf "%.0f" (float_of_int report.schedules /. dt);
+        ])
+      algos
+  in
+  Harness.Table.print
+    ~title:
+      "Model checking — bounded DFS over the 2-op config (n=3, depth 10)"
+    ~header:
+      [ "algorithm"; "schedules"; "pruned"; "choice pts"; "exhausted";
+        "schedules/s" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: wall-clock cost of simulating one
    standard experiment per algorithm. *)
 
@@ -639,6 +685,7 @@ let () =
   la_early_stopping ();
   table_rounds_per_update ();
   ablation_renewal ();
+  table_mc_throughput ();
   print_endline "== Simulator throughput (bechamel, OLS ns/run) ==";
   bechamel_suite ();
   Printf.printf "\nTotal bench CPU time: %.1f s\n" (Sys.time () -. t0)

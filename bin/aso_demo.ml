@@ -424,13 +424,241 @@ let fuzz_cmd =
                 "Fuzz on the lossy substrate, sweeping loss rates and \
                  partition durations."))
 
+(* ---- explore / replay: model checking -------------------------------- *)
+
+let mutation_conv =
+  Arg.enum
+    (List.map (fun m -> (Mc.Mutants.to_string m, m)) Mc.Mutants.all)
+
+(* Both subcommands route through [Replay.spec]: explore builds the spec
+   it would save, converts it with [Replay.to_sys], and explores that —
+   so a saved counterexample replays the exact system that produced
+   it. *)
+let spec_of_args (algo : Harness.Algo.t) n ops seed scan_fraction max_gap
+    two_op crash_nodes crash_bound mutation drop dup reorder =
+  let substrate =
+    if drop > 0. || dup > 0. || reorder > 0. then
+      Mc.Replay.Lossy { drop; dup; reorder }
+    else Mc.Replay.Ideal
+  in
+  (* Choice 0 is [-1] ("never crash") so the default schedule is the
+     failure-free run; choices 1..bound crash before that engine step. *)
+  let crash_steps = Array.append [| -1 |] (Array.init crash_bound Fun.id) in
+  {
+    Mc.Replay.default_spec with
+    algo = algo.name;
+    n;
+    f = Quorum.max_crash_faults n;
+    seed = Int64.of_int seed;
+    ops_per_node = ops;
+    scan_fraction;
+    max_gap;
+    workload =
+      (match two_op with
+      | None -> Mc.Replay.Random
+      | Some gap -> Mc.Replay.Pair { updater = 0; scanner = 1; gap });
+    substrate;
+    crashes = List.map (fun node -> (node, crash_steps)) crash_nodes;
+    mutation;
+  }
+
+let explore_impl algo n ops seed scan_fraction max_gap two_op max_schedules
+    depth random crash_nodes crash_bound mutation drop dup reorder out =
+  let spec =
+    spec_of_args algo n ops seed scan_fraction max_gap two_op crash_nodes
+      crash_bound mutation drop dup reorder
+  in
+  match Mc.Replay.to_sys spec with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+  | Ok sys ->
+      let strategy =
+        if random > 0 then
+          Mc.Explore.Random { schedules = random; seed = spec.seed }
+        else Mc.Explore.Dfs { max_schedules; max_depth = depth }
+      in
+      Format.printf "Exploring %s: n=%d f=%d, %d op(s)/node, %s@." spec.algo
+        spec.n spec.f spec.ops_per_node
+        (match strategy with
+        | Mc.Explore.Dfs { max_schedules; max_depth } ->
+            Printf.sprintf "bounded DFS (<= %d schedules, depth %d)"
+              max_schedules max_depth
+        | Mc.Explore.Random { schedules; _ } ->
+            Printf.sprintf "random walk (%d schedules)" schedules);
+      (match spec.mutation with
+      | Some m ->
+          Format.printf "mutant armed: %s@." (Mc.Mutants.to_string m)
+      | None -> ());
+      let report = Mc.Explore.explore sys strategy in
+      Format.printf "%a@." Mc.Explore.pp_report report;
+      (match report.violation with
+      | None -> ()
+      | Some v ->
+          let note =
+            match String.index_opt v.message '\n' with
+            | None -> v.message
+            | Some i -> String.sub v.message 0 i
+          in
+          Mc.Replay.save out { spec with choices = v.choices; note };
+          Format.printf "replay file : %s@." out;
+          Format.printf "reproduce   : aso_demo replay %s@." out;
+          exit 1)
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Model-check an algorithm: enumerate schedules (event-queue \
+          ties, link faults, crash points) with bounded DFS or random \
+          sampling, checking every explored history. On a violation, \
+          delta-debug the schedule to a minimal choice trace, write a \
+          replay file, and exit non-zero.")
+    Term.(
+      const explore_impl
+      $ Arg.(
+          value
+          & pos 0 algo_conv Harness.Algo.eq_aso
+          & info [] ~docv:"ALGO" ~doc:"Algorithm to explore (default eq-aso).")
+      $ Arg.(
+          value & opt int 3
+          & info [ "n"; "nodes" ] ~docv:"N" ~doc:"System size.")
+      $ Arg.(
+          value & opt int 2
+          & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per node.")
+      $ seed_arg $ scan_frac_arg
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "max-gap" ] ~docv:"G"
+              ~doc:"Max think time between ops (in D).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "two-op" ] ~docv:"GAP"
+              ~doc:
+                "Canonical 2-op workload: node 0 updates at time 0, node 1 \
+                 scans after GAP (overrides --ops).")
+      $ Arg.(
+          value & opt int 2000
+          & info [ "max-schedules" ] ~docv:"N"
+              ~doc:"DFS schedule budget.")
+      $ Arg.(
+          value & opt int 40
+          & info [ "depth" ] ~docv:"D"
+              ~doc:"DFS branches only at the first D choice points.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "random" ] ~docv:"N"
+              ~doc:"Use random-walk sampling with N schedules instead of \
+                    DFS.")
+      $ Arg.(
+          value & opt_all int []
+          & info [ "crash" ] ~docv:"NODE"
+              ~doc:"Make NODE's crash point a choice (repeatable).")
+      $ Arg.(
+          value & opt int 8
+          & info [ "crash-bound" ] ~docv:"B"
+              ~doc:"Candidate crash step indices 0..B-1 per --crash node.")
+      $ Arg.(
+          value
+          & opt (some mutation_conv) None
+          & info [ "mutate" ] ~docv:"MUTANT"
+              ~doc:
+                "Arm a seeded eq-aso protocol bug: quorum-off-by-one, \
+                 skip-write-tag or stale-renewal.")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "drop" ] ~docv:"P"
+              ~doc:
+                "Lossy substrate with per-packet drops as choice points \
+                 (P only gates which links participate).")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "dup" ] ~docv:"P" ~doc:"Duplication choice points.")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "reorder" ] ~docv:"P" ~doc:"Reordering choice points.")
+      $ Arg.(
+          value
+          & opt string "counterexample.replay"
+          & info [ "o"; "out" ] ~docv:"FILE"
+              ~doc:"Where to write the shrunk counterexample."))
+
+let replay_impl file trace_out =
+  match Mc.Replay.load file with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+  | Ok spec -> (
+      Format.printf "Replaying %s: %s n=%d f=%d, %d choice(s)%s@." file
+        spec.algo spec.n spec.f
+        (List.length spec.choices)
+        (match spec.mutation with
+        | Some m -> Printf.sprintf ", mutant %s" (Mc.Mutants.to_string m)
+        | None -> "");
+      if spec.note <> "" then Format.printf "note        : %s@." spec.note;
+      let tr = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+      match Mc.Replay.run ?trace:tr spec with
+      | Error e ->
+          Format.eprintf "error: %s@." e;
+          exit 1
+      | Ok run ->
+          (* Beyond the forced prefix the schedule is all defaults —
+             print only the choices that carry information. *)
+          let forced =
+            List.filteri
+              (fun i _ -> i < List.length spec.choices)
+              run.rec_trace
+          in
+          Format.printf "choice trace: %a@." Mc.Trace.pp forced;
+          Format.printf "(plus %d default choice points)@."
+            (Mc.Trace.length run.rec_trace - Mc.Trace.length forced);
+          (match (trace_out, tr) with
+          | Some out, Some tr ->
+              let json = Obs.Trace.to_chrome ~process_name:spec.algo tr in
+              let oc = open_out out in
+              output_string oc json;
+              close_out oc;
+              Format.printf "trace       : %d events -> %s (open in \
+                             https://ui.perfetto.dev)@."
+                (Obs.Trace.length tr) out
+          | _ -> ());
+          (match run.verdict with
+          | Ok () ->
+              Format.printf
+                "verdict     : history passes all checks (violation NOT \
+                 reproduced)@."
+          | Error msg ->
+              Format.printf "verdict     : VIOLATION reproduced@.%s@." msg;
+              exit 1))
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-run a counterexample written by $(b,explore) \
+          and re-check its history; optionally export a Perfetto trace of \
+          the violating schedule. Exits non-zero when the violation \
+          reproduces.")
+    Term.(
+      const replay_impl
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"FILE" ~doc:"Replay file written by explore.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"OUT"
+              ~doc:"Also export a Chrome trace-event JSON of the replay."))
+
 let main_cmd =
   let doc = "fault-tolerant snapshot objects in message-passing systems" in
   Cmd.group
     (Cmd.info "aso_demo" ~version:"1.0.0" ~doc)
     [
       run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd; chaos_cmd;
-      fuzz_cmd;
+      fuzz_cmd; explore_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

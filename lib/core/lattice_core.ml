@@ -43,6 +43,8 @@ type stats = {
   mutable indirect_views : int;
 }
 
+type mutation = Quorum_off_by_one | Skip_write_tag | Stale_renewal
+
 type 'v t = {
   net : 'v Msg.t Sim.Network.t;
   n : int;
@@ -52,6 +54,10 @@ type 'v t = {
   (* Ablation switch for technique (T2): when off, a renewal keeps
      running lattice operations at fresh tags instead of borrowing. *)
   mutable borrowing : bool;
+  (* Test-only seeded bug, for mutation-sensitivity tests of the model
+     checker: the explorer must be able to find the interleavings these
+     mutants break on. Never set outside tests/replays. *)
+  mutable mutation : mutation option;
   obs : Obs.Trace.t;
   (* Registry mirrors of [stats], so campaign/bench aggregation sees the
      protocol counters next to the network's. *)
@@ -144,6 +150,7 @@ let create engine ~n ~f ~delay =
         { lattice_ops = 0; good_lattice_ops = 0; direct_views = 0;
           indirect_views = 0 };
       borrowing = true;
+      mutation = None;
       obs = Sim.Engine.trace engine;
       c_lattice_ops = Obs.Metrics.counter metrics "aso.lattice_ops";
       c_good_lattice_ops = Obs.Metrics.counter metrics "aso.good_lattice_ops";
@@ -172,7 +179,10 @@ let begin_op nd =
 
 let end_op nd = nd.busy <- false
 
-let quorum t = t.n - t.f
+let quorum t =
+  match t.mutation with
+  | Some Quorum_off_by_one -> t.n - t.f - 1
+  | _ -> t.n - t.f
 
 let read_tag t nd =
   span t nd "readTag" @@ fun () ->
@@ -203,7 +213,7 @@ let lattice t nd r =
   Obs.Metrics.incr t.c_lattice_ops;
   nd.lattice_count <- nd.lattice_count + 1;
   span t nd ~args:[ ("tag", Obs.Trace.Int r) ] "lattice" @@ fun () ->
-  write_tag t nd r;
+  if t.mutation <> Some Skip_write_tag then write_tag t nd r;
   let v_star = Eq_kernel.await_eq nd.kernel ~quorum:(quorum t) ~max_tag:(Some r) in
   (* Lines 16-21 run without suspension: atomic w.r.t. handlers. *)
   if nd.max_tag <= r then begin
@@ -220,7 +230,12 @@ let lattice_renewal t nd r0 =
     let ok, view = lattice t nd r in
     if ok then `Direct view
     else if phase = 3 && t.borrowing then `Borrow r
-    else phases (phase + 1) nd.max_tag
+    else
+      (* The Stale_renewal mutant retries at the tag that just failed
+         instead of the refreshed [maxTag] — the renewal never catches
+         up with concurrent writers. *)
+      phases (phase + 1)
+        (match t.mutation with Some Stale_renewal -> r | _ -> nd.max_tag)
   in
   match phases 1 r0 with
   | `Direct view ->
@@ -245,3 +260,6 @@ let extract t nd view =
 let set_good_view_hook nd hook = nd.good_view_hook <- Some hook
 
 let set_borrowing t enabled = t.borrowing <- enabled
+
+let set_mutation t m = t.mutation <- m
+let mutation t = t.mutation

@@ -36,6 +36,15 @@ type 'v node
 
 type 'v t
 
+(** Seeded protocol bugs for mutation-sensitivity testing of the model
+    checker (test-only; see {!set_mutation}):
+    - [Quorum_off_by_one]: every quorum wait uses [n - f - 1] acks;
+    - [Skip_write_tag]: {!lattice} omits the [writeTag] round, so tags
+      never propagate and equivalence is judged on stale view bounds;
+    - [Stale_renewal]: {!lattice_renewal} retries at the tag that just
+      failed instead of the refreshed [maxTag]. *)
+type mutation = Quorum_off_by_one | Skip_write_tag | Stale_renewal
+
 (** Counters for the ablation benches: how often renewals resolve
     directly vs. by borrowing, and how many lattice operations ran. *)
 type stats = {
@@ -115,6 +124,13 @@ val set_good_view_hook : 'v node -> (View.t -> unit) -> unit
 (** Observe every good-lattice-operation view the node learns of through
     ["goodLA"] messages (all such views are mutually comparable —
     Lemma 2). At most one hook per node; used by {!Sso}. *)
+
+val set_mutation : 'v t -> mutation option -> unit
+(** Install (or clear) a seeded bug. A test-only knob: the
+    mutation-sensitivity suite proves bounded exploration actually
+    detects each mutant; production paths never set it. *)
+
+val mutation : _ t -> mutation option
 
 val set_borrowing : 'v t -> bool -> unit
 (** Ablation switch for technique (T2), default on. With borrowing off,

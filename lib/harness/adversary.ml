@@ -27,7 +27,8 @@ let rec apply t ~rng ~engine instance =
   | Crash_at crashes ->
       List.iter
         (fun (time, node) ->
-          Sim.Engine.schedule engine ~delay:time (fun () -> instance.Instance.crash node))
+          Sim.Engine.schedule ~label:(Sim.Label.Crash node) engine ~delay:time
+            (fun () -> instance.Instance.crash node))
         crashes
   | Crash_k_random { k; window } ->
       let n = instance.Instance.n in
@@ -41,8 +42,8 @@ let rec apply t ~rng ~engine instance =
           picked.(node) <- true;
           decr remaining;
           let time = Sim.Rng.float rng window in
-          Sim.Engine.schedule engine ~delay:time (fun () ->
-              instance.Instance.crash node)
+          Sim.Engine.schedule ~label:(Sim.Label.Crash node) engine ~delay:time
+            (fun () -> instance.Instance.crash node)
         end
       done
   | Chains chains -> List.iter (arm_chain instance) chains

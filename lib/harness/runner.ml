@@ -36,7 +36,8 @@ let client_fiber engine (instance : int Instance.t) history next_value node
   let rec walk = function
     | [] -> ()
     | { Workload.gap; op } :: rest ->
-        if gap > 0. then Sim.Fiber.sleep engine gap;
+        if gap > 0. then
+          Sim.Fiber.sleep ~label:(Sim.Label.Timer node) engine gap;
         if not (instance.is_crashed node) then begin
           (match op with
           | Workload.Update ->
@@ -85,8 +86,8 @@ let diagnose (instance : int Instance.t) history ~tail ~now ~budget =
           tail
       end)
 
-let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace ~make
-    config ~workload ~adversary =
+let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
+    ?configure ~make config ~workload ~adversary =
   let engine = Sim.Engine.create ~seed:config.seed () in
   (* One trace serves both consumers: a caller-supplied unbounded trace
      for export, or the watchdog's bounded ring for the [Stuck] tail.
@@ -106,6 +107,10 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace ~make
     Sim.Network.with_substrate substrate (fun () ->
         make engine ~n:config.n ~f:config.f ~delay)
   in
+  (* Model-checking hook: the engine and the freshly built deployment
+     exist, but no event has run yet — the right moment to install a
+     controllable scheduler and step-indexed crash injections. *)
+  Option.iter (fun f -> f engine instance) configure;
   let history = History.create () in
   let next_value = ref 1 in
   let adversary_rng =
@@ -181,18 +186,7 @@ let mean_latency = function
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
 let check_with ~conditions ~construct outcome =
-  let n =
-    match History.ops outcome.history with
-    | [] -> 1
-    | ops ->
-        (* Segment count: scans carry it; fall back to max node id. *)
-        List.fold_left
-          (fun acc (op : History.op) ->
-            match op.kind with
-            | History.Scan (Some snap) -> max acc (Array.length snap)
-            | _ -> max acc (op.node + 1))
-          1 ops
-  in
+  let n = Checker.Batch.infer_n outcome.history in
   match conditions ~n outcome.history with
   | Error v ->
       Error (Format.asprintf "%a" Checker.Conditions.pp_violation v)

@@ -60,6 +60,7 @@ val run :
   ?substrate:Sim.Network.substrate ->
   ?watchdog:watchdog ->
   ?trace:Obs.Trace.t ->
+  ?configure:(Sim.Engine.t -> int Instance.t -> unit) ->
   make:maker ->
   config ->
   workload:Workload.t ->
@@ -79,7 +80,12 @@ val run :
     {!Obs.Trace.to_chrome} or {!Obs.Trace.to_jsonl}. Without [trace],
     a watchdog with [trace > 0] attaches a bounded ring of that many
     events for the {!Stuck} post-mortem; with neither, the noop trace
-    is used and the schedule is identical to an uninstrumented run. *)
+    is used and the schedule is identical to an uninstrumented run.
+
+    [configure] runs after the deployment is built but before any event
+    executes — the model checker's entry point for installing a
+    controllable scheduler ({!Sim.Engine.set_chooser}) and step-indexed
+    crash injections ({!Sim.Engine.add_on_step}) on the run. *)
 
 val update_latencies : outcome -> float list
 (** Completed UPDATE durations divided by [D], invocation order. *)

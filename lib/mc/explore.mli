@@ -1,0 +1,109 @@
+(** Schedule exploration: stateless model checking by replay.
+
+    The simulator is deterministic given its seed, so an execution is
+    identified by the answers handed to the engine's choice points
+    (same-timestamp event-queue ties, link-fault decisions, crash step
+    indices). Exploration enumerates answer prefixes — each run forces
+    a prefix and answers [0] (the default FIFO schedule) beyond it —
+    and runs the consistency checkers on every recorded history. *)
+
+type strategy =
+  | Dfs of { max_schedules : int; max_depth : int }
+      (** Bounded exhaustive DFS: branch on every choice point at depth
+          [< max_depth], with sleep-set-style pruning of commuting
+          delivery ties; stop after [max_schedules] executions. *)
+  | Random of { schedules : int; seed : int64 }
+      (** Seeded random-walk sampling: each schedule answers every
+          choice point uniformly at random. *)
+
+(** The system under exploration: how to build the deployment, what the
+    clients do, which fault dimensions are choice-controlled, and what
+    "correct" means for a finished history. *)
+type sys = {
+  make : Harness.Runner.maker;
+  config : Harness.Runner.config;
+  workload : Harness.Workload.t;
+  adversary : Harness.Adversary.t;
+      (** Non-zero [Lossy] rates turn link faults into choice points
+          (the chooser decides, not the RNG); [No_faults] otherwise. *)
+  substrate : Sim.Network.substrate;
+  crashes : (int * int array) list;
+      (** Per node, candidate engine-step indices at which to crash it;
+          [-1] means "never" (put it at index 0 so the default schedule
+          is failure-free). Each entry becomes one leading
+          {!Sim.Label.Crash_step} choice point. At most [config.f]
+          crashes are armed per schedule — beyond the resilience bound
+          every liveness report would be a false positive. *)
+  max_link_faults : int;
+      (** Budget for {e sampled} (random-walk) non-default link-fault
+          answers per schedule. Liveness holds only under fair links;
+          an unbounded coin-flip adversary starves the transport and
+          fakes liveness violations. Forced prefixes are exempt. *)
+  check : Harness.Runner.outcome -> (unit, string) result;
+  watchdog : Harness.Runner.watchdog option;
+      (** Converts hangs into checkable liveness violations. *)
+}
+
+type run = {
+  rec_trace : Trace.t;  (** every choice point hit, with its answer *)
+  outcome : Harness.Runner.outcome option;  (** [None] if the run died *)
+  verdict : (unit, string) result;
+}
+
+type violation = {
+  message : string;
+  trace : Trace.t;  (** trace of the re-run of the shrunk choices *)
+  choices : int list;  (** minimal choice list (delta-debugged) *)
+  shrink_runs : int;  (** executions the shrinker spent *)
+}
+
+type report = {
+  schedules : int;
+  pruned : int;  (** tie alternatives skipped as commuting *)
+  max_choice_points : int;
+  exhausted : bool;
+      (** the depth-bounded DFS space was fully enumerated (the frontier
+          drained before [max_schedules]); always [false] for random
+          walks and for runs stopped by a violation *)
+  depth_truncated : bool;
+      (** some explorable branch beyond [max_depth] was not taken, i.e.
+          exhaustion is relative to the depth bound *)
+  violation : violation option;  (** first violation found, minimized *)
+}
+
+val run_choices : ?trace:Obs.Trace.t -> sys -> int list -> run
+(** One execution under a forced choice prefix (defaults beyond it).
+    Deterministic: equal choice lists give identical runs. Out-of-range
+    forced values are clamped to the default [0]. *)
+
+val explore : sys -> strategy -> report
+(** Enumerate schedules until a violation, the strategy's bound, or
+    (DFS) space exhaustion. The first violation is delta-debug shrunk
+    to a minimal choice list before being reported. *)
+
+val default_watchdog : Harness.Runner.watchdog
+(** 150 D — tighter than {!Harness.Runner.default_watchdog} because a
+    hung schedule costs its whole budget in simulated time on every one
+    of the thousands of explored runs, yet sized so the worst recovery
+    allowed by [max_link_faults] (four drops on one flow, doubling RTO)
+    never trips it. *)
+
+val sys_of_algo :
+  ?crashes:(int * int array) list ->
+  ?substrate:Sim.Network.substrate ->
+  ?adversary:Harness.Adversary.t ->
+  ?watchdog:Harness.Runner.watchdog option ->
+  ?mutation:Mutants.t ->
+  config:Harness.Runner.config ->
+  workload:Harness.Workload.t ->
+  Harness.Algo.t ->
+  sys
+(** A [sys] whose checker matches the algorithm's advertised consistency
+    level ({!Checker.Batch.check}). [mutation] swaps in the seeded
+    EQ-ASO mutant instead of the algorithm's own maker. *)
+
+val campaign : strategy -> (string * sys) list -> (string * report) list
+(** Explore several named systems with one strategy (the sweep behind
+    the bench table and multi-algorithm smoke runs). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,27 @@
+(* Seeded EQ-ASO protocol bugs, packaged as Runner makers. The model
+   checker must detect every one of them within its exploration bound —
+   that is the mutation-sensitivity bar for the whole lib/mc layer. *)
+
+type t = Aso_core.Lattice_core.mutation =
+  | Quorum_off_by_one
+  | Skip_write_tag
+  | Stale_renewal
+
+let all = [ Quorum_off_by_one; Skip_write_tag; Stale_renewal ]
+
+let to_string = function
+  | Quorum_off_by_one -> "quorum-off-by-one"
+  | Skip_write_tag -> "skip-write-tag"
+  | Stale_renewal -> "stale-renewal"
+
+let of_string = function
+  | "quorum-off-by-one" -> Some Quorum_off_by_one
+  | "skip-write-tag" -> Some Skip_write_tag
+  | "stale-renewal" -> Some Stale_renewal
+  | _ -> None
+
+let make m : Harness.Runner.maker =
+ fun engine ~n ~f ~delay ->
+  let aso = Aso_core.Eq_aso.create engine ~n ~f ~delay in
+  Aso_core.Lattice_core.set_mutation (Aso_core.Eq_aso.core aso) (Some m);
+  Aso_core.Eq_aso.instance aso

@@ -1,0 +1,19 @@
+(** Seeded EQ-ASO protocol mutants for mutation-sensitivity testing.
+
+    Each mutant is a deliberately broken variant of the paper's main
+    algorithm (see {!Aso_core.Lattice_core.mutation} for what each one
+    breaks). The test suite asserts that bounded exploration catches
+    every one of them — evidence that the checkers plus the schedule
+    space actually exercise the protocol's correctness arguments. *)
+
+type t = Aso_core.Lattice_core.mutation =
+  | Quorum_off_by_one
+  | Skip_write_tag
+  | Stale_renewal
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val make : t -> Harness.Runner.maker
+(** An EQ-ASO deployment with the mutation armed on every node. *)

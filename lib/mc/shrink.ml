@@ -1,0 +1,96 @@
+(* Delta-debugging over choice traces. A counterexample is an int list
+   of choice answers; positions holding 0 are "default" (the schedule
+   the engine would pick anyway), so the interesting content is the set
+   of non-zero deviations. Minimisation therefore (a) zeroes deviations
+   in ddmin-style chunks, (b) lowers the surviving values toward 0, and
+   (c) trims trailing zeros — all while re-running the system to keep
+   the violation alive. *)
+
+let set_zero cs positions =
+  List.mapi (fun i c -> if List.mem i positions then 0 else c) cs
+
+let nonzero_positions cs =
+  List.concat (List.mapi (fun i c -> if c <> 0 then [ i ] else []) cs)
+
+(* Split [l] into [k] chunks of near-equal size (no empties). *)
+let chunks k l =
+  let n = List.length l in
+  let base = n / k and extra = n mod k in
+  let rec take acc m = function
+    | rest when m = 0 -> (List.rev acc, rest)
+    | x :: rest -> take (x :: acc) (m - 1) rest
+    | [] -> (List.rev acc, [])
+  in
+  let rec go i rest =
+    if i >= k || rest = [] then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let c, rest = take [] size rest in
+      if c = [] then go (i + 1) rest else c :: go (i + 1) rest
+  in
+  go 0 l
+
+let minimize ?(budget = 400) ~violates initial =
+  let runs = ref 0 in
+  let try_ cs =
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      violates cs
+    end
+  in
+  let current = ref (Trace.trim_choices initial) in
+  (* Phase A: ddmin on the deviation set — zero whole chunks, halving
+     granularity until single deviations. *)
+  let rec ddmin granularity =
+    let pos = nonzero_positions !current in
+    if pos = [] || !runs >= budget then ()
+    else begin
+      let k = min granularity (List.length pos) in
+      let progressed =
+        List.exists
+          (fun chunk ->
+            let candidate = Trace.trim_choices (set_zero !current chunk) in
+            if try_ candidate then begin
+              current := candidate;
+              true
+            end
+            else false)
+          (chunks k pos)
+      in
+      if progressed then ddmin (max 2 (k - 1))
+      else if k < List.length pos then ddmin (k * 2)
+    end
+  in
+  ddmin 2;
+  (* Phase B: lower each surviving value toward the default. *)
+  let lower () =
+    let changed = ref false in
+    List.iteri
+      (fun i c ->
+        if c > 0 then
+          let rec descend v =
+            if v < c && !runs < budget then begin
+              let candidate =
+                Trace.trim_choices
+                  (List.mapi (fun j x -> if j = i then v else x) !current)
+              in
+              if try_ candidate then begin
+                current := candidate;
+                changed := true
+              end
+              else descend (v + 1)
+            end
+          in
+          descend 0)
+      !current;
+    !changed
+  in
+  let rec fix () =
+    if lower () && !runs < budget then begin
+      ddmin 2;
+      fix ()
+    end
+  in
+  fix ();
+  (Trace.trim_choices !current, !runs)

@@ -1,0 +1,18 @@
+(** Delta-debugging minimisation of violating choice traces.
+
+    Works purely on the [int list] choice encoding: positions holding
+    [0] are the engine's default schedule, so a counterexample's
+    essence is its set of non-zero deviations. [minimize] zeroes
+    deviations in ddmin-style chunks, lowers surviving values toward
+    the default, and trims trailing zeros — re-running the system at
+    each step to keep the violation alive. *)
+
+val minimize :
+  ?budget:int ->
+  violates:(int list -> bool) ->
+  int list ->
+  int list * int
+(** [minimize ~violates cs] returns [(shrunk, runs_used)]. [violates]
+    must return [true] when the candidate trace still exhibits the
+    failure; it is called at most [budget] (default 400) times. The
+    input is assumed to violate; the result is guaranteed to. *)

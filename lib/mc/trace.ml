@@ -1,0 +1,21 @@
+type entry = { choice : Sim.Label.choice; chosen : int }
+
+type t = entry list
+
+let choices t = List.map (fun e -> e.chosen) t
+
+let length = List.length
+
+(* Semantically a no-op: the controller answers 0 for every choice point
+   beyond the forced prefix, so trailing default choices carry no
+   information. Trimming them is what makes shrunk traces minimal. *)
+let trim_choices cs =
+  let rec strip = function 0 :: rest -> strip rest | l -> l in
+  List.rev (strip (List.rev cs))
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%a=%d/%d" Sim.Label.pp_choice e.choice e.chosen
+    (Sim.Label.domain e.choice)
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_entry ppf t

@@ -1,0 +1,26 @@
+(** Recorded choice traces.
+
+    A run under the controllable scheduler is fully determined by the
+    sequence of answers given at its choice points; the recorded trace
+    {e is} the schedule. Replaying the same choices against the same
+    system reproduces the execution bit-for-bit (see the replay
+    determinism property in [test/test_mc.ml]). *)
+
+type entry = { choice : Sim.Label.choice; chosen : int }
+
+type t = entry list
+(** In decision order: crash-injection choices first (consumed before
+    any event runs), then event-queue ties and link-fault decisions as
+    the execution reaches them. *)
+
+val choices : t -> int list
+(** Just the answers — the replayable essence of the trace. *)
+
+val length : t -> int
+
+val trim_choices : int list -> int list
+(** Drop trailing zeros: the controller answers [0] for every choice
+    point beyond the forced prefix, so they are redundant. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -41,9 +41,34 @@ val set_trace : t -> Obs.Trace.t -> unit
 (** Attach a trace. Call before constructing the components that should
     emit into it — they capture the engine's trace when created. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> unit
+val chooser : t -> (Label.choice -> int) option
+(** The installed controllable scheduler, if any. Components with their
+    own nondeterminism (the lossy link's fault draws) consult it so that
+    a model checker controls {e every} random decision of a run. *)
+
+val set_chooser : t -> (Label.choice -> int) option -> unit
+(** Install (or remove) a controllable scheduler. With a chooser
+    present, each pop of the event queue at a state with [>= 2]
+    same-timestamp events becomes a {!Label.Tie} choice point, and the
+    lossy link replaces its RNG fault draws with {!Label.Link_fault}
+    choices. Passing a chooser that always answers [0] reproduces the
+    default FIFO schedule exactly. *)
+
+val choose : t -> Label.choice -> int
+(** Route a choice point through the installed chooser ([0] when none),
+    validating the returned index against {!Label.domain}.
+    @raise Invalid_argument on an out-of-range answer. *)
+
+val add_on_step : t -> (int -> unit) -> unit
+(** Register a hook called with the engine-lifetime index of every step
+    just before it executes — the model checker's crash-injection sites
+    ("crash node [i] before step [s]"). Hooks persist for the engine's
+    lifetime. *)
+
+val schedule : ?label:Label.t -> t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at time [now t +. delay].
-    Requires [delay >= 0.]. *)
+    Requires [delay >= 0.]. [label] (default {!Label.Opaque}) tells the
+    controllable scheduler what the event acts on. *)
 
 val push_runnable : t -> (unit -> unit) -> unit
 (** Enqueue [f] to run at the current time, after already-queued

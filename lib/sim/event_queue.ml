@@ -2,7 +2,7 @@
    number is a global insertion counter: it breaks timestamp ties so that
    simultaneous events run FIFO, keeping executions deterministic. *)
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+type 'a entry = { time : float; seq : int; label : Label.t; payload : 'a }
 
 type 'a t = {
   mutable heap : 'a entry array;
@@ -21,7 +21,9 @@ let grow t =
   let cap = Array.length t.heap in
   let new_cap = if cap = 0 then 16 else cap * 2 in
   (* dummy entry: slots >= len are never read *)
-  let dummy = { time = 0.; seq = 0; payload = t.heap.(0).payload } in
+  let dummy =
+    { time = 0.; seq = 0; label = Label.Opaque; payload = t.heap.(0).payload }
+  in
   let h = Array.make new_cap dummy in
   Array.blit t.heap 0 h 0 t.len;
   t.heap <- h
@@ -49,8 +51,8 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let add t ~time payload =
-  let entry = { time; seq = t.next_seq; payload } in
+let add ?(label = Label.Opaque) t ~time payload =
+  let entry = { time; seq = t.next_seq; label; payload } in
   t.next_seq <- t.next_seq + 1;
   if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
   if t.len = Array.length t.heap then grow t;
@@ -71,3 +73,45 @@ let pop t =
   end
 
 let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+(* ---- tie inspection for the controllable scheduler ------------------- *)
+
+(* Heap positions of every entry sharing the minimal timestamp, sorted by
+   seq (the default pop order). O(len) scans: only the model checker pays
+   for them, and only at states with >= 2 simultaneous events. *)
+let tie_positions t =
+  if t.len = 0 then [||]
+  else begin
+    let min_time = t.heap.(0).time in
+    let acc = ref [] in
+    for i = t.len - 1 downto 0 do
+      if t.heap.(i).time = min_time then acc := i :: !acc
+    done;
+    let pos = Array.of_list !acc in
+    Array.sort (fun a b -> compare t.heap.(a).seq t.heap.(b).seq) pos;
+    pos
+  end
+
+let ties t = Array.length (tie_positions t)
+
+let tie_labels t = Array.map (fun i -> t.heap.(i).label) (tie_positions t)
+
+(* Remove the entry at heap position [i]: replace it with the last slot,
+   then restore the heap property in whichever direction is violated. *)
+let remove_at t i =
+  let entry = t.heap.(i) in
+  t.len <- t.len - 1;
+  if i < t.len then begin
+    t.heap.(i) <- t.heap.(t.len);
+    sift_down t i;
+    sift_up t i
+  end;
+  (entry.time, entry.payload)
+
+let pop_tie t k =
+  let pos = tie_positions t in
+  if k < 0 || k >= Array.length pos then
+    invalid_arg
+      (Printf.sprintf "Event_queue.pop_tie: index %d out of %d alternatives" k
+         (Array.length pos));
+  remove_at t pos.(k)

@@ -2,14 +2,18 @@
 
     Events with equal timestamps pop in insertion order, which makes the
     whole simulation deterministic (ties are common: a [Fixed] delay model
-    stamps many messages with identical delivery times). *)
+    stamps many messages with identical delivery times). Every entry
+    carries a {!Label.t} so a controllable scheduler can treat
+    same-timestamp ties as explicit choice points ({!ties}, {!pop_tie});
+    the default {!pop} ignores labels entirely. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
-val add : 'a t -> time:float -> 'a -> unit
-(** [add q ~time x] schedules [x] at [time]. *)
+val add : ?label:Label.t -> 'a t -> time:float -> 'a -> unit
+(** [add q ~time x] schedules [x] at [time]. [label] (default
+    {!Label.Opaque}) describes the event for the model checker. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event, breaking time ties by insertion
@@ -17,6 +21,19 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest event without removing it. *)
+
+val ties : 'a t -> int
+(** Number of entries sharing the minimal timestamp (0 when empty).
+    [pop q] is [pop_tie q 0] whenever [ties q > 0]. *)
+
+val tie_labels : 'a t -> Label.t array
+(** Labels of the minimal-timestamp entries, in insertion (seq) order —
+    the alternatives of a {!Label.Tie} choice point. *)
+
+val pop_tie : 'a t -> int -> float * 'a
+(** [pop_tie q k] removes and returns the [k]-th minimal-timestamp entry
+    in insertion order. [pop_tie q 0] coincides with {!pop}.
+    @raise Invalid_argument if [k] is outside [[0, ties q)]. *)
 
 val is_empty : 'a t -> bool
 val size : 'a t -> int

@@ -36,6 +36,7 @@ let spawn ?(blocking = false) engine f =
   in
   Engine.push_runnable engine task
 
-let sleep engine d = suspend (fun wake -> Engine.schedule engine ~delay:d wake)
+let sleep ?label engine d =
+  suspend (fun wake -> Engine.schedule ?label engine ~delay:d wake)
 
 let yield engine = sleep engine 0.

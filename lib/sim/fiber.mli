@@ -20,8 +20,11 @@ val suspend : ((unit -> unit) -> unit) -> unit
     re-enqueues the fiber at the time of the call. Extra [wake] calls are
     ignored. Must be called from within a fiber. *)
 
-val sleep : Engine.t -> float -> unit
-(** Park the current fiber for a span of virtual time. *)
+val sleep : ?label:Label.t -> Engine.t -> float -> unit
+(** Park the current fiber for a span of virtual time. [label] (default
+    {!Label.Opaque}) marks the wakeup event for the controllable
+    scheduler — pass [Timer node] for client fibers owned by one node so
+    that commuting wakeups are not needlessly permuted. *)
 
 val yield : Engine.t -> unit
 (** Let other runnables and same-time events run, then continue. *)

@@ -1,0 +1,59 @@
+type t =
+  | Deliver of int
+  | Timer of int
+  | Crash of int
+  | Opaque
+
+type fault_op = Drop | Dup | Reorder
+
+type choice =
+  | Tie of t array
+  | Link_fault of { op : fault_op; src : int; dst : int }
+  | Crash_step of { node : int; steps : int array }
+
+let domain = function
+  | Tie labels -> Array.length labels
+  | Link_fault _ -> 2
+  | Crash_step { steps; _ } -> Array.length steps
+
+(* Independence relation for the sleep-set-style prune: two
+   same-instant events commute iff each touches the state of a single,
+   distinct node. Deliveries and timer wakeups qualify (handlers and
+   resumed fibers only read/write their own node and schedule future
+   events whose times do not depend on execution order under a [Fixed]
+   delay model); crashes conflict with everything (a crash disables
+   deliveries to the dead node and kills its transport channels), and
+   unlabeled events are conservatively treated as global. *)
+let node_of = function
+  | Deliver i | Timer i -> Some i
+  | Crash _ | Opaque -> None
+
+let commute a b =
+  match (node_of a, node_of b) with
+  | Some i, Some j -> i <> j
+  | _ -> false
+
+let pp ppf = function
+  | Deliver i -> Format.fprintf ppf "d%d" i
+  | Timer i -> Format.fprintf ppf "t%d" i
+  | Crash i -> Format.fprintf ppf "x%d" i
+  | Opaque -> Format.fprintf ppf "?"
+
+let fault_op_name = function
+  | Drop -> "drop"
+  | Dup -> "dup"
+  | Reorder -> "reorder"
+
+let pp_choice ppf = function
+  | Tie labels ->
+      Format.fprintf ppf "tie[%a]"
+        (Format.pp_print_seq
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           pp)
+        (Array.to_seq labels)
+  | Link_fault { op; src; dst } ->
+      Format.fprintf ppf "%s:%d->%d" (fault_op_name op) src dst
+  | Crash_step { node; steps } ->
+      Format.fprintf ppf "crash:%d[%d]" node (Array.length steps)
+
+let describe c = Format.asprintf "%a" pp_choice c

@@ -1,0 +1,48 @@
+(** Schedule labels and choice points for the model checker.
+
+    Every entry in the engine's event queue carries a label describing
+    which node the event acts on. The default scheduler ignores them;
+    a controllable scheduler ({!Engine.set_chooser}) uses them both to
+    present same-timestamp ties as explicit choice points and to prune
+    orderings of provably commutative events (see {!commute}). *)
+
+type t =
+  | Deliver of int  (** message delivery to the given node *)
+  | Timer of int  (** timer/sleep wakeup owned by the given node *)
+  | Crash of int  (** scheduled crash of the given node *)
+  | Opaque  (** unlabeled — conservatively conflicts with everything *)
+
+type fault_op = Drop | Dup | Reorder
+
+(** A nondeterminism point surfaced to the controllable scheduler. The
+    chooser must return an index in [[0, domain)]. *)
+type choice =
+  | Tie of t array
+      (** [domain] same-timestamp events ready to pop, in insertion
+          (seq) order; index [0] reproduces the default FIFO
+          tie-breaking *)
+  | Link_fault of { op : fault_op; src : int; dst : int }
+      (** lossy-link decision for one packet: [0] = no fault,
+          [1] = fault fires (the link's probability is ignored when a
+          chooser is installed) *)
+  | Crash_step of { node : int; steps : int array }
+      (** crash-injection site: choosing [i] crashes [node] just before
+          engine step [steps.(i)] ([-1] = never) *)
+
+val domain : choice -> int
+(** Number of alternatives of the choice point. *)
+
+val commute : t -> t -> bool
+(** [commute a b] holds when executing [a] then [b] from any state
+    reaches the same state as [b] then [a] — true exactly when both are
+    deliveries/timer wakeups of two {e distinct} nodes. Sound for the
+    ideal substrate under a [Fixed] delay model (handlers touch only
+    their node's state and schedule future events at order-independent
+    times); crashes and unlabeled events never commute. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_choice : Format.formatter -> choice -> unit
+
+val describe : choice -> string
+(** Compact one-token rendering of a choice point, used in recorded
+    traces and replay files. *)

@@ -109,11 +109,19 @@ let obs_wire t ~name ~pid ~src ~dst ~at =
       name
 
 (* Draw only when the probability is positive, so a zero-fault link makes
-   exactly the RNG draws of the ideal network (none). *)
-let hit t p = p > 0. && Rng.float t.rng 1.0 < p
+   exactly the RNG draws of the ideal network (none). Under a
+   controllable scheduler every positive-probability fault becomes an
+   explicit binary choice point instead of an RNG draw, so the model
+   checker decides each packet's fate (and records it for replay). *)
+let hit t ~op ~src ~dst p =
+  p > 0.
+  &&
+  match Engine.chooser t.engine with
+  | Some _ -> Engine.choose t.engine (Label.Link_fault { op; src; dst }) = 1
+  | None -> Rng.float t.rng 1.0 < p
 
 let deliver_at t ~src ~dst ~at packet =
-  Engine.schedule t.engine
+  Engine.schedule ~label:(Label.Deliver dst) t.engine
     ~delay:(at -. Engine.now t.engine)
     (fun () ->
       Obs.Metrics.incr t.delivered;
@@ -131,7 +139,7 @@ let transmit t ~src ~dst packet =
     obs_wire t ~name:"wire_cut" ~pid:src ~src ~dst ~at:now;
     trace t (Wire_cut { src; dst; at = now; packet })
   end
-  else if hit t t.faults.drop then begin
+  else if hit t ~op:Label.Drop ~src ~dst t.faults.drop then begin
     Obs.Metrics.incr t.lost;
     obs_wire t ~name:"wire_lost" ~pid:src ~src ~dst ~at:now;
     trace t (Wire_lost { src; dst; at = now; packet })
@@ -139,7 +147,8 @@ let transmit t ~src ~dst packet =
   else begin
     let d = Delay.sample t.delay ~src ~dst ~now in
     let at =
-      if src <> dst && hit t t.faults.reorder then begin
+      if src <> dst && hit t ~op:Label.Reorder ~src ~dst t.faults.reorder
+      then begin
         (* Fresh delay plus jitter, not clamped to the channel's previous
            delivery: a later packet may overtake earlier ones. *)
         Obs.Metrics.incr t.reordered;
@@ -156,7 +165,7 @@ let transmit t ~src ~dst packet =
 
 let send t ~src ~dst packet =
   transmit t ~src ~dst packet;
-  if src <> dst && hit t t.faults.dup then begin
+  if src <> dst && hit t ~op:Label.Dup ~src ~dst t.faults.dup then begin
     Obs.Metrics.incr t.duplicated;
     transmit t ~src ~dst packet
   end

@@ -158,15 +158,15 @@ let send t ~src ~dst msg =
         let d = Delay.sample t.delay ~src ~dst ~now in
         let at = Float.max (now +. d) last_delivery.(src).(dst) in
         last_delivery.(src).(dst) <- at;
-        Engine.schedule t.engine ~delay:(at -. now) (fun () ->
-            deliver t ~src ~dst msg)
+        Engine.schedule ~label:(Label.Deliver dst) t.engine ~delay:(at -. now)
+          (fun () -> deliver t ~src ~dst msg)
     | Stack tr ->
         if src = dst then
           (* Loopback needs no reliability protocol; deliver at the
              current time via the event queue, as the ideal network
              does, to preserve handler atomicity. *)
-          Engine.schedule t.engine ~delay:0. (fun () ->
-              deliver t ~src ~dst msg)
+          Engine.schedule ~label:(Label.Deliver dst) t.engine ~delay:0.
+            (fun () -> deliver t ~src ~dst msg)
         else Transport.send tr ~src ~dst msg
   end
 

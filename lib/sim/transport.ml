@@ -43,7 +43,9 @@ let rec arm_timer t ~src ~dst =
   let tx = t.tx.(src).(dst) in
   tx.timer_armed <- true;
   let gen = tx.timer_gen in
-  Engine.schedule t.engine ~delay:tx.rto (fun () ->
+  (* Labeled with the sender: the expiry touches only [src]'s tx state
+     (and re-sends on the link, which schedules future deliveries). *)
+  Engine.schedule ~label:(Label.Timer src) t.engine ~delay:tx.rto (fun () ->
       if tx.timer_gen = gen && not t.dead.(src) && not t.dead.(dst) then
         if Queue.is_empty tx.unacked then tx.timer_armed <- false
         else begin

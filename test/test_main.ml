@@ -21,5 +21,6 @@ let () =
          Test_sso.suites;
          Test_stress.suites;
          Test_obs.suites;
+         Test_mc.suites;
          Test_configs.suites;
        ])
