@@ -670,7 +670,262 @@ let bechamel_suite () =
       | _ -> Printf.printf "bench %-32s  (no estimate)\n%!" name)
     results
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Machine-readable telemetry (--json FILE): a fixed subset of the
+   tables above, re-run with structured rows and written as JSON for
+   the CI regression gate. Layout: table -> row -> metric -> value.
+   Deterministic metrics (everything measured in simulated time) live
+   under "metrics" and gate at a tight threshold; wall-clock-dependent
+   ones (schedules/s) under "volatile", compared only loosely because
+   they track the host machine. The writer is hand-rolled on stdlib —
+   no JSON dependency. *)
+
+type jv =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_num of float
+  | J_str of string
+  | J_arr of jv list
+  | J_obj of (string * jv) list
+
+let buf_jstr buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec buf_jv buf ind = function
+  | J_null -> Buffer.add_string buf "null"
+  | J_bool b -> Buffer.add_string buf (string_of_bool b)
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_num f ->
+      (* %.17g round-trips; nan/inf have no JSON spelling. *)
+      if not (Float.is_finite f) then Buffer.add_string buf "null"
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | J_str s -> buf_jstr buf s
+  | J_arr [] -> Buffer.add_string buf "[]"
+  | J_arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (String.make (ind + 2) ' ');
+          buf_jv buf (ind + 2) v)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make ind ' ');
+      Buffer.add_char buf ']'
+  | J_obj [] -> Buffer.add_string buf "{}"
+  | J_obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (String.make (ind + 2) ' ');
+          buf_jstr buf k;
+          Buffer.add_string buf ": ";
+          buf_jv buf (ind + 2) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make ind ' ');
+      Buffer.add_char buf '}'
+
+let jnum f = if Float.is_finite f then J_num f else J_null
+
+let jrow id ?(volatile = []) metrics =
+  J_obj
+    ([ ("id", J_str id); ("metrics", J_obj metrics) ]
+    @ if volatile = [] then [] else [ ("volatile", J_obj volatile) ])
+
+let json_table1 () =
+  let k = 12 in
+  let rows =
+    List.map
+      (fun (algo : Harness.Algo.t) ->
+        let worst = Harness.Scenario.chain_storm ~algo ~k ~rounds:1 ~seed in
+        let amort = Harness.Scenario.chain_storm ~algo ~k ~rounds:12 ~seed in
+        jrow algo.name
+          [
+            ("upd_worst_d", jnum worst.worst_update);
+            ("upd_amortized_d", jnum amort.mean_update);
+            ("scan_worst_d", jnum worst.worst_scan);
+            ("scan_amortized_d", jnum amort.mean_scan);
+          ])
+      algos
+  in
+  ("table1_failure_chains", rows)
+
+let json_failure_free () =
+  let rows =
+    List.concat_map
+      (fun (algo : Harness.Algo.t) ->
+        List.map
+          (fun n ->
+            let r = Harness.Scenario.failure_free ~algo ~n ~rounds:4 ~seed in
+            jrow
+              (Printf.sprintf "%s/n=%d" algo.name n)
+              [
+                ("upd_mean_d", jnum r.mean_update);
+                ("scan_mean_d", jnum r.mean_scan);
+                ("messages", J_int r.messages);
+              ])
+          [ 4; 8 ])
+      algos
+  in
+  ("failure_free", rows)
+
+let json_rounds_per_update () =
+  let bound k = (2. *. sqrt (float_of_int k)) +. 3. in
+  let rows =
+    List.concat_map
+      (fun (algo : Harness.Algo.t) ->
+        List.map
+          (fun k ->
+            let r =
+              if k = 0 then
+                Harness.Scenario.failure_free ~algo ~n:8 ~rounds:6 ~seed
+              else Harness.Scenario.chain_storm ~algo ~k ~rounds:6 ~seed
+            in
+            jrow
+              (Printf.sprintf "%s/k=%d" algo.name k)
+              [
+                ("mean_rounds", jnum r.mean_rounds_upd);
+                ("max_rounds", jnum r.max_rounds_upd);
+                ("bound", jnum (bound k));
+              ])
+          [ 0; 4; 12 ])
+      [ Harness.Algo.eq_aso; Harness.Algo.sso ]
+  in
+  ("rounds_per_update", rows)
+
+let json_mc_throughput () =
+  let rows =
+    List.map
+      (fun (algo : Harness.Algo.t) ->
+        let spec =
+          {
+            Mc.Replay.default_spec with
+            algo = algo.name;
+            workload = Mc.Replay.Pair { updater = 0; scanner = 1; gap = 6.0 };
+          }
+        in
+        let sys =
+          match Mc.Replay.to_sys spec with
+          | Ok sys -> sys
+          | Error e -> failwith e
+        in
+        let t0 = Sys.time () in
+        let report =
+          Mc.Explore.explore sys
+            (Mc.Explore.Dfs { max_schedules = 400; max_depth = 10 })
+        in
+        let dt = Float.max (Sys.time () -. t0) 1e-9 in
+        jrow algo.name
+          ~volatile:
+            [ ("schedules_per_s", jnum (float_of_int report.schedules /. dt)) ]
+          [
+            ("schedules", J_int report.schedules);
+            ("pruned", J_int report.pruned);
+            ("choice_points", J_int report.max_choice_points);
+            ("exhausted", J_bool report.exhausted);
+          ])
+      algos
+  in
+  ("mc_throughput", rows)
+
+(* One representative instrumented run, its full metrics registry
+   exported in [Obs.Metrics.sorted] order — identically-seeded runs
+   produce byte-identical rows, so this section doubles as the
+   determinism check behind the committed baseline. *)
+let json_run_metrics () =
+  let algo = Harness.Algo.eq_aso in
+  let n = 8 in
+  let rng = Sim.Rng.create seed in
+  let workload =
+    Harness.Workload.random rng ~n ~ops_per_node:6 ~scan_fraction:0.5
+      ~max_gap:3.0
+  in
+  let config =
+    { Harness.Runner.n; f = 3; delay = Harness.Runner.Fixed_d 1.0; seed }
+  in
+  let outcome =
+    Harness.Scenario.run_and_check ~algo ~config ~workload
+      ~adversary:Harness.Adversary.No_faults ~seed ()
+  in
+  let metrics =
+    List.concat_map
+      (fun (name, stat) ->
+        match stat with
+        | Obs.Metrics.Count c -> [ (name, J_int c) ]
+        | Obs.Metrics.Level l -> [ (name, jnum l) ]
+        | Obs.Metrics.Samples s -> (
+            match Obs.Metrics.summary s with
+            | None -> []
+            | Some { Obs.Metrics.s_count; mean; max; _ } ->
+                [
+                  (name ^ ".count", J_int s_count);
+                  (name ^ ".mean", jnum mean);
+                  (name ^ ".max", jnum max);
+                ]))
+      (Obs.Metrics.sorted outcome.metrics)
+  in
+  ("run_metrics", [ jrow "eq-aso/n=8" metrics ])
+
+let emit_json file =
+  let t0 = Sys.time () in
+  let tables =
+    [
+      json_table1 ();
+      json_failure_free ();
+      json_rounds_per_update ();
+      json_mc_throughput ();
+      json_run_metrics ();
+    ]
+  in
+  let doc =
+    J_obj
+      [
+        ("schema", J_str "aso-bench/1");
+        ( "meta",
+          J_obj
+            [
+              ("seed", J_int (Int64.to_int seed));
+              ( "volatile_note",
+                J_str
+                  "metrics under \"volatile\" depend on host wall-clock \
+                   speed; the regression gate compares them only loosely" );
+            ] );
+        ( "tables",
+          J_arr
+            (List.map
+               (fun (name, rows) ->
+                 J_obj [ ("name", J_str name); ("rows", J_arr rows) ])
+               tables) );
+      ]
+  in
+  let buf = Buffer.create 8192 in
+  buf_jv buf 0 doc;
+  Buffer.add_char buf '\n';
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s: %d tables, %d rows (%.1f s CPU)\n" file
+    (List.length tables)
+    (List.fold_left
+       (fun acc (_, rows) -> acc + List.length rows)
+       0 tables)
+    (Sys.time () -. t0)
+
+let run_all_tables () =
   let t0 = Sys.time () in
   table1 ();
   fig_latency_vs_k ();
@@ -689,3 +944,18 @@ let () =
   print_endline "== Simulator throughput (bechamel, OLS ns/run) ==";
   bechamel_suite ();
   Printf.printf "\nTotal bench CPU time: %.1f s\n" (Sys.time () -. t0)
+
+let () =
+  let usage () =
+    prerr_endline "usage: bench_aso [--json FILE]";
+    exit 2
+  in
+  let parse = function
+    | [] -> run_all_tables ()
+    | [ "--json" ] -> usage ()
+    | "--json" :: file :: rest ->
+        if rest <> [] then usage ();
+        emit_json file
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))

@@ -337,6 +337,155 @@ let trace_cmd =
           & info [ "o"; "out" ] ~docv:"FILE"
               ~doc:"Output file for the Chrome trace-event JSON."))
 
+(* ---- causal: vector clocks + online monitor -------------------------- *)
+
+let mutation_conv =
+  Arg.enum
+    (List.map (fun m -> (Mc.Mutants.to_string m, m)) Mc.Mutants.all)
+
+let causal_impl (algo : Harness.Algo.t) n k ops seed out trace_out mutation
+    drop dup reorder =
+  let f = Quorum.max_crash_faults n in
+  if k > f then (
+    Format.eprintf "error: k=%d exceeds f=%d for n=%d@." k f n;
+    exit 1);
+  let seed64 = Int64.of_int seed in
+  let rng = Sim.Rng.create seed64 in
+  let workload =
+    Harness.Workload.random rng ~n ~ops_per_node:ops ~scan_fraction:0.5
+      ~max_gap:4.0
+  in
+  let adversary =
+    if k = 0 then Harness.Adversary.No_faults
+    else Harness.Adversary.Crash_k_random { k; window = 10.0 }
+  in
+  let substrate =
+    if drop > 0. || dup > 0. || reorder > 0. then
+      Sim.Network.Lossy { Sim.Link.drop; dup; reorder }
+    else Sim.Network.Ideal
+  in
+  let config =
+    { Harness.Runner.n; f; delay = Harness.Runner.Fixed_d 1.0; seed = seed64 }
+  in
+  let make =
+    match mutation with None -> algo.make | Some m -> Mc.Mutants.make m
+  in
+  (match mutation with
+  | Some m -> Format.printf "mutant armed: %s@." (Mc.Mutants.to_string m)
+  | None -> ());
+  let causal = Obs.Vclock.recorder ~n in
+  let monitor = Obs.Monitor.create ~n () in
+  let tr = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+  let write_logs () =
+    let log = Obs.Vclock.to_shiviz causal in
+    let oc = open_out out in
+    output_string oc log;
+    close_out oc;
+    Format.printf "causal log  : %d events -> %s (ShiViz format)@."
+      (Obs.Vclock.length causal) out;
+    match (trace_out, tr) with
+    | Some file, Some tr ->
+        let json = Obs.Trace.to_chrome ~process_name:algo.name tr in
+        let oc = open_out file in
+        output_string oc json;
+        close_out oc;
+        Format.printf
+          "trace       : %d events -> %s (flow arrows tie send to deliver)@."
+          (Obs.Trace.length tr) file
+    | _ -> ()
+  in
+  match
+    Harness.Runner.run ~workload_seed:seed64 ?trace:tr ~substrate ~causal
+      ~monitor ~watchdog:Harness.Runner.default_watchdog ~make config
+      ~workload ~adversary
+  with
+  | outcome ->
+      write_logs ();
+      Format.printf "algorithm   : %s (%s)@." outcome.algorithm algo.paper_row;
+      Format.printf "operations  : %d completed, %d pending@."
+        (List.length (History.completed outcome.history))
+        (List.length (History.pending outcome.history));
+      Format.printf "monitor     : %d event(s) consumed, %d scan(s) checked, \
+                     no violation@."
+        (Obs.Monitor.events_seen monitor)
+        (Obs.Monitor.scans_checked monitor);
+      let verdict =
+        match algo.consistency with
+        | Harness.Algo.Atomic ->
+            (Harness.Runner.check_linearizable outcome, "linearizable")
+        | Harness.Algo.Sequential ->
+            (Harness.Runner.check_sequential outcome, "sequentially consistent")
+      in
+      (match verdict with
+      | Ok (), label -> Format.printf "history     : %s (batch-checked)@." label
+      | Error e, label ->
+          Format.printf "history     : NOT %s — %s@." label e;
+          exit 1)
+  | exception Harness.Runner.Monitor_violation c ->
+      write_logs ();
+      Format.printf
+        "ONLINE VIOLATION caught mid-run after %d delivered message(s):@."
+        c.delivered;
+      Format.printf "  %a@." Obs.Monitor.pp_violation c.violation;
+      Format.printf "provenance  : %d causal event(s) in the violating \
+                     node's cone:@."
+        (List.length c.slice);
+      List.iter (fun ev -> Format.printf "  %a@." Obs.Vclock.pp_event ev)
+        c.slice;
+      exit 1
+  | exception Harness.Runner.Stuck msg ->
+      write_logs ();
+      Format.printf "LIVENESS: %s@." msg;
+      exit 1
+
+let causal_cmd =
+  Cmd.v
+    (Cmd.info "causal"
+       ~doc:
+         "Run a workload with vector-clock stamping and the online \
+          (A1)-(A4) monitor attached. Writes a ShiViz-compatible causal \
+          log; $(b,--trace) also exports a Perfetto trace whose flow \
+          arrows tie each send to its delivery. Exits non-zero when the \
+          monitor catches a violation mid-run, printing the causal \
+          provenance slice.")
+    Term.(
+      const causal_impl
+      $ Arg.(
+          value
+          & pos 0 algo_conv Harness.Algo.eq_aso
+          & info [] ~docv:"ALGO" ~doc:"Algorithm to run (default eq-aso).")
+      $ nodes_arg $ crashes_arg $ ops_arg $ seed_arg
+      $ Arg.(
+          value
+          & opt string "causal.log"
+          & info [ "o"; "out" ] ~docv:"FILE"
+              ~doc:"Output file for the ShiViz causal log.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"OUT"
+              ~doc:
+                "Also export a Chrome trace-event JSON with send-deliver \
+                 flow events.")
+      $ Arg.(
+          value
+          & opt (some mutation_conv) None
+          & info [ "mutate" ] ~docv:"MUTANT"
+              ~doc:
+                "Arm a seeded eq-aso protocol bug so the monitor has \
+                 something to catch.")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "drop" ] ~docv:"P"
+              ~doc:"Lossy substrate with this per-packet drop probability.")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "dup" ] ~docv:"P" ~doc:"Per-packet duplication probability.")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "reorder" ] ~docv:"P"
+              ~doc:"Per-packet reordering probability."))
+
 (* ---- chaos: lossy substrate, partitions, chaos sweep ----------------- *)
 
 let chaos_impl (algo : Harness.Algo.t) n k ops seed all drop dup reorder
@@ -426,16 +575,12 @@ let fuzz_cmd =
 
 (* ---- explore / replay: model checking -------------------------------- *)
 
-let mutation_conv =
-  Arg.enum
-    (List.map (fun m -> (Mc.Mutants.to_string m, m)) Mc.Mutants.all)
-
 (* Both subcommands route through [Replay.spec]: explore builds the spec
    it would save, converts it with [Replay.to_sys], and explores that —
    so a saved counterexample replays the exact system that produced
    it. *)
 let spec_of_args (algo : Harness.Algo.t) n ops seed scan_fraction max_gap
-    two_op crash_nodes crash_bound mutation drop dup reorder =
+    two_op crash_nodes crash_bound mutation drop dup reorder monitor =
   let substrate =
     if drop > 0. || dup > 0. || reorder > 0. then
       Mc.Replay.Lossy { drop; dup; reorder }
@@ -460,13 +605,15 @@ let spec_of_args (algo : Harness.Algo.t) n ops seed scan_fraction max_gap
     substrate;
     crashes = List.map (fun node -> (node, crash_steps)) crash_nodes;
     mutation;
+    monitor;
   }
 
 let explore_impl algo n ops seed scan_fraction max_gap two_op max_schedules
-    depth random crash_nodes crash_bound mutation drop dup reorder out =
+    depth random crash_nodes crash_bound mutation drop dup reorder monitor out
+    =
   let spec =
     spec_of_args algo n ops seed scan_fraction max_gap two_op crash_nodes
-      crash_bound mutation drop dup reorder
+      crash_bound mutation drop dup reorder monitor
   in
   match Mc.Replay.to_sys spec with
   | Error e ->
@@ -579,6 +726,14 @@ let explore_cmd =
           value & opt float 0.0
           & info [ "reorder" ] ~docv:"P" ~doc:"Reordering choice points.")
       $ Arg.(
+          value & flag
+          & info [ "monitor" ]
+              ~doc:
+                "Attach the online (A1)-(A4) monitor to every explored \
+                 schedule: violations are caught mid-run (verdict \
+                 \"online:\") and the replay file records the monitor so \
+                 the catch reproduces.")
+      $ Arg.(
           value
           & opt string "counterexample.replay"
           & info [ "o"; "out" ] ~docv:"FILE"
@@ -657,8 +812,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "aso_demo" ~version:"1.0.0" ~doc)
     [
-      run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd; chaos_cmd;
-      fuzz_cmd; explore_cmd; replay_cmd;
+      run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd;
+      causal_cmd; chaos_cmd; fuzz_cmd; explore_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

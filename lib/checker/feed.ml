@@ -1,0 +1,54 @@
+(* Lower a finished history to the monitor's event stream. Each event
+   is keyed (time, phase, id) with responses before invocations at
+   equal times: real-time precedence is strict ([resp < inv]), so tie
+   order only matters for the monitor's sequential-process check, where
+   a node may legally invoke at the instant its previous op responded. *)
+
+let events history =
+  let evs =
+    List.concat_map
+      (fun (op : History.op) ->
+        let invoke =
+          ( op.inv,
+            1,
+            op.id,
+            Obs.Monitor.Invoke
+              {
+                id = op.id;
+                node = op.node;
+                at = op.inv;
+                op =
+                  (match op.kind with
+                  | History.Update v -> Obs.Monitor.Update v
+                  | History.Scan _ -> Obs.Monitor.Scan);
+              } )
+        in
+        match (op.resp, op.kind) with
+        | None, _ | Some _, History.Scan None -> [ invoke ]
+        | Some at, History.Update _ ->
+            [ invoke; (at, 0, op.id, Obs.Monitor.Respond_update { id = op.id; at }) ]
+        | Some at, History.Scan (Some snap) ->
+            [ invoke;
+              (at, 0, op.id, Obs.Monitor.Respond_scan { id = op.id; at; snap })
+            ])
+      (History.ops history)
+  in
+  List.map
+    (fun (_, _, _, ev) -> ev)
+    (List.sort
+       (fun (t1, p1, i1, _) (t2, p2, i2, _) ->
+         match Float.compare t1 t2 with
+         | 0 -> ( match compare p1 p2 with 0 -> compare i1 i2 | c -> c)
+         | c -> c)
+       evs)
+
+let check ?budget ~n history =
+  let m = Obs.Monitor.create ?budget ~n () in
+  let rec go = function
+    | [] -> Ok ()
+    | ev :: rest -> (
+        match Obs.Monitor.feed m ev with
+        | Ok () -> go rest
+        | Error v -> Error v)
+  in
+  go (events history)

@@ -1,0 +1,24 @@
+(** Replay a recorded history through the online monitor.
+
+    The batch checker ([Conditions]) and the streaming monitor
+    ([Obs.Monitor]) decide the same A0–A4 conditions; this adapter
+    lowers a finished {!History.t} to the monitor's event stream so the
+    two can be cross-validated — the monitor must accept every history
+    the batch checker accepts, and reject (with some violation) every
+    history it rejects. *)
+
+val events : History.t -> Obs.Monitor.event list
+(** The history as a time-ordered monitor event stream: one [Invoke]
+    per operation at its invocation time, one [Respond_*] per completed
+    operation at its response time (pending operations never respond).
+    Ties are ordered responses-first, then by op id, matching the
+    strict real-time precedence ([resp < inv]) the checks use. *)
+
+val check :
+  ?budget:(crashes:int -> float) ->
+  n:int ->
+  History.t ->
+  (unit, Obs.Monitor.violation) result
+(** Feed {!events} through a fresh monitor for [n] nodes and return its
+    verdict. No crash or round events are synthesized — this checks the
+    A0–A4/well-formedness stream only. *)

@@ -19,6 +19,26 @@ type outcome = {
 
 exception Stuck of string
 
+type caught = {
+  violation : Obs.Monitor.violation;
+  delivered : int;
+  slice : Obs.Vclock.event list;
+}
+
+exception Monitor_violation of caught
+
+(* Monitor plumbing handed to the client fibers; the no-op instance
+   keeps unmonitored runs on the exact code path they had before. *)
+type feeder = {
+  feed : Obs.Monitor.event -> unit;
+  rounds_count : unit -> int; (* -1 = histogram absent *)
+  rounds_last : unit -> float;
+}
+
+let no_feeder =
+  { feed = (fun _ -> ()); rounds_count = (fun () -> -1);
+    rounds_last = (fun () -> 0.) }
+
 type watchdog = { budget : float; trace : int }
 
 let default_watchdog = { budget = 400.; trace = 32 }
@@ -31,8 +51,8 @@ let make_delay engine = function
   | Uniform_d { lo; hi; d } ->
       Sim.Delay.uniform (Sim.Rng.split (Sim.Engine.rng engine)) ~lo ~hi d
 
-let client_fiber engine (instance : int Instance.t) history next_value node
-    steps () =
+let client_fiber engine (instance : int Instance.t) history next_value
+    feeder node steps () =
   let rec walk = function
     | [] -> ()
     | { Workload.gap; op } :: rest ->
@@ -47,15 +67,39 @@ let client_fiber engine (instance : int Instance.t) history next_value node
                 History.begin_update history ~now:(Sim.Engine.now engine)
                   ~node ~value
               in
+              feeder.feed
+                (Obs.Monitor.Invoke
+                   { id = rec_op.id; node; at = rec_op.inv;
+                     op = Obs.Monitor.Update value });
+              let before = feeder.rounds_count () in
               instance.update node value;
-              History.finish_update history ~now:(Sim.Engine.now engine) rec_op
+              History.finish_update history ~now:(Sim.Engine.now engine) rec_op;
+              feeder.feed
+                (Obs.Monitor.Respond_update
+                   { id = rec_op.id; at = Sim.Engine.now engine });
+              (* [observing_rounds] appends this op's lattice-op count as
+                 the histogram's newest sample at completion; no other
+                 step runs between the protocol call returning and here,
+                 so the last sample is ours. *)
+              let after = feeder.rounds_count () in
+              if after > before && after > 0 then
+                feeder.feed
+                  (Obs.Monitor.Rounds
+                     { id = rec_op.id; rounds = feeder.rounds_last () })
           | Workload.Scan ->
               let rec_op =
                 History.begin_scan history ~now:(Sim.Engine.now engine) ~node
               in
+              feeder.feed
+                (Obs.Monitor.Invoke
+                   { id = rec_op.id; node; at = rec_op.inv;
+                     op = Obs.Monitor.Scan });
               let snap = instance.scan node in
               History.finish_scan history ~now:(Sim.Engine.now engine) rec_op
-                ~snap);
+                ~snap;
+              feeder.feed
+                (Obs.Monitor.Respond_scan
+                   { id = rec_op.id; at = Sim.Engine.now engine; snap }));
           walk rest
         end
   in
@@ -87,7 +131,7 @@ let diagnose (instance : int Instance.t) history ~tail ~now ~budget =
       end)
 
 let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
-    ?configure ~make config ~workload ~adversary =
+    ?causal ?monitor ?configure ~make config ~workload ~adversary =
   let engine = Sim.Engine.create ~seed:config.seed () in
   (* One trace serves both consumers: a caller-supplied unbounded trace
      for export, or the watchdog's bounded ring for the [Stuck] tail.
@@ -102,8 +146,18 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
     | None, _ -> Obs.Trace.noop
   in
   Sim.Engine.set_trace engine obs;
+  (* Vector-clock recorder: caller-owned for export, or private when
+     only the monitor needs it (its violations carry a causal slice).
+     Attached before [make] so networks capture it at creation. *)
+  let causal_rec =
+    match (causal, monitor) with
+    | Some r, _ -> Some r
+    | None, Some _ -> Some (Obs.Vclock.recorder ~n:config.n)
+    | None, None -> None
+  in
+  Sim.Engine.set_causal engine causal_rec;
   let delay = make_delay engine config.delay in
-  let instance =
+  let instance : int Instance.t =
     Sim.Network.with_substrate substrate (fun () ->
         make engine ~n:config.n ~f:config.f ~delay)
   in
@@ -113,6 +167,60 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
   Option.iter (fun f -> f engine instance) configure;
   let history = History.create () in
   let next_value = ref 1 in
+  let feeder =
+    match monitor with
+    | None -> no_feeder
+    | Some m ->
+        let catch v =
+          let slice =
+            match causal_rec with
+            | None -> []
+            | Some r ->
+                let vc =
+                  let node = v.Obs.Monitor.node in
+                  if node >= 0 && node < config.n then Obs.Vclock.clock r node
+                  else
+                    (* No single timeline to blame: slice at the join of
+                       all clocks (= the whole message history so far). *)
+                    List.fold_left
+                      (fun acc i -> Obs.Vclock.join acc (Obs.Vclock.clock r i))
+                      (Obs.Vclock.clock r 0)
+                      (List.init (config.n - 1) (fun i -> i + 1))
+                in
+                Obs.Vclock.slice r ~vc
+          in
+          let stats : Instance.net_stats = instance.net_stats () in
+          raise
+            (Monitor_violation
+               { violation = v; delivered = stats.delivered; slice })
+        in
+        let feed ev =
+          match Obs.Monitor.feed m ev with Ok () -> () | Error v -> catch v
+        in
+        let samples () =
+          Obs.Metrics.find_samples (instance.metrics ())
+            "aso.rounds_per_update"
+        in
+        {
+          feed;
+          rounds_count =
+            (fun () ->
+              match samples () with
+              | None -> -1
+              | Some s -> List.length s);
+          rounds_last =
+            (fun () ->
+              match samples () with
+              | None | Some [] -> 0.
+              | Some s -> List.nth s (List.length s - 1));
+        }
+  in
+  (match monitor with
+  | None -> ()
+  | Some _ ->
+      instance.on_crash (fun node ->
+          feeder.feed
+            (Obs.Monitor.Crash { node; at = Sim.Engine.now engine })));
   let adversary_rng =
     Sim.Rng.create (Option.value workload_seed ~default:config.seed)
   in
@@ -121,7 +229,7 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
     (fun node steps ->
       if steps <> [] then
         Sim.Fiber.spawn engine
-          (client_fiber engine instance history next_value node steps))
+          (client_fiber engine instance history next_value feeder node steps))
     workload;
   (match watchdog with
   | None -> Sim.Engine.run_until_quiescent engine

@@ -33,6 +33,22 @@ exception Stuck of string
     terminate — a liveness violation of the algorithm under test. With a
     {!watchdog} the payload carries the full diagnostic dump. *)
 
+type caught = {
+  violation : Obs.Monitor.violation;
+  delivered : int;
+      (** logical network messages delivered when the monitor fired —
+          compare against a full run's delivery count to see how much
+          earlier the online catch was *)
+  slice : Obs.Vclock.event list;
+      (** causal provenance: the happened-before message chain into the
+          violating node, from the run's vector-clock recorder (empty
+          only if no recorder was attached) *)
+}
+
+exception Monitor_violation of caught
+(** Raised mid-run — the simulation stops at the first violation the
+    online monitor detects, before the remaining events execute. *)
+
 type watchdog = {
   budget : float;
       (** simulated-time budget in units of [D]; an operation still
@@ -60,6 +76,8 @@ val run :
   ?substrate:Sim.Network.substrate ->
   ?watchdog:watchdog ->
   ?trace:Obs.Trace.t ->
+  ?causal:Obs.Vclock.recorder ->
+  ?monitor:Obs.Monitor.t ->
   ?configure:(Sim.Engine.t -> int Instance.t -> unit) ->
   make:maker ->
   config ->
@@ -81,6 +99,17 @@ val run :
     a watchdog with [trace > 0] attaches a bounded ring of that many
     events for the {!Stuck} post-mortem; with neither, the noop trace
     is used and the schedule is identical to an uninstrumented run.
+
+    [causal] attaches a caller-owned {!Obs.Vclock.recorder} to the
+    engine before construction: every network send/deliver is stamped
+    with vector clocks for ShiViz export and causal-cone queries.
+
+    [monitor] attaches an online {!Obs.Monitor}: operation invocations,
+    responses, crashes and per-update round samples are streamed into
+    it as they happen, and the run aborts with {!Monitor_violation} at
+    the first failed check — carrying the causal provenance slice from
+    the recorder (a private one is created when [monitor] is given
+    without [causal]).
 
     [configure] runs after the deployment is built but before any event
     executes — the model checker's entry point for installing a

@@ -18,12 +18,14 @@ type sys = {
   max_link_faults : int;
   check : Harness.Runner.outcome -> (unit, string) result;
   watchdog : Harness.Runner.watchdog option;
+  monitor : bool;
 }
 
 type run = {
   rec_trace : Trace.t;
   outcome : Harness.Runner.outcome option;
   verdict : (unit, string) result;
+  online : Harness.Runner.caught option;
 }
 
 type violation = {
@@ -97,21 +99,33 @@ let exec ?trace sys ~forced ~sample =
         end)
       sys.crashes
   in
-  let outcome, verdict =
+  let monitor =
+    if sys.monitor then Some (Obs.Monitor.create ~n:sys.config.n ())
+    else None
+  in
+  let outcome, verdict, online =
     try
       let outcome =
         Harness.Runner.run ?trace ~substrate:sys.substrate
-          ?watchdog:sys.watchdog ~configure ~make:sys.make sys.config
+          ?watchdog:sys.watchdog ?monitor ~configure ~make:sys.make sys.config
           ~workload:sys.workload ~adversary:sys.adversary
       in
-      (Some outcome, sys.check outcome)
+      (Some outcome, sys.check outcome, None)
     with
-    | Harness.Runner.Stuck msg -> (None, Error ("liveness: " ^ msg))
-    | Sim.Engine.Deadlock msg -> (None, Error ("deadlock: " ^ msg))
-    | Failure msg -> (None, Error ("failure: " ^ msg))
-    | Invalid_argument msg -> (None, Error ("invalid-argument: " ^ msg))
+    | Harness.Runner.Monitor_violation c ->
+        ( None,
+          Error
+            (Format.asprintf "online: %a [%d message(s) delivered, slice of \
+                              %d causal event(s)]"
+               Obs.Monitor.pp_violation c.violation c.delivered
+               (List.length c.slice)),
+          Some c )
+    | Harness.Runner.Stuck msg -> (None, Error ("liveness: " ^ msg), None)
+    | Sim.Engine.Deadlock msg -> (None, Error ("deadlock: " ^ msg), None)
+    | Failure msg -> (None, Error ("failure: " ^ msg), None)
+    | Invalid_argument msg -> (None, Error ("invalid-argument: " ^ msg), None)
   in
-  { rec_trace = List.rev !recorded; outcome; verdict }
+  { rec_trace = List.rev !recorded; outcome; verdict; online }
 
 let run_choices ?trace sys cs =
   exec ?trace sys ~forced:(Array.of_list cs) ~sample:None
@@ -246,7 +260,7 @@ let default_watchdog = { Harness.Runner.budget = 150.; trace = 16 }
 
 let sys_of_algo ?(crashes = []) ?(substrate = Sim.Network.Ideal)
     ?(adversary = Harness.Adversary.No_faults)
-    ?(watchdog = Some default_watchdog) ?mutation ~config
+    ?(watchdog = Some default_watchdog) ?mutation ?(monitor = false) ~config
     ~workload (algo : Harness.Algo.t) =
   let make =
     match mutation with None -> algo.make | Some m -> Mutants.make m
@@ -266,6 +280,7 @@ let sys_of_algo ?(crashes = []) ?(substrate = Sim.Network.Ideal)
     check =
       (fun (o : Harness.Runner.outcome) -> Checker.Batch.check level o.history);
     watchdog;
+    monitor;
   }
 
 let campaign strategy systems =

@@ -42,12 +42,21 @@ type sys = {
   check : Harness.Runner.outcome -> (unit, string) result;
   watchdog : Harness.Runner.watchdog option;
       (** Converts hangs into checkable liveness violations. *)
+  monitor : bool;
+      (** Attach a fresh online {!Obs.Monitor} to every execution: a
+          failed check aborts the run mid-flight with an ["online:"]
+          verdict (and a causal slice in {!run.online}) instead of
+          waiting for the batch checker. *)
 }
 
 type run = {
   rec_trace : Trace.t;  (** every choice point hit, with its answer *)
   outcome : Harness.Runner.outcome option;  (** [None] if the run died *)
   verdict : (unit, string) result;
+  online : Harness.Runner.caught option;
+      (** the online monitor's catch, when it fired first — carries the
+          delivered-message count at the catch and the causal
+          provenance slice *)
 }
 
 type violation = {
@@ -94,6 +103,7 @@ val sys_of_algo :
   ?adversary:Harness.Adversary.t ->
   ?watchdog:Harness.Runner.watchdog option ->
   ?mutation:Mutants.t ->
+  ?monitor:bool ->
   config:Harness.Runner.config ->
   workload:Harness.Workload.t ->
   Harness.Algo.t ->

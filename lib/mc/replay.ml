@@ -24,6 +24,7 @@ type spec = {
   substrate : substrate_spec;
   crashes : (int * int array) list;
   mutation : Mutants.t option;
+  monitor : bool;
   choices : int list;
   note : string;
 }
@@ -41,6 +42,7 @@ let default_spec =
     substrate = Ideal;
     crashes = [];
     mutation = None;
+    monitor = false;
     choices = [];
     note = "";
   }
@@ -89,6 +91,7 @@ let save file spec =
   (match spec.mutation with
   | None -> ()
   | Some m -> line "mutation %s" (Mutants.to_string m));
+  if spec.monitor then line "monitor on";
   List.iter
     (fun (node, steps) ->
       line "crash %d %s" node (ints_str (Array.to_list steps)))
@@ -210,6 +213,11 @@ let parse_line spec line =
                     @ [ (int_of_string node, Array.of_list (parse_ints steps)) ];
                 }
           | _ -> Error (Printf.sprintf "bad crash line: %S" line))
+      | "monitor" -> (
+          match String.trim rest with
+          | "on" -> Ok { spec with monitor = true }
+          | "off" -> Ok { spec with monitor = false }
+          | other -> Error (Printf.sprintf "unknown monitor mode: %S" other))
       | "choices" -> Ok { spec with choices = parse_ints rest }
       | "note" -> Ok { spec with note = rest }
       | _ -> Error (Printf.sprintf "unknown replay key: %S" key)
@@ -273,7 +281,8 @@ let to_sys spec =
       in
       Ok
         (Explore.sys_of_algo ~crashes:spec.crashes ~substrate ~adversary
-           ?mutation:spec.mutation ~config ~workload algo)
+           ?mutation:spec.mutation ~monitor:spec.monitor ~config ~workload
+           algo)
 
 let run ?trace spec =
   Result.map (fun sys -> Explore.run_choices ?trace sys spec.choices)

@@ -44,6 +44,9 @@ type spec = {
   crashes : (int * int array) list;
       (** crash choice points, as in {!Explore.sys.crashes} *)
   mutation : Mutants.t option;
+  monitor : bool;
+      (** re-run with the online monitor attached ([monitor on] line);
+          the replayed verdict then reports the mid-run catch *)
   choices : int list;  (** the schedule: forced choice prefix *)
   note : string;  (** free text (e.g. the violation message) *)
 }

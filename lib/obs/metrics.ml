@@ -110,6 +110,14 @@ let merge a b =
   in
   merged @ List.filter (fun (name, _) -> not (List.mem_assoc name a)) b
 
+(* Canonical form for serialized snapshots: entries name-sorted (stable
+   across registration-order differences between runs) and histogram
+   samples in observation order (already guaranteed by [snapshot], and
+   preserved by [merge]'s left-then-right concatenation). Two runs with
+   identical seeds serialize a [sorted] snapshot byte-identically. *)
+let sorted snap =
+  List.stable_sort (fun (a, _) (b, _) -> String.compare a b) snap
+
 let find snap name = List.assoc_opt name snap
 
 let find_count snap name =

@@ -60,6 +60,13 @@ val merge : snapshot -> snapshot -> snapshot
     first, then names only in [b].
     @raise Invalid_argument if a name carries different kinds. *)
 
+val sorted : snapshot -> snapshot
+(** Canonical serialization order: entries stably name-sorted, sample
+    order untouched. Identically-seeded runs produce byte-identical
+    [sorted] snapshots regardless of registration interleaving — the
+    form to use for on-disk exports (bench JSON) whose diffs should be
+    stable. *)
+
 val find : snapshot -> string -> stat option
 val find_count : snapshot -> string -> int option
 val find_samples : snapshot -> string -> float list option

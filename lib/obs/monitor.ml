@@ -1,0 +1,327 @@
+module ISet = Set.Make (Int)
+
+type op = Update of int | Scan
+
+type event =
+  | Invoke of { id : int; node : int; at : float; op : op }
+  | Respond_update of { id : int; at : float }
+  | Respond_scan of { id : int; at : float; snap : int option array }
+  | Crash of { node : int; at : float }
+  | Rounds of { id : int; rounds : float }
+
+type violation = {
+  condition : string;
+  detail : string;
+  op : int;
+  node : int;
+  at : float;
+  events_seen : int;
+}
+
+type op_state = {
+  o_id : int;
+  o_node : int;
+  o_op : op;
+  o_inv : float;
+  mutable o_resp : float option;
+}
+
+(* One link of the A1 inclusion chain: a base that some responded scan
+   produced, keyed by cardinality. Comparable bases of equal size are
+   equal, so each cardinality appears at most once. *)
+type chain_entry = { ch_card : int; ch_base : ISet.t; ch_scan : int }
+
+(* Responded scans, newest first. [rs_best]/[rs_best_card] are the
+   running maximum-cardinality base over this entry and all earlier
+   ones, so the A3 witness for "largest base among scans preceding S"
+   is found at the first entry with [rs_resp < S.inv]. *)
+type scan_entry = {
+  rs_resp : float;
+  rs_scan : int;
+  rs_best : ISet.t;
+  rs_best_card : int;
+}
+
+type t = {
+  n : int;
+  budget : crashes:int -> float;
+  ops : (int, op_state) Hashtbl.t;
+  update_of_value : (int, int) Hashtbl.t;
+  prefix_of : (int, ISet.t) Hashtbl.t;
+      (* update id -> its writer's program-order prefix up to it *)
+  node_prefix : ISet.t array; (* current prefix per node *)
+  outstanding : int option array;
+  crashed : bool array;
+  mutable completed_updates : (float * float * int) list;
+      (* (resp, inv, id), newest first — resp-sorted because the stream
+         is time-ordered *)
+  mutable chain : chain_entry list; (* ascending cardinality *)
+  mutable scans : scan_entry list; (* newest first *)
+  mutable k : int;
+  mutable last_at : float;
+  mutable seen : int;
+  mutable checked : int;
+  mutable stopped : violation option;
+}
+
+let default_budget ~crashes = (2. *. sqrt (float_of_int crashes)) +. 4.
+
+let create ?(budget = default_budget) ~n () =
+  if n <= 0 then invalid_arg "Obs.Monitor.create: n must be positive";
+  {
+    n;
+    budget;
+    ops = Hashtbl.create 64;
+    update_of_value = Hashtbl.create 64;
+    prefix_of = Hashtbl.create 64;
+    node_prefix = Array.make n ISet.empty;
+    outstanding = Array.make n None;
+    crashed = Array.make n false;
+    completed_updates = [];
+    chain = [];
+    scans = [];
+    k = 0;
+    last_at = neg_infinity;
+    seen = 0;
+    checked = 0;
+    stopped = None;
+  }
+
+let violation t = t.stopped
+let events_seen t = t.seen
+let crashes t = t.k
+let scans_checked t = t.checked
+
+exception Viol of violation
+
+let fail t ~condition ~op ~node ~at fmt =
+  Format.kasprintf
+    (fun detail ->
+      raise (Viol { condition; detail; op; node; at; events_seen = t.seen }))
+    fmt
+
+(* ---- well-formedness -------------------------------------------------- *)
+
+let check_time t ~op ~node at =
+  if at < t.last_at then
+    fail t ~condition:"wf" ~op ~node ~at
+      "event at t=%g after one at t=%g: stream not time-ordered" at t.last_at;
+  t.last_at <- at
+
+let lookup t ~at id =
+  match Hashtbl.find_opt t.ops id with
+  | Some o -> o
+  | None -> fail t ~condition:"wf" ~op:id ~node:(-1) ~at "unknown op id %d" id
+
+let on_invoke t ~id ~node ~at ~op =
+  check_time t ~op:id ~node at;
+  if node < 0 || node >= t.n then
+    fail t ~condition:"wf" ~op:id ~node ~at "node %d out of range" node;
+  if Hashtbl.mem t.ops id then
+    fail t ~condition:"wf" ~op:id ~node ~at "op id %d invoked twice" id;
+  if t.crashed.(node) then
+    fail t ~condition:"wf" ~op:id ~node ~at "crashed node n%d invoked op %d"
+      node id;
+  (match t.outstanding.(node) with
+  | Some prev ->
+      fail t ~condition:"wf" ~op:id ~node ~at
+        "n%d invoked op %d while op %d is outstanding (processes are \
+         sequential)"
+        node id prev
+  | None -> ());
+  Hashtbl.replace t.ops id
+    { o_id = id; o_node = node; o_op = op; o_inv = at; o_resp = None };
+  t.outstanding.(node) <- Some id;
+  match op with
+  | Scan -> ()
+  | Update v ->
+      (match Hashtbl.find_opt t.update_of_value v with
+      | Some other ->
+          fail t ~condition:"wf" ~op:id ~node ~at
+            "value %d written twice (ops %d and %d): bases are ambiguous" v
+            other id
+      | None -> ());
+      Hashtbl.replace t.update_of_value v id;
+      let p = ISet.add id t.node_prefix.(node) in
+      t.node_prefix.(node) <- p;
+      Hashtbl.replace t.prefix_of id p
+
+let on_respond t ~id ~at ~kind =
+  check_time t ~op:id ~node:(-1) at;
+  let o = lookup t ~at id in
+  (match o.o_resp with
+  | Some _ ->
+      fail t ~condition:"wf" ~op:id ~node:o.o_node ~at "op %d responded twice"
+        id
+  | None -> ());
+  (match (o.o_op, kind) with
+  | Update _, `Update | Scan, `Scan -> ()
+  | _ ->
+      fail t ~condition:"wf" ~op:id ~node:o.o_node ~at
+        "op %d response kind does not match its invocation" id);
+  o.o_resp <- Some at;
+  t.outstanding.(o.o_node) <- None;
+  o
+
+(* ---- base construction (A0) ------------------------------------------ *)
+
+let base_of_snap t ~sc ~at snap =
+  if Array.length snap <> t.n then
+    fail t ~condition:"wf" ~op:sc.o_id ~node:sc.o_node ~at
+      "scan %d returned %d segments, expected %d" sc.o_id (Array.length snap)
+      t.n;
+  let base = ref ISet.empty and max_inv = ref neg_infinity in
+  Array.iteri
+    (fun j seg ->
+      match seg with
+      | None -> ()
+      | Some v -> (
+          match Hashtbl.find_opt t.update_of_value v with
+          | None ->
+              fail t ~condition:"A0" ~op:sc.o_id ~node:sc.o_node ~at
+                "scan %d segment %d holds value %d that no update has written"
+                sc.o_id j v
+          | Some uid ->
+              let u = Hashtbl.find t.ops uid in
+              if u.o_node <> j then
+                fail t ~condition:"A0" ~op:sc.o_id ~node:sc.o_node ~at
+                  "scan %d segment %d holds value %d written by n%d" sc.o_id j
+                  v u.o_node;
+              base := ISet.union !base (Hashtbl.find t.prefix_of uid)))
+    snap;
+  ISet.iter
+    (fun uid ->
+      let u = Hashtbl.find t.ops uid in
+      if u.o_inv > !max_inv then max_inv := u.o_inv)
+    !base;
+  (!base, !max_inv)
+
+(* ---- A1: inclusion-chain maintenance --------------------------------- *)
+
+let insert_chain t ~sc ~at base card =
+  let entry = { ch_card = card; ch_base = base; ch_scan = sc.o_id } in
+  let rec go = function
+    | [] -> [ entry ]
+    | e :: rest when e.ch_card < card ->
+        if not (ISet.subset e.ch_base base) then
+          fail t ~condition:"A1" ~op:sc.o_id ~node:sc.o_node ~at
+            "base of scan %d (|%d|) is incomparable with base of scan %d \
+             (|%d|)"
+            sc.o_id card e.ch_scan e.ch_card;
+        e :: go rest
+    | e :: _ as chain when e.ch_card = card ->
+        if not (ISet.equal e.ch_base base) then
+          fail t ~condition:"A1" ~op:sc.o_id ~node:sc.o_node ~at
+            "bases of scans %d and %d have equal size %d but differ" sc.o_id
+            e.ch_scan card;
+        chain (* same link already present *)
+    | e :: _ as chain ->
+        if not (ISet.subset base e.ch_base) then
+          fail t ~condition:"A1" ~op:sc.o_id ~node:sc.o_node ~at
+            "base of scan %d (|%d|) is incomparable with base of scan %d \
+             (|%d|)"
+            sc.o_id card e.ch_scan e.ch_card;
+        entry :: chain
+  in
+  t.chain <- go t.chain
+
+(* ---- A2 + A4 over completed updates ---------------------------------- *)
+
+let check_completed t ~sc ~at base max_member_inv =
+  List.iter
+    (fun (resp, _inv, uid) ->
+      if not (ISet.mem uid base) then begin
+        if resp < sc.o_inv then
+          fail t ~condition:"A2" ~op:sc.o_id ~node:sc.o_node ~at
+            "update %d completed at t=%g before scan %d was invoked (t=%g) \
+             yet is missing from its base"
+            uid resp sc.o_id sc.o_inv;
+        if resp < max_member_inv then
+          fail t ~condition:"A4" ~op:sc.o_id ~node:sc.o_node ~at
+            "update %d (resp t=%g) precedes a member of scan %d's base \
+             (invoked t=%g) yet is missing from it"
+            uid resp sc.o_id max_member_inv
+      end)
+    t.completed_updates
+
+(* ---- A3 against real-time-preceding scans ---------------------------- *)
+
+let check_a3 t ~sc ~at base =
+  let rec witness = function
+    | [] -> None
+    | e :: rest -> if e.rs_resp < sc.o_inv then Some e else witness rest
+  in
+  match witness t.scans with
+  | None -> ()
+  | Some e ->
+      if not (ISet.subset e.rs_best base) then
+        fail t ~condition:"A3" ~op:sc.o_id ~node:sc.o_node ~at
+          "scan %d precedes scan %d but its base (|%d|) is not contained in \
+           the later base (|%d|)"
+          e.rs_scan sc.o_id e.rs_best_card (ISet.cardinal base)
+
+let push_scan t ~sc ~resp base card =
+  let best, best_card =
+    match t.scans with
+    | prev :: _ when prev.rs_best_card >= card ->
+        (prev.rs_best, prev.rs_best_card)
+    | _ -> (base, card)
+  in
+  t.scans <-
+    { rs_resp = resp; rs_scan = sc.o_id; rs_best = best;
+      rs_best_card = best_card }
+    :: t.scans
+
+(* ---- event dispatch --------------------------------------------------- *)
+
+let process t ev =
+  match ev with
+  | Invoke { id; node; at; op } -> on_invoke t ~id ~node ~at ~op
+  | Respond_update { id; at } ->
+      let o = on_respond t ~id ~at ~kind:`Update in
+      t.completed_updates <- (at, o.o_inv, id) :: t.completed_updates
+  | Respond_scan { id; at; snap } ->
+      let sc = on_respond t ~id ~at ~kind:`Scan in
+      let base, max_member_inv = base_of_snap t ~sc ~at snap in
+      let card = ISet.cardinal base in
+      insert_chain t ~sc ~at base card;
+      check_completed t ~sc ~at base max_member_inv;
+      check_a3 t ~sc ~at base;
+      push_scan t ~sc ~resp:at base card;
+      t.checked <- t.checked + 1
+  | Crash { node; at } ->
+      check_time t ~op:(-1) ~node at;
+      if node < 0 || node >= t.n then
+        fail t ~condition:"wf" ~op:(-1) ~node ~at "crash of node %d out of \
+                                                   range" node;
+      if not t.crashed.(node) then begin
+        t.crashed.(node) <- true;
+        t.k <- t.k + 1
+      end
+  | Rounds { id; rounds } ->
+      let o = lookup t ~at:t.last_at id in
+      (match o.o_op with
+      | Scan ->
+          fail t ~condition:"wf" ~op:id ~node:o.o_node ~at:t.last_at
+            "rounds sample attached to scan %d" id
+      | Update _ -> ());
+      let limit = t.budget ~crashes:t.k in
+      if rounds > limit then
+        fail t ~condition:"budget" ~op:id ~node:o.o_node ~at:t.last_at
+          "update %d took %g lattice operations, budget %g at k=%d crashes" id
+          rounds limit t.k
+
+let feed t ev =
+  match t.stopped with
+  | Some v -> Error v
+  | None -> (
+      t.seen <- t.seen + 1;
+      match process t ev with
+      | () -> Ok ()
+      | exception Viol v ->
+          t.stopped <- Some v;
+          Error v)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s (op %d, n%d, t=%g, after %d events)" v.condition
+    v.detail v.op v.node v.at v.events_seen

@@ -1,0 +1,96 @@
+(** Online (streaming) checker for the snapshot correctness conditions.
+
+    The batch checker ([lib/checker]) re-derives scan bases and sorts
+    them after the run has ended; this monitor consumes the same
+    information {e as the run executes} — one event per operation
+    invocation/response — and stops at the {e first} violation, so a
+    buggy run is caught after the violating scan responds rather than
+    after millions of further simulated steps.
+
+    Checks performed, incrementally:
+    {ul
+    {- well-formedness of the event stream in the Wing & Gong model
+       ("wf"): non-decreasing timestamps, matched invoke/response
+       pairs, at most one outstanding operation per node (sequential
+       processes), no operations by crashed nodes;}
+    {- (A0) every scanned value was actually written, in the writer's
+       own segment;}
+    {- (A1) base comparability, maintained as a cardinality-sorted
+       inclusion {e chain}: each new base is inserted by cardinality and
+       compared only against its chain neighbours (two comparable bases
+       of equal size are equal), instead of re-sorting all bases;}
+    {- (A2) a scan's base contains every update that completed before
+       the scan was invoked;}
+    {- (A3) if scan [s1] precedes scan [s2] then [base s1 ⊆ base s2]
+       — checked against the largest base among real-time-preceding
+       scans, which (given A1 for the already-admitted prefix)
+       dominates all of them;}
+    {- (A4) a base is closed under real-time predecessors of its
+       members: no completed update outside the base finished before
+       some member was invoked;}
+    {- per-update round budgets ("budget"): the sampled
+       [aso.rounds_per_update] value must stay within
+       [budget ~crashes] — by default {!default_budget}, the
+       [2·sqrt(k)+3]-style bound with the constant adjusted to the
+       T2 borrowing cap (see DESIGN.md §5c).}}
+
+    Legality of each scan (segment [j] holds the latest base update by
+    node [j]) is automatic: bases are {e constructed} as unions of
+    writer prefixes, exactly as in [lib/checker/base.ml].
+
+    The monitor is sound and complete w.r.t. the batch A0–A4 checks on
+    complete histories: each condition is a property of a scan's
+    response against operations that responded earlier, all of which
+    have been fed by then ([lib/checker/feed.ml] replays finished
+    histories through this monitor to cross-validate). *)
+
+type op = Update of int  (** the written value *) | Scan
+
+type event =
+  | Invoke of { id : int; node : int; at : float; op : op }
+  | Respond_update of { id : int; at : float }
+  | Respond_scan of { id : int; at : float; snap : int option array }
+  | Crash of { node : int; at : float }
+  | Rounds of { id : int; rounds : float }
+      (** lattice-operation count sampled for completed update [id]
+          (from the [aso.rounds_per_update] histogram); feed after the
+          matching [Respond_update] *)
+
+type violation = {
+  condition : string;
+      (** ["wf"], ["A0"], ["A1"], ["A2"], ["A3"], ["A4"] or ["budget"] *)
+  detail : string;
+  op : int;  (** offending operation id; [-1] if none *)
+  node : int;  (** node to whose timeline the violation attaches *)
+  at : float;  (** virtual time of the violating event *)
+  events_seen : int;  (** monitor events consumed when it fired *)
+}
+
+type t
+
+val default_budget : crashes:int -> float
+(** [2·sqrt(k) + 4]: the paper's [2·sqrt(k)+3] worst-case lattice-op
+    budget, with the additive constant raised by one so the failure-free
+    cap is exactly the T2 borrowing ceiling (one phase-0 lattice op plus
+    at most three renewal attempts before a view is borrowed) — tight
+    enough to catch the borrowing ablation under crashes, loose enough
+    to never fire on a correct run. *)
+
+val create : ?budget:(crashes:int -> float) -> n:int -> unit -> t
+(** Fresh monitor for [n] nodes. [budget] defaults to
+    {!default_budget}. *)
+
+val feed : t -> event -> (unit, violation) result
+(** Consume one event. After the first [Error v], the monitor is
+    stopped: every further [feed] returns the same [Error v] without
+    processing. *)
+
+val violation : t -> violation option
+val events_seen : t -> int
+val crashes : t -> int
+(** Crash events consumed so far (the [k] fed to the budget). *)
+
+val scans_checked : t -> int
+(** Scan responses that passed A0–A4 so far. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,6 +1,6 @@
 type value = Int of int | Float of float | Str of string | Bool of bool
 
-type kind = Begin | End | Instant | Counter
+type kind = Begin | End | Instant | Counter | Flow_start | Flow_end
 
 type event = {
   ts : float;
@@ -48,6 +48,14 @@ let span_end t ~ts ~pid ?(cat = "phase") ?(args = []) name =
 let instant t ~ts ~pid ?(cat = "event") ?(args = []) name =
   emit t { ts; pid; kind = Instant; name; cat; args }
 
+let flow_start t ~ts ~pid ~id ?(cat = "flow") ?(args = []) name =
+  emit t
+    { ts; pid; kind = Flow_start; name; cat; args = ("id", Int id) :: args }
+
+let flow_end t ~ts ~pid ~id ?(cat = "flow") ?(args = []) name =
+  emit t
+    { ts; pid; kind = Flow_end; name; cat; args = ("id", Int id) :: args }
+
 let counter t ~ts ~pid ~value name =
   emit t
     { ts; pid; kind = Counter; name; cat = "counter";
@@ -85,6 +93,8 @@ let kind_glyph = function
   | End -> "E"
   | Instant -> "i"
   | Counter -> "C"
+  | Flow_start -> "s"
+  | Flow_end -> "f"
 
 let pp_event ppf ev =
   Format.fprintf ppf "t=%-8.2f p%-3d %s %s:%s" ev.ts ev.pid
@@ -138,6 +148,10 @@ let json_args buf args =
 let ts_us ts = ts *. 1000.
 
 let chrome_event buf ev =
+  let is_flow = match ev.kind with Flow_start | Flow_end -> true | _ -> false in
+  let args =
+    if is_flow then List.filter (fun (k, _) -> k <> "id") ev.args else ev.args
+  in
   Buffer.add_string buf "{\"name\":\"";
   json_escape buf ev.name;
   Buffer.add_string buf "\",\"cat\":\"";
@@ -149,9 +163,18 @@ let chrome_event buf ev =
   Buffer.add_string buf ",\"pid\":0,\"tid\":";
   Buffer.add_string buf (string_of_int ev.pid);
   (match ev.kind with Instant -> Buffer.add_string buf ",\"s\":\"t\"" | _ -> ());
-  if ev.args <> [] then begin
+  if is_flow then begin
+    Buffer.add_string buf ",\"id\":";
+    (match List.assoc_opt "id" ev.args with
+    | Some v -> json_value buf v
+    | None -> Buffer.add_char buf '0');
+    (* Bind the flow terminus to the enclosing slice so Perfetto draws
+       the arrow into the receiver's span rather than a floating dot. *)
+    if ev.kind = Flow_end then Buffer.add_string buf ",\"bp\":\"e\""
+  end;
+  if args <> [] then begin
     Buffer.add_string buf ",\"args\":";
-    json_args buf ev.args
+    json_args buf args
   end;
   Buffer.add_char buf '}'
 

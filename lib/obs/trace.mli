@@ -26,6 +26,8 @@ type kind =
   | End
   | Instant  (** point event *)
   | Counter  (** sampled numeric series *)
+  | Flow_start  (** flow origin (Chrome [ph:"s"]); pairs by flow id *)
+  | Flow_end  (** flow terminus (Chrome [ph:"f"], [bp:"e"]) *)
 
 type event = {
   ts : float;  (** virtual time, in units of the delay bound [D] *)
@@ -71,6 +73,22 @@ val instant :
 
 val counter : t -> ts:float -> pid:int -> value:float -> string -> unit
 (** Sample a numeric series; renders as a counter track. *)
+
+val flow_start :
+  t -> ts:float -> pid:int -> id:int -> ?cat:string ->
+  ?args:(string * value) list -> string -> unit
+(** Open flow arrow [id] at ([ts], [pid]) — e.g. a message send. In the
+    Chrome export the id surfaces as the top-level ["id"] field (not an
+    arg), which is what Perfetto keys flows on. Default [cat] is
+    ["flow"]; use the same [name], [cat] and [id] on the matching
+    {!flow_end}. *)
+
+val flow_end :
+  t -> ts:float -> pid:int -> id:int -> ?cat:string ->
+  ?args:(string * value) list -> string -> unit
+(** Terminate flow arrow [id] at ([ts], [pid]) — e.g. the matching
+    delivery. Emitted with [bp:"e"] so viewers bind the arrow head to
+    the enclosing span on the receiving track. *)
 
 val length : t -> int
 (** Events currently buffered (after eviction). *)

@@ -1,0 +1,171 @@
+type t = int array
+
+let make n =
+  if n <= 0 then invalid_arg "Obs.Vclock.make: size must be positive";
+  Array.make n 0
+
+let of_array a = Array.copy a
+let to_array c = Array.copy c
+let size = Array.length
+let copy = Array.copy
+let get c i = c.(i)
+let tick c i = c.(i) <- c.(i) + 1
+
+let merge_into ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Obs.Vclock.merge_into: size mismatch";
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let join a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Obs.Vclock.join: size mismatch";
+  Array.mapi (fun i v -> max v b.(i)) a
+
+let leq a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Obs.Vclock.leq: size mismatch";
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > b.(i) then ok := false) a;
+  !ok
+
+let equal a b = a = b
+
+let compare_vc a b =
+  let le = leq a b and ge = leq b a in
+  if le && ge then `Equal
+  else if le then `Before
+  else if ge then `After
+  else `Concurrent
+
+let pp ppf c =
+  Format.pp_print_char ppf '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      Format.pp_print_int ppf v)
+    c;
+  Format.pp_print_char ppf ']'
+
+(* ---- the causal event log -------------------------------------------- *)
+
+type kind =
+  | Send of { dst : int }
+  | Deliver of { src : int }
+  | Drop of { src : int }
+  | Local
+
+type event = {
+  idx : int;
+  node : int;
+  kind : kind;
+  flow : int;
+  at : float;
+  vc : t;
+  label : string;
+}
+
+type recorder = {
+  n : int;
+  clocks : t array;
+  mutable log : event list; (* newest first *)
+  mutable count : int;
+  mutable next_flow : int;
+}
+
+let recorder ~n =
+  if n <= 0 then invalid_arg "Obs.Vclock.recorder: n must be positive";
+  { n; clocks = Array.init n (fun _ -> make n); log = []; count = 0;
+    next_flow = 1 }
+
+let nodes r = r.n
+let clock r i = copy r.clocks.(i)
+
+let push r ~node ~kind ~flow ~at ~label =
+  let ev =
+    { idx = r.count; node; kind; flow; at; vc = copy r.clocks.(node); label }
+  in
+  r.log <- ev :: r.log;
+  r.count <- r.count + 1
+
+let record_send r ~src ~dst ~at ?(label = "") () =
+  tick r.clocks.(src) src;
+  let flow = r.next_flow in
+  r.next_flow <- flow + 1;
+  push r ~node:src ~kind:(Send { dst }) ~flow ~at ~label;
+  (flow, copy r.clocks.(src))
+
+let record_deliver r ~dst ~src ~flow ~stamp ~at ?(label = "") () =
+  merge_into ~src:stamp ~dst:r.clocks.(dst);
+  tick r.clocks.(dst) dst;
+  push r ~node:dst ~kind:(Deliver { src }) ~flow ~at ~label
+
+let record_drop r ~dst ~src ~flow ~at ?(label = "") () =
+  push r ~node:dst ~kind:(Drop { src }) ~flow ~at ~label
+
+let record_local r ~node ~at name =
+  tick r.clocks.(node) node;
+  push r ~node ~kind:Local ~flow:0 ~at ~label:name
+
+let events r = List.rev r.log
+let length r = r.count
+
+let happened_before a b = leq a.vc b.vc && not (equal a.vc b.vc)
+
+let slice r ~vc =
+  List.fold_left
+    (fun acc ev ->
+      match ev.kind with
+      | (Send _ | Deliver _) when leq ev.vc vc -> ev :: acc
+      | _ -> acc)
+    [] r.log
+
+let pp_kind ppf = function
+  | Send { dst } -> Format.fprintf ppf "send->n%d" dst
+  | Deliver { src } -> Format.fprintf ppf "deliver<-n%d" src
+  | Drop { src } -> Format.fprintf ppf "drop<-n%d" src
+  | Local -> Format.pp_print_string ppf "local"
+
+let pp_event ppf ev =
+  Format.fprintf ppf "#%-4d t=%-8.2f n%d %a" ev.idx ev.at ev.node pp_kind
+    ev.kind;
+  if ev.flow > 0 then Format.fprintf ppf " flow=%d" ev.flow;
+  if ev.label <> "" then Format.fprintf ppf " %s" ev.label;
+  Format.fprintf ppf " %a" pp ev.vc
+
+(* ShiViz format: one "<host> <clock-json> <description>" line per
+   event; hosts must appear as keys of their own clocks, which they do
+   because every recorded event ticks (or at least has ticked) the
+   acting node's own component. *)
+let to_shiviz r =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Printf.sprintf "n%d {" ev.node);
+      let first = ref true in
+      Array.iteri
+        (fun i v ->
+          if v > 0 then begin
+            if not !first then Buffer.add_char buf ',';
+            first := false;
+            Buffer.add_string buf (Printf.sprintf "\"n%d\":%d" i v)
+          end)
+        ev.vc;
+      Buffer.add_string buf "} ";
+      (match ev.kind with
+      | Send { dst } -> Buffer.add_string buf (Printf.sprintf "send to n%d" dst)
+      | Deliver { src } ->
+          Buffer.add_string buf (Printf.sprintf "deliver from n%d" src)
+      | Drop { src } ->
+          Buffer.add_string buf (Printf.sprintf "drop from n%d" src)
+      | Local -> Buffer.add_string buf "local");
+      if ev.flow > 0 then Buffer.add_string buf (Printf.sprintf " #%d" ev.flow);
+      if ev.label <> "" then begin
+        Buffer.add_char buf ' ';
+        String.iter
+          (fun c -> Buffer.add_char buf (if c = '\n' then ' ' else c))
+          ev.label
+      end;
+      Buffer.add_string buf (Printf.sprintf " (t=%g)" ev.at);
+      Buffer.add_char buf '\n')
+    (events r);
+  Buffer.contents buf

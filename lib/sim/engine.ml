@@ -7,6 +7,10 @@ type t = {
   mutable steps : int;
   mutable time_advances : int;
   mutable trace : Obs.Trace.t;
+  (* Vector-clock recorder: when installed (before networks are built),
+     every network send/deliver is stamped and logged for causal
+     analysis. *)
+  mutable causal : Obs.Vclock.recorder option;
   (* Controllable scheduler: when installed, same-timestamp event-queue
      ties and lossy-link fault decisions are routed through it instead
      of FIFO order / the RNG. *)
@@ -28,6 +32,7 @@ let create ?(seed = 1L) () =
     steps = 0;
     time_advances = 0;
     trace = Obs.Trace.noop;
+    causal = None;
     chooser = None;
     on_step = [];
   }
@@ -38,6 +43,8 @@ let steps t = t.steps
 let time_advances t = t.time_advances
 let trace t = t.trace
 let set_trace t trace = t.trace <- trace
+let causal t = t.causal
+let set_causal t r = t.causal <- r
 let chooser t = t.chooser
 let set_chooser t c = t.chooser <- c
 let add_on_step t f = t.on_step <- f :: t.on_step

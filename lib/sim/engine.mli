@@ -41,6 +41,16 @@ val set_trace : t -> Obs.Trace.t -> unit
 (** Attach a trace. Call before constructing the components that should
     emit into it — they capture the engine's trace when created. *)
 
+val causal : t -> Obs.Vclock.recorder option
+(** The attached vector-clock recorder, if any. Networks capture it at
+    creation time and stamp every send/deliver into it; like tracing it
+    is passive — recording never perturbs the schedule. *)
+
+val set_causal : t -> Obs.Vclock.recorder option -> unit
+(** Attach a vector-clock recorder. Call before constructing networks —
+    they capture it when created (and only adopt it when its node count
+    matches theirs). *)
+
 val chooser : t -> (Label.choice -> int) option
 (** The installed controllable scheduler, if any. Components with their
     own nondeterminism (the lossy link's fault draws) consult it so that

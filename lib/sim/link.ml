@@ -35,6 +35,11 @@ type 'p t = {
   duplicated : Obs.Metrics.counter;
   reordered : Obs.Metrics.counter;
   obs : Obs.Trace.t;
+  (* Per-physical-transmission flow ids: each packet that makes it onto
+     the wire gets its own Perfetto flow arrow (cat "wire"), so a
+     retransmitted message shows one logical arrow plus one wire arrow
+     per attempt. Only drawn when tracing is enabled. *)
+  mutable next_wire : int;
   mutable tracer : ('p event -> unit) option;
 }
 
@@ -61,6 +66,7 @@ let create ?(faults = no_faults) ?metrics engine ~n ~delay =
     duplicated = Obs.Metrics.counter metrics "link.duplicated";
     reordered = Obs.Metrics.counter metrics "link.reordered";
     obs = Engine.trace engine;
+    next_wire = 1;
     tracer = None;
   }
 
@@ -120,13 +126,17 @@ let hit t ~op ~src ~dst p =
   | Some _ -> Engine.choose t.engine (Label.Link_fault { op; src; dst }) = 1
   | None -> Rng.float t.rng 1.0 < p
 
-let deliver_at t ~src ~dst ~at packet =
+let deliver_at ?wire t ~src ~dst ~at packet =
   Engine.schedule ~label:(Label.Deliver dst) t.engine
     ~delay:(at -. Engine.now t.engine)
     (fun () ->
       Obs.Metrics.incr t.delivered;
       let at = Engine.now t.engine in
       obs_wire t ~name:"wire_delivered" ~pid:dst ~src ~dst ~at;
+      (match wire with
+      | Some id when Obs.Trace.enabled t.obs ->
+          Obs.Trace.flow_end t.obs ~ts:at ~pid:dst ~id ~cat:"wire" "pkt"
+      | _ -> ());
       trace t (Wire_delivered { src; dst; at; packet });
       t.handlers.(dst) ~src packet)
 
@@ -160,7 +170,16 @@ let transmit t ~src ~dst packet =
         at
       end
     in
-    deliver_at t ~src ~dst ~at packet
+    let wire =
+      if Obs.Trace.enabled t.obs then begin
+        let id = t.next_wire in
+        t.next_wire <- id + 1;
+        Obs.Trace.flow_start t.obs ~ts:now ~pid:src ~id ~cat:"wire" "pkt";
+        Some id
+      end
+      else None
+    in
+    deliver_at ?wire t ~src ~dst ~at packet
   end
 
 let send t ~src ~dst packet =

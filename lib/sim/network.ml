@@ -35,6 +35,16 @@ type 'm t = {
   dropped : Obs.Metrics.counter;
   broadcasts : Obs.Metrics.counter;
   obs : Obs.Trace.t;
+  (* Vector-clock recorder captured from the engine at creation; when
+     present every logical send/deliver is stamped into it. *)
+  causal : Obs.Vclock.recorder option;
+  (* Stamps in flight over the transport stack, one FIFO per (src, dst)
+     channel. The transport delivers each channel's messages exactly
+     once, in send order (a prefix under loss), so the head of the
+     queue is always the stamp of the message being delivered. The
+     direct backend and the loopback path capture stamps in the
+     scheduled closure instead. *)
+  stamps : (int * Obs.Vclock.t) Queue.t array array option;
   (* Payload-free message label for trace events; algorithms install
      their wire-protocol kind function ({!set_msg_label}). *)
   mutable msg_label : ('m -> string) option;
@@ -62,34 +72,72 @@ let obs_msg t ~name ~pid ~src ~dst msg =
       name
 
 (* Logical delivery point, shared by both backends: the destination's
-   crash is checked at delivery time. *)
-let deliver t ~src ~dst msg =
+   crash is checked at delivery time. [stamp] is the (flow id, vector
+   clock) pair recorded at send time, [None] when causal recording is
+   off. *)
+let deliver ?stamp t ~src ~dst msg =
+  let now = Engine.now t.engine in
   if not t.crashed.(dst) then begin
     Obs.Metrics.incr t.delivered;
     obs_msg t ~name:"recv" ~pid:dst ~src ~dst msg;
-    trace t (Delivered { src; dst; at = Engine.now t.engine; msg });
+    (match (t.causal, stamp) with
+    | Some r, Some (flow, vc) ->
+        Obs.Vclock.record_deliver r ~dst ~src ~flow ~stamp:vc ~at:now
+          ~label:(label t msg) ();
+        if Obs.Trace.enabled t.obs then
+          Obs.Trace.flow_end t.obs ~ts:now ~pid:dst ~id:flow (label t msg)
+    | _ -> ());
+    trace t (Delivered { src; dst; at = now; msg });
     t.handlers.(dst) ~src msg
   end
   else begin
     Obs.Metrics.incr t.dropped;
     obs_msg t ~name:"drop" ~pid:dst ~src ~dst msg;
-    trace t (Dropped { src; dst; at = Engine.now t.engine; msg })
+    (match (t.causal, stamp) with
+    | Some r, Some (flow, _) ->
+        Obs.Vclock.record_drop r ~dst ~src ~flow ~at:now ~label:(label t msg)
+          ()
+    | _ -> ());
+    trace t (Dropped { src; dst; at = now; msg })
   end
+
+(* Pop the in-flight stamp for the transport delivery about to happen
+   on channel (src, dst); [None] when causal recording is off. *)
+let pop_stamp t ~src ~dst =
+  match t.stamps with
+  | None -> None
+  | Some q -> if Queue.is_empty q.(src).(dst) then None
+              else Some (Queue.pop q.(src).(dst))
 
 let create ?substrate engine ~n ~delay =
   assert (n > 0);
   let substrate = Option.value substrate ~default:!ambient in
   let metrics = Obs.Metrics.create () in
+  (* Adopt the engine's recorder only when the clock dimension matches:
+     a sub-component network over a different node count would corrupt
+     the per-node clocks. *)
+  let causal =
+    match Engine.causal engine with
+    | Some r when Obs.Vclock.nodes r = n -> Some r
+    | _ -> None
+  in
+  let backend =
+    match substrate with
+    | Ideal -> Direct { last_delivery = Array.make_matrix n n neg_infinity }
+    | Lossy faults -> Stack (Transport.create ~faults ~metrics engine ~n ~delay)
+  in
   let t =
     {
       engine;
       n;
       delay;
-      backend =
-        (match substrate with
-        | Ideal -> Direct { last_delivery = Array.make_matrix n n neg_infinity }
-        | Lossy faults ->
-            Stack (Transport.create ~faults ~metrics engine ~n ~delay));
+      backend;
+      causal;
+      stamps =
+        (match (causal, backend) with
+        | Some _, Stack _ ->
+            Some (Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ())))
+        | _ -> None);
       handlers = Array.make n (fun ~src:_ _ -> ());
       crashed = Array.make n false;
       pending_bcast_crash = Array.make n None;
@@ -108,7 +156,8 @@ let create ?substrate engine ~n ~delay =
   | Direct _ -> ()
   | Stack tr ->
       for i = 0 to n - 1 do
-        Transport.set_handler tr i (fun ~src msg -> deliver t ~src ~dst:i msg)
+        Transport.set_handler tr i (fun ~src msg ->
+            deliver ?stamp:(pop_stamp t ~src ~dst:i) t ~src ~dst:i msg)
       done);
   t
 
@@ -136,6 +185,10 @@ let on_crash t f = Queue.push f t.crash_hooks
 let crash t i =
   if not t.crashed.(i) then begin
     t.crashed.(i) <- true;
+    (match t.causal with
+    | Some r -> Obs.Vclock.record_local r ~node:i ~at:(Engine.now t.engine)
+                  "crash"
+    | None -> ());
     (match t.backend with Direct _ -> () | Stack tr -> Transport.kill tr i);
     Queue.iter (fun f -> f i) t.crash_hooks
   end
@@ -152,6 +205,22 @@ let send t ~src ~dst msg =
     Obs.Metrics.incr t.sent;
     obs_msg t ~name:"send" ~pid:src ~src ~dst msg;
     let now = Engine.now t.engine in
+    (* Stamp at logical-send time: tick the sender's clock, log the
+       send, open the Perfetto flow arrow. The stamp rides with the
+       message — captured in the delivery closure (direct/loopback) or
+       queued per channel (transport stack, which may retransmit the
+       packet but delivers the message once). *)
+    let stamp =
+      match t.causal with
+      | None -> None
+      | Some r ->
+          let flow, vc =
+            Obs.Vclock.record_send r ~src ~dst ~at:now ~label:(label t msg) ()
+          in
+          if Obs.Trace.enabled t.obs then
+            Obs.Trace.flow_start t.obs ~ts:now ~pid:src ~id:flow (label t msg);
+          Some (flow, vc)
+    in
     trace t (Sent { src; dst; at = now; msg });
     match t.backend with
     | Direct { last_delivery } ->
@@ -159,15 +228,20 @@ let send t ~src ~dst msg =
         let at = Float.max (now +. d) last_delivery.(src).(dst) in
         last_delivery.(src).(dst) <- at;
         Engine.schedule ~label:(Label.Deliver dst) t.engine ~delay:(at -. now)
-          (fun () -> deliver t ~src ~dst msg)
+          (fun () -> deliver ?stamp t ~src ~dst msg)
     | Stack tr ->
         if src = dst then
           (* Loopback needs no reliability protocol; deliver at the
              current time via the event queue, as the ideal network
              does, to preserve handler atomicity. *)
           Engine.schedule ~label:(Label.Deliver dst) t.engine ~delay:0.
-            (fun () -> deliver t ~src ~dst msg)
-        else Transport.send tr ~src ~dst msg
+            (fun () -> deliver ?stamp t ~src ~dst msg)
+        else begin
+          (match (t.stamps, stamp) with
+          | Some q, Some s -> Queue.push s q.(src).(dst)
+          | _ -> ());
+          Transport.send tr ~src ~dst msg
+        end
   end
 
 let broadcast t ~src msg =

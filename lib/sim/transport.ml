@@ -49,9 +49,16 @@ let rec arm_timer t ~src ~dst =
       if tx.timer_gen = gen && not t.dead.(src) && not t.dead.(dst) then
         if Queue.is_empty tx.unacked then tx.timer_armed <- false
         else begin
+          let obs = Engine.trace t.engine in
           Queue.iter
             (fun (seq, payload) ->
               Obs.Metrics.incr t.retransmits;
+              if Obs.Trace.enabled obs then
+                Obs.Trace.instant obs ~ts:(Engine.now t.engine) ~pid:src
+                  ~cat:"transport"
+                  ~args:
+                    [ ("dst", Obs.Trace.Int dst); ("seq", Obs.Trace.Int seq) ]
+                  "retransmit";
               Link.send t.link ~src ~dst (Data { seq; payload }))
             tx.unacked;
           tx.rto <- Float.min (tx.rto *. t.backoff) t.rto_max;

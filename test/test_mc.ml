@@ -288,6 +288,7 @@ let test_replay_roundtrip () =
       substrate = Mc.Replay.Lossy { drop = 0.3; dup = 0.1; reorder = 0.05 };
       crashes = [ (1, [| -1; 3; 17 |]); (2, [| -1 |]) ];
       mutation = Some Mc.Mutants.Stale_renewal;
+      monitor = true;
       choices = [ 0; 0; 1; 2 ];
       note = "(A2) synthetic round-trip fixture";
     }
