@@ -636,6 +636,68 @@ let table_mc_throughput () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Runtime backend throughput: the same protocols on real OCaml 5
+   domains (lib/rt), driven by the closed-loop load service. These are
+   wall-clock numbers — every rate and count goes to the JSON rows'
+   "volatile" section; only the run shape and the checker verdict are
+   gated. *)
+
+let rt_algos = [ Rt.Service.Eq_aso; Rt.Service.Sso_fast_scan ]
+
+let rt_run algo =
+  let n = 4 and f = 1 in
+  let report =
+    Rt.Service.run ~algo ~n ~f ~clients:4 ~secs:0.3
+      ~seed:(Int64.to_int seed) ()
+  in
+  let ok =
+    match algo with
+    | Rt.Service.Eq_aso -> (
+        match Checker.Feed.check ~n report.Rt.Service.history with
+        | Ok () -> true
+        | Error _ -> false)
+    | Rt.Service.Sso_fast_scan -> (
+        match
+          Checker.Batch.check ~n Checker.Batch.Sequential
+            report.Rt.Service.history
+        with
+        | Ok () -> true
+        | Error _ -> false)
+  in
+  (report, ok)
+
+let table_runtime_throughput () =
+  let rows =
+    List.map
+      (fun algo ->
+        let r, ok = rt_run algo in
+        let pct q l =
+          match Harness.Stats.summarize l with
+          | None -> "-"
+          | Some s -> Printf.sprintf "%.2f" (q s *. 1e3)
+        in
+        [
+          Rt.Service.algo_name algo;
+          string_of_int r.Rt.Service.completed_updates;
+          string_of_int r.completed_scans;
+          Printf.sprintf "%.0f" r.ops_per_sec;
+          pct (fun s -> s.Harness.Stats.p50) r.update_latencies;
+          pct (fun s -> s.Harness.Stats.p99) r.update_latencies;
+          string_of_int r.messages_sent;
+          (if ok then "pass" else "FAIL");
+        ])
+      rt_algos
+  in
+  Harness.Table.print
+    ~title:
+      "Runtime throughput — domains backend (n=4, f=1, 4 clients, \
+       wall-clock)"
+    ~header:
+      [ "algorithm"; "updates"; "scans"; "ops/s"; "upd p50 ms";
+        "upd p99 ms"; "messages"; "checker" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: wall-clock cost of simulating one
    standard experiment per algorithm. *)
 
@@ -842,6 +904,31 @@ let json_mc_throughput () =
   in
   ("mc_throughput", rows)
 
+(* Wall-clock rows from the domains backend. Everything the host's
+   scheduler can move lives under "volatile"; the gated metrics are the
+   deployment shape and whether the real-time history passed its
+   checker (streaming A0-A4 for EQ-ASO, batch S1-S3 for SSO). *)
+let json_runtime_throughput () =
+  let rows =
+    List.map
+      (fun algo ->
+        let r, ok = rt_run algo in
+        jrow
+          (Rt.Service.algo_name algo)
+          ~volatile:
+            (List.map
+               (fun (k, v) -> (k, jnum v))
+               (Rt.Service.volatile_metrics r))
+          [
+            ("history_ok", J_bool ok);
+            ("n", J_int r.Rt.Service.rep_n);
+            ("f", J_int r.rep_f);
+            ("clients", J_int r.clients);
+          ])
+      rt_algos
+  in
+  ("runtime_throughput", rows)
+
 (* One representative instrumented run, its full metrics registry
    exported in [Obs.Metrics.sorted] order — identically-seeded runs
    produce byte-identical rows, so this section doubles as the
@@ -888,6 +975,7 @@ let emit_json file =
       json_failure_free ();
       json_rounds_per_update ();
       json_mc_throughput ();
+      json_runtime_throughput ();
       json_run_metrics ();
     ]
   in
@@ -941,6 +1029,7 @@ let run_all_tables () =
   table_rounds_per_update ();
   ablation_renewal ();
   table_mc_throughput ();
+  table_runtime_throughput ();
   print_endline "== Simulator throughput (bechamel, OLS ns/run) ==";
   bechamel_suite ();
   Printf.printf "\nTotal bench CPU time: %.1f s\n" (Sys.time () -. t0)

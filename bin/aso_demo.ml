@@ -6,7 +6,8 @@
      aso_demo fig1
      aso_demo fig2
      aso_demo table1
-     aso_demo sweep --algo eq-aso *)
+     aso_demo sweep --algo eq-aso
+     aso_demo serve eq-aso --nodes 4 --clients 8 --secs 2 *)
 
 open Cmdliner
 
@@ -807,13 +808,257 @@ let replay_cmd =
           & info [ "trace" ] ~docv:"OUT"
               ~doc:"Also export a Chrome trace-event JSON of the replay."))
 
+(* ---- serve: parallel runtime backend under closed-loop load -------- *)
+
+(* Scalable (S1)-(S3) pass for large rt histories of the sequentially
+   consistent SSO: the reference [Checker.Conditions.check_sequential]
+   compares all scan pairs, which is quadratic in the scan count —
+   unusable on a multi-second load run. Subset inclusion is transitive,
+   so comparability needs only consecutive bases in cardinality order
+   (exactly the reference checker's own trick) and per-node monotonicity
+   needs only consecutive same-node scans in program order. *)
+let check_sequential_scalable ~n history =
+  let ( let* ) = Result.bind in
+  match Checker.Base.context ~n history with
+  | Error e -> Error e
+  | Ok ctx ->
+      let* scan_bases =
+        List.fold_left
+          (fun acc sc ->
+            let* acc = acc in
+            let* b = Checker.Base.of_scan ctx sc in
+            Ok ((sc, b) :: acc))
+          (Ok [])
+          (Checker.Base.completed_scans ctx)
+      in
+      (* (S1) comparability: consecutive pairs in cardinality order. *)
+      let by_card =
+        List.sort
+          (fun (_, b1) (_, b2) ->
+            Int.compare
+              (Checker.Base.Int_set.cardinal b1)
+              (Checker.Base.Int_set.cardinal b2))
+          scan_bases
+      in
+      let rec walk_chain = function
+        | (sc1, b1) :: ((sc2, b2) :: _ as rest) ->
+            if not (Checker.Base.subset b1 b2) then
+              Error
+                (Printf.sprintf
+                   "(S1) bases of scans #%d and #%d are incomparable"
+                   sc1.History.id sc2.History.id)
+            else walk_chain rest
+        | [ _ ] | [] -> Ok ()
+      in
+      let* () = walk_chain by_card in
+      (* (S2) read-your-writes: each scan vs its own node's updates. *)
+      let updates_at = Array.make n [] in
+      List.iter
+        (fun (u : History.op) ->
+          updates_at.(u.node) <- u :: updates_at.(u.node))
+        (Checker.Base.updates ctx);
+      let* () =
+        List.fold_left
+          (fun acc (sc, b) ->
+            let* () = acc in
+            List.fold_left
+              (fun acc (u : History.op) ->
+                let* () = acc in
+                let in_base = Checker.Base.Int_set.mem u.id b in
+                if u.id < sc.History.id && not in_base then
+                  Error
+                    (Printf.sprintf
+                       "(S2) node %d's update #%d precedes its scan #%d in \
+                        program order but is missing from the base"
+                       u.node u.id sc.History.id)
+                else if u.id > sc.History.id && in_base then
+                  Error
+                    (Printf.sprintf
+                       "(S2) node %d's scan #%d returned its own later \
+                        update #%d"
+                       u.node sc.History.id u.id)
+                else Ok ())
+              (Ok ())
+              updates_at.(sc.History.node))
+          (Ok ()) scan_bases
+      in
+      (* (S3) per-node monotonicity: consecutive scans in program order. *)
+      let scans_at = Array.make n [] in
+      List.iter
+        (fun ((sc : History.op), b) ->
+          scans_at.(sc.node) <- (sc, b) :: scans_at.(sc.node))
+        scan_bases;
+      Array.fold_left
+        (fun acc per_node ->
+          let* () = acc in
+          let ordered =
+            List.sort
+              (fun ((a : History.op), _) ((b : History.op), _) ->
+                Int.compare a.id b.id)
+              per_node
+          in
+          let rec walk = function
+            | ((sc1 : History.op), b1) :: (((sc2 : History.op), b2) :: _ as rest)
+              ->
+                if not (Checker.Base.subset b1 b2) then
+                  Error
+                    (Printf.sprintf
+                       "(S3) node %d's scans #%d and #%d have non-monotone \
+                        bases"
+                       sc1.node sc1.id sc2.id)
+                else walk rest
+            | [ _ ] | [] -> Ok ()
+          in
+          walk ordered)
+        (Ok ()) scans_at
+
+(* Small histories afford the full reference checkers (conditions +
+   constructive witness + Wing-Gong oracle); large ones get the scalable
+   passes: the streaming A0-A4 monitor for eq-aso, the transitivity-
+   based (S1)-(S3) walk above for sso. *)
+let serve_check_history algo ~n (r : Rt.Service.report) =
+  let total = List.length (History.ops r.history) in
+  let small = total <= 1500 in
+  match algo with
+  | Rt.Service.Eq_aso -> (
+      match Checker.Feed.check ~n r.history with
+      | Error v ->
+          Error (Format.asprintf "%a" Obs.Monitor.pp_violation v)
+      | Ok () ->
+          if small then
+            match Checker.Batch.check ~n Checker.Batch.Atomic r.history with
+            | Ok () -> Ok "linearizable (A0-A4 monitor + batch cross-check)"
+            | Error e -> Error e
+          else Ok "linearizable (A0-A4, streaming monitor)")
+  | Rt.Service.Sso_fast_scan ->
+      if small then
+        match Checker.Batch.check ~n Checker.Batch.Sequential r.history with
+        | Ok () -> Ok "sequentially consistent (S1-S3 batch + oracle)"
+        | Error e -> Error e
+      else (
+        match check_sequential_scalable ~n r.history with
+        | Ok () -> Ok "sequentially consistent (S1-S3, scalable pass)"
+        | Error e -> Error e)
+
+let serve_impl algo_name n clients secs batch scan_fraction seed crash =
+  let algo =
+    match Rt.Service.algo_of_name algo_name with
+    | Some a -> a
+    | None ->
+        Format.eprintf
+          "error: the rt backend serves eq-aso and sso-fast-scan (got %S)@."
+          algo_name;
+        exit 1
+  in
+  let f = Quorum.max_crash_faults n in
+  if n < 3 then (
+    Format.eprintf "error: need n >= 3 for crash tolerance (n > 2f)@.";
+    exit 1);
+  if crash > f then (
+    Format.eprintf "error: --crash %d exceeds f=%d for n=%d@." crash f n;
+    exit 1);
+  let crash_nodes = List.init crash (fun i -> i) in
+  let report =
+    Rt.Service.run ~batch ~scan_fraction ~seed ~crash:crash_nodes ~algo ~n ~f
+      ~clients ~secs ()
+  in
+  Format.printf "backend     : rt (%d node domains, %d client threads)@." n
+    clients;
+  Format.printf "algorithm   : %s@." report.algorithm;
+  Format.printf "duration    : %.2f s (requested %.1f)@." report.duration secs;
+  Format.printf
+    "operations  : %d updates + %d scans completed, %d rejected, %d pending@."
+    report.completed_updates report.completed_scans report.rejected
+    (List.length (History.pending report.history));
+  Format.printf "throughput  : %.0f ops/s@." report.ops_per_sec;
+  let pp_lat label lats =
+    match Harness.Stats.summarize lats with
+    | None -> Format.printf "%s : (no completed ops)@." label
+    | Some s ->
+        Format.printf "%s : p50 %.2f ms   p99 %.2f ms   (%d ops)@." label
+          (s.Harness.Stats.p50 *. 1e3)
+          (s.Harness.Stats.p99 *. 1e3)
+          s.Harness.Stats.count
+  in
+  pp_lat "update lat " report.update_latencies;
+  pp_lat "scan lat   " report.scan_latencies;
+  if batch then
+    Format.printf "batching    : %d updates fused into group commits@."
+      report.fused_updates;
+  Format.printf "messages    : %d@." report.messages_sent;
+  (match report.crashed_nodes with
+  | [] -> ()
+  | nodes ->
+      Format.printf "crashed     : %s (mid-run)@."
+        (String.concat ", " (List.map (Printf.sprintf "n%d") nodes)));
+  let total_ops = List.length (History.ops report.history) in
+  match serve_check_history algo ~n report with
+  | Ok label -> Format.printf "history     : %s, %d ops@." label total_ops
+  | Error e ->
+      Format.printf "history     : VIOLATION — %s@." e;
+      exit 1
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run an algorithm on the parallel runtime backend (one OCaml \
+          domain per node, lock-free mailboxes) under closed-loop client \
+          load for a wall-clock duration; print ops/s and p50/p99 latency \
+          and batch-check the captured real-time history. Serves eq-aso \
+          (checked against A0-A4) and sso-fast-scan (checked against \
+          S1-S3).")
+    Term.(
+      const serve_impl
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"ALGO" ~doc:"Algorithm: eq-aso or sso-fast-scan.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Protocol nodes (domains).")
+      $ Arg.(
+          value & opt int 8
+          & info [ "c"; "clients" ] ~docv:"M"
+              ~doc:"Closed-loop client threads.")
+      $ Arg.(
+          value & opt float 2.0
+          & info [ "secs" ] ~docv:"S" ~doc:"Run duration, wall seconds.")
+      $ Arg.(
+          value & flag
+          & info [ "batch" ]
+              ~doc:
+                "Group-commit same-node UPDATEs: queued updates coalesce \
+                 into one protocol write of the last value.")
+      $ scan_frac_arg $ seed_arg
+      $ Arg.(
+          value & opt int 0
+          & info [ "crash" ] ~docv:"K"
+              ~doc:"Crash K nodes (K <= f) halfway through the run."))
+
 let main_cmd =
   let doc = "fault-tolerant snapshot objects in message-passing systems" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Simulate, measure, model-check and serve the paper's snapshot \
+         algorithms. Subcommands: $(b,run) (random workload + check), \
+         $(b,fig1)/$(b,fig2) (worked examples), $(b,table1) (paper's \
+         comparison table), $(b,sweep) (latency sweeps), $(b,trace) \
+         (Perfetto export), $(b,causal) (vector-clock causal monitor), \
+         $(b,chaos) (lossy-link adversary), $(b,fuzz) (randomized schedule \
+         search), $(b,explore) (bounded model checking), $(b,replay) \
+         (counterexample replay), $(b,serve) (parallel runtime backend \
+         under load). Run $(b,aso_demo COMMAND --help) for details.";
+    ]
+  in
   Cmd.group
-    (Cmd.info "aso_demo" ~version:"1.0.0" ~doc)
+    (Cmd.info "aso_demo" ~version:"1.0.0" ~doc ~man)
+    ~default:Term.(ret (const (`Help (`Pager, None))))
     [
       run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd;
-      causal_cmd; chaos_cmd; fuzz_cmd; explore_cmd; replay_cmd;
+      causal_cmd; chaos_cmd; fuzz_cmd; explore_cmd; replay_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

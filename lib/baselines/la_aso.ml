@@ -74,7 +74,7 @@ let round_kernel t nd r =
         K.create ~n:t.n ~me:nd.id
           ~forward:(fun ts () ->
             Sim.Network.broadcast t.net ~src:nd.id (Msg.Prop { round = r; ts }))
-          ~changed:nd.changed
+          ~changed:(Aso_core.Backend_sim.condition nd.changed)
       in
       Hashtbl.replace nd.rounds r k;
       k
@@ -145,7 +145,7 @@ let create engine ~n ~f ~delay =
               ~forward:(fun ts value ->
                 Sim.Network.broadcast net ~src:id
                   (Msg.Value { req = None; ts; value }))
-              ~changed;
+              ~changed:(Aso_core.Backend_sim.condition changed);
           rounds = Hashtbl.create 8;
           pending_props = Hashtbl.create 8;
           round = 0;

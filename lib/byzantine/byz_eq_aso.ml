@@ -126,7 +126,9 @@ let create ?(max_attempts = 10_000) engine ~n ~f ~delay =
       {
         id;
         rbc;
-        kernel = K.create ~n ~me:id ~forward ~changed;
+        kernel =
+          K.create ~n ~me:id ~forward
+            ~changed:(Aso_core.Backend_sim.condition changed);
         unanchored = Hashtbl.create 16;
         max_tag = 0;
         lattice_count = 0;

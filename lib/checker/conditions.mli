@@ -21,7 +21,7 @@ val check_atomic : n:int -> History.t -> (unit, violation) result
       in the paper (no execution returns a value before it is written),
       explicit here because the checker accepts arbitrary histories;
       the exhaustive-search cross-validation showed (A1)-(A4) alone
-      admit such future-reading histories (see [Wg] and DESIGN.md §6a);
+      admit such future-reading histories (see [Wg] and DESIGN.md §7a);
     - (A1) bases of any two scans are comparable;
     - (A2) the base of a scan contains every update that precedes it;
     - (A3) [sc1 -> sc2] implies [base sc1 ⊆ base sc2];

@@ -1,0 +1,22 @@
+let condition c =
+  {
+    Backend.await = Sim.Condition.await c;
+    signal = (fun () -> Sim.Condition.signal c);
+  }
+
+let net (n : 'm Sim.Network.t) : 'm Backend.net =
+  let engine = Sim.Network.engine n in
+  {
+    Backend.n = Sim.Network.size n;
+    backend_name = "sim";
+    now = (fun () -> Sim.Engine.now engine);
+    send = (fun ~src ~dst msg -> Sim.Network.send n ~src ~dst msg);
+    broadcast = (fun ~src msg -> Sim.Network.broadcast n ~src msg);
+    set_handler = (fun i h -> Sim.Network.set_handler n i h);
+    set_msg_label = (fun label -> Sim.Network.set_msg_label n label);
+    (* Simulator conditions are engine-global (any fiber may await any
+       of them), so a fresh one needs no per-node binding. *)
+    new_condition = (fun ~node:_ -> condition (Sim.Condition.create ()));
+    trace = Sim.Engine.trace engine;
+    metrics = Sim.Network.metrics n;
+  }

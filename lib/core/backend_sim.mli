@@ -1,0 +1,23 @@
+(** The simulator's {!Backend} adapter.
+
+    Wraps a {!Sim.Network.t} (and its engine-owned clock, trace and
+    metrics) into the backend interface the protocol code is written
+    against. The wrappers are one-call-deep closures over the exact
+    functions the pre-backend code called directly, in the same order —
+    a deployment built through {!net} is schedule-for-schedule identical
+    to one built against [Sim.Network] natively, which is what keeps the
+    model checker's traces and the bench's deterministic metrics
+    byte-stable across the refactor. *)
+
+val condition : Sim.Condition.t -> Backend.condition
+(** Wrap an existing simulator condition: [await] and [signal] delegate
+    to {!Sim.Condition}. *)
+
+val net : 'm Sim.Network.t -> 'm Backend.net
+(** Backend view of a simulator network. [now] is the engine's virtual
+    time; [trace]/[metrics] are the engine's trace and the network's
+    registry; [new_condition] creates a fresh {!Sim.Condition.t}
+    (simulator conditions need no per-node binding). Crash injection,
+    substrate control and the tracer hooks stay on the underlying
+    network value — the backend surface is only what protocol kernels
+    need. *)

@@ -6,14 +6,16 @@ type 'v t = {
   rounds_per_scan : Obs.Metrics.histogram;
 }
 
-let create engine ~n ~f ~delay =
-  let core = LC.create engine ~n ~f ~delay in
-  let metrics = Sim.Network.metrics (LC.net core) in
+let of_core core =
+  let metrics = (LC.backend core).Backend.metrics in
   {
     core;
     rounds_per_update = Obs.Metrics.histogram metrics "aso.rounds_per_update";
     rounds_per_scan = Obs.Metrics.histogram metrics "aso.rounds_per_scan";
   }
+
+let create engine ~n ~f ~delay = of_core (LC.create engine ~n ~f ~delay)
+let create_on b ~f = of_core (LC.create_on b ~f)
 
 (* Rounds-per-op = lattice operations the op itself ran. A fiber that
    dies mid-op (node crash) never reaches [observe], so histograms hold

@@ -19,7 +19,15 @@
 type 'v t
 
 val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
-(** Requires [n > 2f] (raises [Invalid_argument] otherwise). *)
+(** Simulator deployment. Requires [n > 2f] (raises [Invalid_argument]
+    otherwise). *)
+
+val create_on : 'v Lattice_core.Msg.t Backend.net -> f:int -> 'v t
+(** Deployment on an arbitrary backend (the rt backend's real-domain
+    network, or a pre-built simulator adapter). Requires
+    [Backend.n > 2f]. Sim-only surfaces ({!instance}, and
+    [Lattice_core.net] on {!core}) are unavailable on non-sim
+    backends. *)
 
 val update : 'v t -> node:int -> 'v -> unit
 (** Blocking UPDATE; must run in a fiber. Nodes are sequential: a second

@@ -2,7 +2,7 @@ type 'v t = {
   n : int;
   me : int;
   forward : Timestamp.t -> 'v -> unit;
-  changed : Sim.Condition.t;
+  changed : Backend.condition;
   v : View.t array;
   store : (Timestamp.t, 'v) Hashtbl.t;
   (* Append log of view insertions [(j, ts)]: lets a pending [await_eq]
@@ -84,5 +84,5 @@ let await_eq ?(must_contain = []) t ~quorum ~max_tag =
     done;
     !matching >= quorum
   in
-  Sim.Condition.await t.changed predicate;
+  t.changed.Backend.await predicate;
   restricted t.v.(t.me) max_tag

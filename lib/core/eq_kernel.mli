@@ -7,10 +7,13 @@
     predicate [EQ(V, i)] — optionally restricted to tags [<= r] for the
     multi-shot algorithms.
 
-    The kernel is transport-agnostic: the owner supplies a [forward]
-    callback (invoked exactly once per value seen for the first time,
-    implementing lines 41–42 of Algorithm 1) and a shared condition
-    variable that the owner signals after each handler runs.
+    The kernel is transport-agnostic {e and} backend-agnostic: the owner
+    supplies a [forward] callback (invoked exactly once per value seen
+    for the first time, implementing lines 41–42 of Algorithm 1) and a
+    {!Backend.condition} that the owner signals after each handler runs
+    — a simulator condition variable ([Aso_core.Backend_sim.condition])
+    or the rt backend's mailbox-pumping wait. The kernel itself touches
+    no engine API.
 
     Invariant maintained (and relied upon by {!await_eq}):
     [V.(j) ⊆ V.(i)] for the local node [i] and every [j], because every
@@ -25,7 +28,7 @@ val create :
   n:int ->
   me:int ->
   forward:(Timestamp.t -> 'v -> unit) ->
-  changed:Sim.Condition.t ->
+  changed:Backend.condition ->
   'v t
 (** [changed] must be signalled by the owner whenever node state may have
     changed (typically once at the end of every message handler). *)
@@ -68,7 +71,8 @@ val await_eq :
     [V.(me)^{<=r}]. [must_contain] additionally requires the listed
     timestamps to be in the local view first — lattice agreement uses it
     so a proposer cannot decide on the vacuously-equal empty views before
-    its own proposal has even self-delivered. Must run in a fiber. *)
+    its own proposal has even self-delivered. Must run in operation
+    context (a fiber on Sim, the node's own domain on Rt). *)
 
 val eq_holds : 'v t -> quorum:int -> max_tag:int option -> bool
 (** One-off (non-incremental) evaluation of the predicate; reference

@@ -29,7 +29,7 @@ type 'v node = {
   borrowed : (int, View.t) Hashtbl.t;
   reads : Collector.t;
   writes : Collector.t;
-  changed : Sim.Condition.t;
+  changed : Backend.condition;
   mutable busy : bool;
   (* Observer for good-lattice-operation views as they become known
      locally (via "goodLA"); the SSO's fast-scan path feeds on this. *)
@@ -46,7 +46,11 @@ type stats = {
 type mutation = Quorum_off_by_one | Skip_write_tag | Stale_renewal
 
 type 'v t = {
-  net : 'v Msg.t Sim.Network.t;
+  b : 'v Msg.t Backend.net;
+  (* Set when the deployment was built by [create] on the simulator;
+     sim-only layers (substrate chaos, the model checker's crash/replay
+     hooks) reach the concrete network through [net]. *)
+  mutable sim : 'v Msg.t Sim.Network.t option;
   n : int;
   f : int;
   nodes : 'v node array;
@@ -67,8 +71,7 @@ type 'v t = {
   c_indirect_views : Obs.Metrics.counter;
 }
 
-let engine t = Sim.Network.engine t.net
-let now t = Sim.Engine.now (engine t)
+let now t = t.b.Backend.now ()
 let trace t = t.obs
 
 (* Protocol-phase span around a blocking section, on the node's track.
@@ -85,23 +88,24 @@ let span t nd ?(cat = "phase") ?args name f =
       f
   end
 
-(* Handlers run atomically (single engine step) and end with one signal,
-   matching the "all event handlers executed atomically" requirement. *)
+(* Handlers run atomically (single engine step on sim, single mailbox
+   item on rt) and end with one signal, matching the "all event handlers
+   executed atomically" requirement. *)
 let handle t nd ~src msg =
   (match msg with
   | Msg.Value { ts; value } -> Eq_kernel.receive nd.kernel ~src ts value
   | Msg.Read_tag { req } ->
-      Sim.Network.send t.net ~src:nd.id ~dst:src
+      t.b.Backend.send ~src:nd.id ~dst:src
         (Msg.Read_ack { req; tag = nd.max_tag })
   | Msg.Read_ack { req; tag } ->
       Collector.record nd.reads ~req ~sender:src ~payload:tag
   | Msg.Write_tag { req; tag } ->
       if tag > nd.max_tag then begin
         nd.max_tag <- tag;
-        Sim.Network.broadcast t.net ~src:nd.id (Msg.Echo_tag { tag })
+        t.b.Backend.broadcast ~src:nd.id (Msg.Echo_tag { tag })
       end;
       (* Unconditional ack; see interface notes. *)
-      Sim.Network.send t.net ~src:nd.id ~dst:src (Msg.Write_ack { req })
+      t.b.Backend.send ~src:nd.id ~dst:src (Msg.Write_ack { req })
   | Msg.Write_ack { req } ->
       Collector.record nd.writes ~req ~sender:src ~payload:0
   | Msg.Echo_tag { tag } -> if tag > nd.max_tag then nd.max_tag <- tag
@@ -115,16 +119,16 @@ let handle t nd ~src msg =
       if not (Hashtbl.mem nd.borrowed tag) then
         Hashtbl.replace nd.borrowed tag borrowed_view;
       Option.iter (fun hook -> hook borrowed_view) nd.good_view_hook);
-  Sim.Condition.signal nd.changed
+  nd.changed.Backend.signal ()
 
-let create engine ~n ~f ~delay =
+let create_on (b : 'v Msg.t Backend.net) ~f =
+  let n = b.Backend.n in
   Quorum.check_crash ~n ~f;
-  let net = Sim.Network.create engine ~n ~delay in
-  Sim.Network.set_msg_label net Msg.kind;
+  b.Backend.set_msg_label Msg.kind;
   let make_node id =
-    let changed = Sim.Condition.create () in
+    let changed = b.Backend.new_condition ~node:id in
     let forward ts value =
-      Sim.Network.broadcast net ~src:id (Msg.Value { ts; value })
+      b.Backend.broadcast ~src:id (Msg.Value { ts; value })
     in
     {
       id;
@@ -139,10 +143,11 @@ let create engine ~n ~f ~delay =
       good_view_hook = None;
     }
   in
-  let metrics = Sim.Network.metrics net in
+  let metrics = b.Backend.metrics in
   let t =
     {
-      net;
+      b;
+      sim = None;
       n;
       f;
       nodes = Array.init n make_node;
@@ -151,19 +156,36 @@ let create engine ~n ~f ~delay =
           indirect_views = 0 };
       borrowing = true;
       mutation = None;
-      obs = Sim.Engine.trace engine;
+      obs = b.Backend.trace;
       c_lattice_ops = Obs.Metrics.counter metrics "aso.lattice_ops";
       c_good_lattice_ops = Obs.Metrics.counter metrics "aso.good_lattice_ops";
       c_direct_views = Obs.Metrics.counter metrics "aso.direct_views";
       c_indirect_views = Obs.Metrics.counter metrics "aso.indirect_views";
     }
   in
-  Array.iter (fun nd -> Sim.Network.set_handler net nd.id (handle t nd)) t.nodes;
+  Array.iter
+    (fun nd -> b.Backend.set_handler nd.id (handle t nd))
+    t.nodes;
+  t
+
+let create engine ~n ~f ~delay =
+  let net = Sim.Network.create engine ~n ~delay in
+  let t = create_on (Backend_sim.net net) ~f in
+  t.sim <- Some net;
   t
 
 let n t = t.n
 let f t = t.f
-let net t = t.net
+let backend t = t.b
+
+let net t =
+  match t.sim with
+  | Some net -> net
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Lattice_core.net: deployment runs on the %S backend"
+           t.b.Backend.backend_name)
+
 let node t i = t.nodes.(i)
 let node_id nd = nd.id
 let stats t = t.stats
@@ -187,8 +209,8 @@ let quorum t =
 let read_tag t nd =
   span t nd "readTag" @@ fun () ->
   let req = Collector.fresh nd.reads in
-  Sim.Network.broadcast t.net ~src:nd.id (Msg.Read_tag { req });
-  Sim.Condition.await nd.changed (fun () ->
+  t.b.Backend.broadcast ~src:nd.id (Msg.Read_tag { req });
+  nd.changed.Backend.await (fun () ->
       Collector.count nd.reads ~req >= quorum t);
   let tag = Collector.max_payload nd.reads ~req in
   Collector.forget nd.reads ~req;
@@ -197,8 +219,8 @@ let read_tag t nd =
 let write_tag t nd tag =
   span t nd ~args:[ ("tag", Obs.Trace.Int tag) ] "writeTag" @@ fun () ->
   let req = Collector.fresh nd.writes in
-  Sim.Network.broadcast t.net ~src:nd.id (Msg.Write_tag { req; tag });
-  Sim.Condition.await nd.changed (fun () ->
+  t.b.Backend.broadcast ~src:nd.id (Msg.Write_tag { req; tag });
+  nd.changed.Backend.await (fun () ->
       Collector.count nd.writes ~req >= quorum t);
   Collector.forget nd.writes ~req
 
@@ -206,7 +228,7 @@ let fresh_timestamp _t nd r = Timestamp.make ~tag:(r + 1) ~writer:nd.id
 
 let broadcast_value t nd ts value =
   Eq_kernel.local_insert nd.kernel ts value;
-  Sim.Network.broadcast t.net ~src:nd.id (Msg.Value { ts; value })
+  t.b.Backend.broadcast ~src:nd.id (Msg.Value { ts; value })
 
 let lattice t nd r =
   t.stats.lattice_ops <- t.stats.lattice_ops + 1;
@@ -219,7 +241,7 @@ let lattice t nd r =
   if nd.max_tag <= r then begin
     t.stats.good_lattice_ops <- t.stats.good_lattice_ops + 1;
     Obs.Metrics.incr t.c_good_lattice_ops;
-    Sim.Network.broadcast t.net ~src:nd.id (Msg.Good_la { tag = r });
+    t.b.Backend.broadcast ~src:nd.id (Msg.Good_la { tag = r });
     (true, v_star)
   end
   else (false, View.empty)
@@ -249,7 +271,7 @@ let lattice_renewal t nd r0 =
          possibly it already did, hence awaiting on the table, not on
          the message. *)
       span t nd ~args:[ ("tag", Obs.Trace.Int r) ] "borrowWait" (fun () ->
-          Sim.Condition.await nd.changed (fun () -> Hashtbl.mem nd.borrowed r));
+          nd.changed.Backend.await (fun () -> Hashtbl.mem nd.borrowed r));
       t.stats.indirect_views <- t.stats.indirect_views + 1;
       Obs.Metrics.incr t.c_indirect_views;
       Hashtbl.find nd.borrowed r

@@ -55,11 +55,28 @@ type stats = {
 }
 
 val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
-(** Requires [n > 2f]. *)
+(** Simulator deployment: builds a {!Sim.Network.t} and wires the
+    protocol onto it through {!create_on}; the concrete network stays
+    reachable via {!net} for the sim-only layers (chaos, model checker,
+    crash injection). Requires [n > 2f]. *)
+
+val create_on : 'v Msg.t Backend.net -> f:int -> 'v t
+(** Backend-generic deployment: wires handlers, conditions and metrics
+    counters onto any {!Backend.net} — the simulator adapter
+    ({!Backend_sim.net}) or the rt backend's real-domain network.
+    Requires [Backend.n > 2f]. *)
 
 val n : _ t -> int
 val f : _ t -> int
+
+val backend : 'v t -> 'v Msg.t Backend.net
+(** The engine surface this deployment runs on. *)
+
 val net : 'v t -> 'v Msg.t Sim.Network.t
+(** The concrete simulator network under a {!create}-built deployment.
+    @raise Invalid_argument on a deployment built by {!create_on} over a
+    non-simulator backend. *)
+
 val node : 'v t -> int -> 'v node
 val node_id : _ node -> int
 val stats : _ t -> stats
@@ -71,10 +88,12 @@ val node_lattice_count : _ node -> int
     failure chains). *)
 
 val trace : _ t -> Obs.Trace.t
-(** The engine's trace, as captured at creation ({!Sim.Engine.trace}). *)
+(** The backend's trace (the engine trace on sim, {!Obs.Trace.noop} on
+    rt). *)
 
 val now : _ t -> float
-(** Current virtual time, for stamping trace events. *)
+(** The backend clock — virtual time on sim, monotonic seconds since
+    deployment start on rt — for stamping trace events and histories. *)
 
 val span :
   'v t -> 'v node -> ?cat:string -> ?args:(string * Obs.Trace.value) list ->

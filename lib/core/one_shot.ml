@@ -42,7 +42,9 @@ let create engine ~n ~f ~delay =
     in
     {
       id;
-      kernel = Eq_kernel.create ~n ~me:id ~forward ~changed;
+      kernel =
+        Eq_kernel.create ~n ~me:id ~forward
+          ~changed:(Backend_sim.condition changed);
       acks = Collector.create ();
       changed;
       updated = false;

@@ -9,20 +9,23 @@ type 'v t = {
   rounds_per_scan : Obs.Metrics.histogram;
 }
 
-let create engine ~n ~f ~delay =
-  let core = LC.create engine ~n ~f ~delay in
+let of_core core =
+  let n = LC.n core in
   let local_views = Array.make n View.empty in
   for i = 0 to n - 1 do
     LC.set_good_view_hook (LC.node core i) (fun good_view ->
         local_views.(i) <- View.union local_views.(i) good_view)
   done;
-  let metrics = Sim.Network.metrics (LC.net core) in
+  let metrics = (LC.backend core).Backend.metrics in
   {
     core;
     local_views;
     rounds_per_update = Obs.Metrics.histogram metrics "aso.rounds_per_update";
     rounds_per_scan = Obs.Metrics.histogram metrics "aso.rounds_per_scan";
   }
+
+let create engine ~n ~f ~delay = of_core (LC.create engine ~n ~f ~delay)
+let create_on b ~f = of_core (LC.create_on b ~f)
 
 let update t ~node v =
   let nd = LC.node t.core node in

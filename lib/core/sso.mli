@@ -26,7 +26,12 @@
 type 'v t
 
 val create : Sim.Engine.t -> n:int -> f:int -> delay:Sim.Delay.t -> 'v t
-(** Requires [n > 2f]. *)
+(** Simulator deployment. Requires [n > 2f]. *)
+
+val create_on : 'v Lattice_core.Msg.t Backend.net -> f:int -> 'v t
+(** Deployment on an arbitrary backend; see {!Eq_aso.create_on}. The
+    good-view hook (the fast-scan feed) is installed the same way on
+    every backend. *)
 
 val update : 'v t -> node:int -> 'v -> unit
 (** Blocking; must run in a fiber. *)

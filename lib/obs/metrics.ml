@@ -1,10 +1,17 @@
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable level : float }
+(* Instruments hold their state in [Atomic] cells so updates are safe
+   from any domain (the rt backend increments network counters and
+   observes histograms from every node's domain). On the single-threaded
+   simulator the atomics are uncontended plain loads/stores, so the
+   deterministic paths are unaffected. Registration (the hashtable) is
+   NOT domain-safe: deployments register every instrument at creation
+   time, before concurrent execution starts. *)
+
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; level : float Atomic.t }
 
 type histogram = {
   h_name : string;
-  mutable samples : float list; (* newest first *)
-  mutable h_count : int;
+  samples : float list Atomic.t; (* newest first *)
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -36,36 +43,38 @@ let register t name make describe =
 let counter t name =
   register t name
     (fun () ->
-      let c = { c_name = name; count = 0 } in
+      let c = { c_name = name; count = Atomic.make 0 } in
       (c, C c))
     (function C c -> Some c | _ -> None)
 
 let gauge t name =
   register t name
     (fun () ->
-      let g = { g_name = name; level = 0. } in
+      let g = { g_name = name; level = Atomic.make 0. } in
       (g, G g))
     (function G g -> Some g | _ -> None)
 
 let histogram t name =
   register t name
     (fun () ->
-      let h = { h_name = name; samples = []; h_count = 0 } in
+      let h = { h_name = name; samples = Atomic.make [] } in
       (h, H h))
     (function H h -> Some h | _ -> None)
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let count c = c.count
+let incr c = Atomic.incr c.count
+let add c n = ignore (Atomic.fetch_and_add c.count n : int)
+let count c = Atomic.get c.count
 let counter_name c = c.c_name
 
-let set g v = g.level <- v
-let level g = g.level
+let set g v = Atomic.set g.level v
+let level g = Atomic.get g.level
 let gauge_name g = g.g_name
 
-let observe h v =
-  h.samples <- v :: h.samples;
-  h.h_count <- h.h_count + 1
+(* Lock-free cons: retry on contention. Sample order is deterministic
+   whenever observers are sequential (always true on the simulator). *)
+let rec observe h v =
+  let cur = Atomic.get h.samples in
+  if not (Atomic.compare_and_set h.samples cur (v :: cur)) then observe h v
 
 let histogram_name h = h.h_name
 
@@ -83,9 +92,9 @@ let snapshot t =
     (fun name ->
       ( name,
         match Hashtbl.find t.tbl name with
-        | C c -> Count c.count
-        | G g -> Level g.level
-        | H h -> Samples (List.rev h.samples) ))
+        | C c -> Count (Atomic.get c.count)
+        | G g -> Level (Atomic.get g.level)
+        | H h -> Samples (List.rev (Atomic.get h.samples)) ))
     t.order
 
 let merge_stat name a b =

@@ -12,7 +12,14 @@
     Metric names are flat dotted strings (["link.wire_sent"],
     ["aso.rounds_per_update"]); registering a name twice returns the
     existing instrument, and registering it at a different kind is an
-    error. *)
+    error.
+
+    {b Domain safety}: updates to registered instruments ({!incr},
+    {!add}, {!set}, {!observe}) and {!snapshot} reads are safe from any
+    domain — instrument state lives in [Atomic] cells (the rt backend
+    updates them from every node's domain). Registration itself is not:
+    register every instrument before concurrent execution starts, as
+    deployment constructors do. *)
 
 type t
 (** A registry. *)

@@ -1,0 +1,17 @@
+type condition = {
+  await : (unit -> bool) -> unit;
+  signal : unit -> unit;
+}
+
+type 'm net = {
+  n : int;
+  backend_name : string;
+  now : unit -> float;
+  send : src:int -> dst:int -> 'm -> unit;
+  broadcast : src:int -> 'm -> unit;
+  set_handler : int -> (src:int -> 'm -> unit) -> unit;
+  set_msg_label : ('m -> string) -> unit;
+  new_condition : node:int -> condition;
+  trace : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
+}

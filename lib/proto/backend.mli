@@ -1,0 +1,79 @@
+(** The execution-backend interface: the narrow engine surface the
+    protocol kernels actually use.
+
+    Algorithm 1 needs exactly four capabilities from its runtime —
+    point-to-point send, broadcast, an installed per-node message
+    handler, and a blocking "wait until predicate" primitive — plus
+    clock/trace/metrics plumbing for observability. This module captures
+    that surface as two records of closures, so the same protocol code
+    (Eq_kernel, Lattice_core and the algorithms layered on them) runs
+    unchanged on either backend:
+
+    - {b Sim} — the single-threaded deterministic simulator (fibers,
+      virtual time, schedule control). Adapter: [Aso_core.Backend_sim].
+    - {b Rt} — real OCaml 5 domains with lock-free mailboxes and the
+      monotonic wall clock. Adapter: [Rt.Net.backend].
+
+    Records of closures rather than a functor because the message type
+    ['m] is the only type that varies and it is already a parameter;
+    first-class records keep call sites monomorphic and allocation-free
+    on the hot path.
+
+    {b Execution contract} (both backends must satisfy it; the protocol
+    code is written against it):
+
+    - Handlers run {e atomically} with respect to the blocking
+      operations of their own node: a node's handler and its operation
+      code never interleave except at [condition.await] suspension
+      points. On Sim this is the single-threaded engine; on Rt each node
+      is one domain and [await] pumps the node's own mailbox.
+    - Channels are reliable FIFO per ordered pair (src, dst) between
+      live nodes.
+    - [condition.await pred] returns only when [pred ()] is true;
+      [pred] must be free of suspension points. [condition.signal] wakes
+      waiters on Sim; on Rt it is a no-op because the waiter itself
+      pumps the mailbox that makes the predicate true. *)
+
+type condition = {
+  await : (unit -> bool) -> unit;
+      (** Block until the predicate holds. Checks immediately; re-checks
+          whenever node state may have changed. Must be called from
+          protocol-operation context (a fiber on Sim, the node's own
+          domain on Rt). *)
+  signal : unit -> unit;
+      (** Wake waiters so they re-check (handlers call this once at the
+          end). A no-op on backends whose [await] polls its own event
+          source. *)
+}
+
+type 'm net = {
+  n : int;  (** number of nodes in the deployment *)
+  backend_name : string;  (** ["sim"] or ["rt"], for reports *)
+  now : unit -> float;
+      (** Sim: virtual time in units of D. Rt: monotonic wall-clock
+          seconds since deployment creation. Only comparable within one
+          backend. *)
+  send : src:int -> dst:int -> 'm -> unit;
+      (** Point-to-point send. No-op when [src] is crashed. *)
+  broadcast : src:int -> 'm -> unit;
+      (** Send to every node including [src] itself, in increasing
+          node-id order. *)
+  set_handler : int -> (src:int -> 'm -> unit) -> unit;
+      (** Install node [i]'s message handler. Must be called before any
+          traffic reaches the node (on Rt: before the node's domain is
+          started). *)
+  set_msg_label : ('m -> string) -> unit;
+      (** Payload-free message-kind labeler for tracing/accounting.
+          Backends without per-message tracing may ignore it. *)
+  new_condition : node:int -> condition;
+      (** A condition bound to [node]: its [await] may only be called
+          from that node's operation context. *)
+  trace : Obs.Trace.t;
+      (** The deployment's trace ({!Obs.Trace.noop} when the backend
+          does not trace — Rt, where emitting from several domains
+          would race). *)
+  metrics : Obs.Metrics.t;
+      (** The deployment's metrics registry. Instrument {e registration}
+          must happen before concurrent execution starts; updates to
+          registered instruments are domain-safe. *)
+}

@@ -1,0 +1,82 @@
+type 'm t = {
+  nodes : 'm Node.t array;
+  metrics : Obs.Metrics.t;
+  c_sent : Obs.Metrics.counter;
+  c_delivered : Obs.Metrics.counter;
+  c_dropped : Obs.Metrics.counter;
+  c_broadcasts : Obs.Metrics.counter;
+  t0 : int64;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Rt.Net.create: n must be positive";
+  let metrics = Obs.Metrics.create () in
+  {
+    nodes = Array.init n Node.create;
+    metrics;
+    (* Same instrument names as the simulator's network, so bench and
+       campaign aggregation treat both backends uniformly. *)
+    c_sent = Obs.Metrics.counter metrics "net.sent";
+    c_delivered = Obs.Metrics.counter metrics "net.delivered";
+    c_dropped = Obs.Metrics.counter metrics "net.dropped";
+    c_broadcasts = Obs.Metrics.counter metrics "net.broadcasts";
+    t0 = Monotonic_clock.now ();
+  }
+
+let size t = Array.length t.nodes
+let metrics t = t.metrics
+let node t i = t.nodes.(i)
+
+let now t = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.t0) *. 1e-9
+
+let send t ~src ~dst msg =
+  if not (Node.is_crashed t.nodes.(src)) then begin
+    Obs.Metrics.incr t.c_sent;
+    if Node.post t.nodes.(dst) (Node.Net { src; msg }) then
+      Obs.Metrics.incr t.c_delivered
+    else Obs.Metrics.incr t.c_dropped
+  end
+
+let broadcast t ~src msg =
+  if not (Node.is_crashed t.nodes.(src)) then begin
+    Obs.Metrics.incr t.c_broadcasts;
+    for dst = 0 to size t - 1 do
+      send t ~src ~dst msg
+    done
+  end
+
+let backend t =
+  {
+    Backend.n = size t;
+    backend_name = "rt";
+    now = (fun () -> now t);
+    send = (fun ~src ~dst msg -> send t ~src ~dst msg);
+    broadcast = (fun ~src msg -> broadcast t ~src msg);
+    set_handler = (fun i h -> Node.set_handler t.nodes.(i) h);
+    (* Message labels feed tracing and per-kind wire accounting, neither
+       of which exists on rt (trace is noop). *)
+    set_msg_label = (fun _ -> ());
+    new_condition =
+      (fun ~node ->
+        let nd = t.nodes.(node) in
+        {
+          Backend.await = (fun pred -> Node.await nd pred);
+          (* Handlers run on the node's own domain, interleaved with the
+             awaiting operation at its pump points — after each handler
+             the await loop re-checks its predicate anyway, so signal
+             has nothing to do. *)
+          signal = (fun () -> ());
+        });
+    trace = Obs.Trace.noop;
+    metrics = t.metrics;
+  }
+
+let start t = Array.iter Node.start t.nodes
+
+let stop t =
+  Array.iter (fun nd -> ignore (Node.post nd Node.Stop : bool)) t.nodes;
+  Array.iter Node.join t.nodes
+
+let crash t i = Node.crash t.nodes.(i)
+let is_crashed t i = Node.is_crashed t.nodes.(i)
+let post_work t i f = Node.post t.nodes.(i) (Node.Work f)

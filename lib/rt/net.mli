@@ -1,0 +1,59 @@
+(** The rt backend's network: [n] {!Node}s (one domain each) exchanging
+    messages through their mailboxes.
+
+    Mirrors the {!Sim.Network} surface the protocols consume — send,
+    broadcast (self-delivery included), per-node handlers, crash — and
+    exports it as a {!Backend.net} via {!backend}. Channel guarantees
+    match the simulator's reliable-FIFO transport: a (src, dst) pair has
+    a single producing domain, and the MPSC mailbox preserves
+    per-producer order, so per-channel FIFO holds (the [Good_la]
+    borrowing logic depends on it). Delivery is asynchronous with
+    arbitrary (scheduler-determined) latency, which is exactly the
+    asynchronous-model assumption.
+
+    The clock ({!now}, and [Backend.now]) is monotonic wall time in
+    seconds since {!create} — real-time histories, where the simulator
+    reports virtual time in units of the delay bound [D]. *)
+
+type 'm t
+
+val create : n:int -> 'm t
+(** Allocate nodes and register the network counters ([net.sent] etc. —
+    the simulator's names). Domains are not yet running: install
+    handlers (via {!backend} and the protocol constructor), then
+    {!start}. *)
+
+val size : _ t -> int
+val metrics : _ t -> Obs.Metrics.t
+val node : 'm t -> int -> 'm Node.t
+
+val now : _ t -> float
+(** Monotonic seconds since {!create}. Safe from any domain. *)
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Drop silently if [src] crashed (a crashed node sends nothing) or
+    [dst] crashed (a crashed node receives nothing); counted under
+    [net.dropped] in the latter case. *)
+
+val broadcast : 'm t -> src:int -> 'm -> unit
+(** Send to every node, including [src] itself. *)
+
+val backend : 'm t -> 'm Backend.net
+(** The {!Backend.net} view protocols are wired onto
+    ([Aso_core.Eq_aso.create_on], …). [trace] is {!Obs.Trace.noop}:
+    there is no online observability on rt — completed runs are checked
+    in batch. *)
+
+val start : _ t -> unit
+(** Spawn all node domains. Handlers must already be installed. *)
+
+val stop : _ t -> unit
+(** Post [Stop] everywhere and join every domain (crashed domains have
+    already exited and just join). *)
+
+val crash : _ t -> int -> unit
+val is_crashed : _ t -> int -> bool
+
+val post_work : 'm t -> int -> (unit -> unit) -> bool
+(** Submit an operation thunk to run on node [i]'s domain; [false] if
+    the node has crashed. *)

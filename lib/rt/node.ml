@@ -1,0 +1,132 @@
+exception Crashed
+
+type 'm item =
+  | Net of { src : int; msg : 'm }
+  | Work of (unit -> unit)
+  | Stop
+
+type 'm t = {
+  id : int;
+  mbox : 'm item Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  (* True while the node domain sleeps in [next]; producers only pay for
+     the lock/signal when someone is actually parked. Set under [lock]
+     (so a parked flag implies the consumer holds or is inside the
+     wait), read without it. *)
+  parked : bool Atomic.t;
+  poisoned : bool Atomic.t;
+  mutable handler : src:int -> 'm -> unit;
+  (* Work items that arrived while an operation was blocked in [await]:
+     they must not run in the middle of that operation (nodes are
+     sequential), so the pump parks them here and the run loop drains
+     them FIFO once the current operation returns. *)
+  mutable deferred_rev : (unit -> unit) list;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option;
+}
+
+let create id =
+  {
+    id;
+    mbox = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    parked = Atomic.make false;
+    poisoned = Atomic.make false;
+    handler = (fun ~src:_ _ -> ());
+    deferred_rev = [];
+    stop = false;
+    domain = None;
+  }
+
+let id t = t.id
+let set_handler t h = t.handler <- h
+let is_crashed t = Atomic.get t.poisoned
+
+let post t item =
+  if Atomic.get t.poisoned then false
+  else begin
+    Queue.push t.mbox item;
+    (* The push above is linked before this read, so either the consumer
+       already parked (we signal it) or its next pop attempt finds the
+       item — no lost wakeup; see the note in [Queue]. *)
+    if Atomic.get t.parked then begin
+      Mutex.lock t.lock;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.lock
+    end;
+    true
+  end
+
+let crash t =
+  Atomic.set t.poisoned true;
+  Mutex.lock t.lock;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+(* Blocking receive, node domain only. Fast path is a plain lock-free
+   pop; the slow path parks under the mailbox lock. *)
+let next t =
+  if Atomic.get t.poisoned then raise Crashed;
+  match Queue.pop_opt t.mbox with
+  | Some item -> item
+  | None ->
+      Mutex.lock t.lock;
+      Atomic.set t.parked true;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set t.parked false;
+          Mutex.unlock t.lock)
+        (fun () ->
+          let rec wait () =
+            match Queue.pop_opt t.mbox with
+            | Some item -> item
+            | None ->
+                if Atomic.get t.poisoned then raise Crashed;
+                Condition.wait t.nonempty t.lock;
+                wait ()
+          in
+          wait ())
+
+(* The operation-context wait: pump the node's own mailbox until [pred]
+   holds. Message handlers run inline (that is what makes the predicate
+   progress); fresh operations are deferred; [Stop] is latched for the
+   run loop. This reproduces the simulator's atomicity contract exactly:
+   handlers interleave with operation code only at await points. *)
+let await t pred =
+  while not (pred ()) do
+    match next t with
+    | Net { src; msg } -> t.handler ~src msg
+    | Work f -> t.deferred_rev <- f :: t.deferred_rev
+    | Stop -> t.stop <- true
+  done
+
+let rec drain_deferred t =
+  match List.rev t.deferred_rev with
+  | [] -> ()
+  | works ->
+      t.deferred_rev <- [];
+      List.iter (fun f -> if not t.stop then f ()) works;
+      drain_deferred t
+
+let run t =
+  try
+    while not t.stop do
+      match next t with
+      | Net { src; msg } -> t.handler ~src msg
+      | Work f ->
+          f ();
+          drain_deferred t
+      | Stop -> t.stop <- true
+    done
+  with Crashed -> ()
+
+let start t = t.domain <- Some (Domain.spawn (fun () -> run t))
+
+let join t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+      t.domain <- None;
+      Domain.join d

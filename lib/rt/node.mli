@@ -1,0 +1,62 @@
+(** A protocol node as an OCaml 5 domain with a lock-free mailbox.
+
+    One {!Queue} MPSC mailbox, one domain running {!run}. The mailbox
+    carries three kinds of items: network messages (dispatched to the
+    installed handler), operation thunks ([Work], posted by the service
+    front-end), and [Stop]. The execution contract mirrors the
+    simulator's: handlers are atomic (one mailbox item at a time, on the
+    node's own domain), and operation code interleaves with handlers
+    only inside {!await}, which pumps the mailbox itself while its
+    predicate is false — so a blocked UPDATE keeps acking other nodes'
+    quorum phases, exactly like a simulator fiber parked on a condition
+    while the engine delivers messages.
+
+    {b Crash = poisoned mailbox}: {!crash} marks the node, after which
+    {!post} drops everything and the next blocking receive raises
+    {!Crashed}, unwinding whatever operation was running. The domain's
+    run loop catches it and exits; the node never speaks again. *)
+
+exception Crashed
+(** Raised by a blocking receive on a poisoned (crashed) node; unwinds
+    the operation running on the node's domain. *)
+
+type 'm item =
+  | Net of { src : int; msg : 'm }
+  | Work of (unit -> unit)
+  | Stop
+
+type 'm t
+
+val create : int -> 'm t
+val id : _ t -> int
+
+val set_handler : 'm t -> (src:int -> 'm -> unit) -> unit
+(** Install the message handler. Must happen before {!start}. *)
+
+val post : 'm t -> 'm item -> bool
+(** Enqueue from any domain; wakes the node if parked. [false] if the
+    node is crashed (the item is dropped — a crashed node receives
+    nothing). *)
+
+val await : 'm t -> (unit -> bool) -> unit
+(** Node-domain only: block until the predicate holds, running message
+    handlers and deferring [Work] in the meantime.
+    @raise Crashed if the node is poisoned while waiting. *)
+
+val crash : 'm t -> unit
+(** Poison the mailbox and wake the domain so it observes the crash even
+    if idle. Callable from any domain; idempotent. *)
+
+val is_crashed : _ t -> bool
+
+val run : 'm t -> unit
+(** The node loop: handle messages, run work thunks (draining any work
+    deferred by their awaits, FIFO), exit on [Stop] or {!Crashed}.
+    Exposed for tests; normal use is {!start}/{!join}. *)
+
+val start : 'm t -> unit
+(** Spawn the node's domain running {!run}. *)
+
+val join : 'm t -> unit
+(** Wait for the node's domain to exit (after [Stop] was posted or the
+    node crashed). Idempotent. *)

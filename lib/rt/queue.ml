@@ -1,0 +1,42 @@
+(* Vyukov-style intrusive MPSC queue (cf. the Saturn library's
+   single-consumer queues): producers contend on one atomic [tail]
+   exchange; the consumer owns [head] outright and never synchronizes
+   with other consumers, because there are none — each mailbox belongs
+   to exactly one node domain. *)
+
+type 'a node = {
+  (* [None] only on a consumed node (or the initial stub); cleared on
+     pop so the queue does not pin popped payloads for the GC. *)
+  mutable value : 'a option;
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  tail : 'a node Atomic.t;  (* producers swap here, then link *)
+  mutable head : 'a node;  (* consumer-only: current stub *)
+}
+
+let create () =
+  let stub = { value = None; next = Atomic.make None } in
+  { tail = Atomic.make stub; head = stub }
+
+let push t v =
+  let n = { value = Some v; next = Atomic.make None } in
+  let prev = Atomic.exchange t.tail n in
+  (* Between the exchange above and the link below, [n] (and anything
+     enqueued after it) is unreachable from [head]: a concurrent pop
+     reads the queue as empty. That transient is why mailbox consumers
+     must park under a lock and producers signal after [push] returns —
+     the linking producer's signal is what makes the suffix visible. *)
+  Atomic.set prev.next (Some n)
+
+let pop_opt t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+      let v = n.value in
+      n.value <- None;
+      t.head <- n;
+      v
+
+let is_empty t = Atomic.get t.head.next = None

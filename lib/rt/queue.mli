@@ -1,0 +1,36 @@
+(** Lock-free multi-producer single-consumer queue.
+
+    The rt backend's mailbox primitive: any domain may {!push}
+    concurrently; exactly one domain (the owning node) may call
+    {!pop_opt}/{!is_empty}. Laws, checked by the qcheck suite in
+    [test_rt]:
+
+    - {b per-producer FIFO}: two pushes by the same domain are popped in
+      push order (this is what carries the simulator's reliable-FIFO
+      channel guarantee over to rt — each (src, dst) channel has a
+      single producer);
+    - {b no loss, no duplication}: the multiset of popped elements
+      equals the multiset of pushed elements once producers are done;
+    - {b serialized-consumer linearizability}: with one consumer the
+      queue behaves like a FIFO merge of the producers' sequences.
+
+    {b Caveat} (inherent to the Vyukov construction): a [push] swaps the
+    shared tail {e then} links the new node, so a concurrent {!pop_opt}
+    in that window can report the queue empty while elements sit
+    unlinked. Consumers that intend to sleep on empty must park under a
+    lock and rely on a producer-side signal {e after} [push] returns,
+    which is exactly what {!Node}'s mailbox does. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Wait-free apart from one [Atomic.exchange]; safe from any domain. *)
+
+val pop_opt : 'a t -> 'a option
+(** Consumer only. [None] when the (linked part of the) queue is
+    empty. *)
+
+val is_empty : 'a t -> bool
+(** Consumer only; same transient-emptiness caveat as {!pop_opt}. *)

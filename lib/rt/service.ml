@@ -1,0 +1,395 @@
+module LC = Aso_core.Lattice_core
+
+type algo = Eq_aso | Sso_fast_scan
+
+let algo_name = function Eq_aso -> "eq-aso" | Sso_fast_scan -> "sso-fast-scan"
+
+let algo_of_name s =
+  match String.map (function '_' -> '-' | c -> c) (String.lowercase_ascii s) with
+  | "eq-aso" -> Some Eq_aso
+  | "sso-fast-scan" -> Some Sso_fast_scan
+  | _ -> None
+
+type ops = {
+  op_update : node:int -> int -> unit;
+  op_scan : node:int -> int option array;
+}
+
+(* A client's handle on one submitted request. [state] transitions
+   Pending -> Done | Crashed exactly once ([resolve] is idempotent), so
+   the operation's own completion path and the crash sweep can race
+   harmlessly. *)
+type reply = {
+  rm : Mutex.t;
+  rc : Condition.t;
+  mutable state : [ `Pending | `Done | `Crashed ];
+  mutable snap : int option array option;
+}
+
+type t = {
+  net : int LC.Msg.t Net.t;
+  n : int;
+  f : int;
+  ops : ops;
+  batch : bool;
+  (* One service lock guards the history, the in-flight registries and
+     the batch queues. Protocol execution never holds it across a
+     blocking point — work bodies take it only to stamp history events
+     at operation boundaries. *)
+  lock : Mutex.t;
+  history : History.t;
+  in_flight : reply list array;
+  batch_q : (int * reply) list array;  (* newest first *)
+  batch_draining : bool array;
+  mutable fused_away : int;
+  next_value : int Atomic.t;
+}
+
+let new_reply () =
+  {
+    rm = Mutex.create ();
+    rc = Condition.create ();
+    state = `Pending;
+    snap = None;
+  }
+
+let resolve r st =
+  Mutex.lock r.rm;
+  (match r.state with
+  | `Pending ->
+      r.state <- st;
+      Condition.broadcast r.rc
+  | `Done | `Crashed -> ());
+  Mutex.unlock r.rm
+
+let await_reply r =
+  Mutex.lock r.rm;
+  while r.state = `Pending do
+    Condition.wait r.rc r.rm
+  done;
+  let st = r.state in
+  Mutex.unlock r.rm;
+  match st with `Pending -> assert false | (`Done | `Crashed) as st -> st
+
+(* Callers hold [s.lock]. *)
+let unregister s node r =
+  s.in_flight.(node) <- List.filter (fun r' -> r' != r) s.in_flight.(node)
+
+(* Work bodies run on the node's own domain, so per-node execution is
+   serialized and history invoke/respond events at a node never overlap
+   — which is what the checker's well-formedness (sequential nodes,
+   Section II-A) requires. Client-perceived latency, which does include
+   mailbox queueing, is measured separately by the clients. *)
+
+let run_update s ~node v r () =
+  Mutex.lock s.lock;
+  let op = History.begin_update s.history ~now:(Net.now s.net) ~node ~value:v in
+  Mutex.unlock s.lock;
+  match s.ops.op_update ~node v with
+  | () ->
+      Mutex.lock s.lock;
+      History.finish_update s.history ~now:(Net.now s.net) op;
+      unregister s node r;
+      Mutex.unlock s.lock;
+      resolve r `Done
+  | exception Node.Crashed ->
+      (* The op stays pending in the history (the node crashed mid-op,
+         exactly the model's pending operation); re-raise so the node's
+         run loop unwinds. *)
+      resolve r `Crashed;
+      raise Node.Crashed
+
+let run_scan s ~node r () =
+  Mutex.lock s.lock;
+  let op = History.begin_scan s.history ~now:(Net.now s.net) ~node in
+  Mutex.unlock s.lock;
+  match s.ops.op_scan ~node with
+  | snap ->
+      Mutex.lock s.lock;
+      History.finish_scan s.history ~now:(Net.now s.net) op ~snap;
+      unregister s node r;
+      Mutex.unlock s.lock;
+      r.snap <- Some snap;
+      resolve r `Done
+  | exception Node.Crashed ->
+      resolve r `Crashed;
+      raise Node.Crashed
+
+(* Group commit: run the queued updates of one node as a single
+   protocol-level write of the LAST queued value. Correctness argument
+   (DESIGN.md section 6): bases are prefix-closed in per-node program
+   order, so a base containing the fused write's value implies every
+   coalesced earlier value — linearize the skipped updates immediately
+   before the fused one. Only the fused write enters the checked
+   history; the coalesced requests are acknowledged as front-end
+   write-backs once it completes. *)
+let rec drain_batch s node () =
+  Mutex.lock s.lock;
+  let items = List.rev s.batch_q.(node) in
+  s.batch_q.(node) <- [];
+  match items with
+  | [] ->
+      s.batch_draining.(node) <- false;
+      Mutex.unlock s.lock
+  | items -> (
+      let v = fst (List.hd (List.rev items)) in
+      s.fused_away <- s.fused_away + List.length items - 1;
+      let op =
+        History.begin_update s.history ~now:(Net.now s.net) ~node ~value:v
+      in
+      Mutex.unlock s.lock;
+      match s.ops.op_update ~node v with
+      | () ->
+          Mutex.lock s.lock;
+          History.finish_update s.history ~now:(Net.now s.net) op;
+          List.iter (fun (_, r) -> unregister s node r) items;
+          Mutex.unlock s.lock;
+          List.iter (fun (_, r) -> resolve r `Done) items;
+          drain_batch s node ()
+      | exception Node.Crashed ->
+          List.iter (fun (_, r) -> resolve r `Crashed) items;
+          raise Node.Crashed)
+
+let submit_direct s ~node work =
+  let r = new_reply () in
+  Mutex.lock s.lock;
+  let accepted =
+    if Net.is_crashed s.net node then false
+    else begin
+      s.in_flight.(node) <- r :: s.in_flight.(node);
+      if Net.post_work s.net node (work r) then true
+      else begin
+        (* Poisoned between the check and the post; nothing will run. *)
+        unregister s node r;
+        false
+      end
+    end
+  in
+  Mutex.unlock s.lock;
+  if accepted then (await_reply r, r) else (`Crashed, r)
+
+let submit_batched_update s ~node v =
+  let r = new_reply () in
+  Mutex.lock s.lock;
+  let accepted =
+    if Net.is_crashed s.net node then false
+    else begin
+      s.batch_q.(node) <- (v, r) :: s.batch_q.(node);
+      s.in_flight.(node) <- r :: s.in_flight.(node);
+      if s.batch_draining.(node) then true
+      else if Net.post_work s.net node (drain_batch s node) then begin
+        s.batch_draining.(node) <- true;
+        true
+      end
+      else begin
+        s.batch_q.(node) <-
+          List.filter (fun (_, r') -> r' != r) s.batch_q.(node);
+        unregister s node r;
+        false
+      end
+    end
+  in
+  Mutex.unlock s.lock;
+  if accepted then await_reply r else `Crashed
+
+let fresh_value s = Atomic.fetch_and_add s.next_value 1
+
+let update s ~node v =
+  if s.batch then submit_batched_update s ~node v
+  else fst (submit_direct s ~node (fun r -> run_update s ~node v r))
+
+let scan s ~node =
+  match submit_direct s ~node (fun r -> run_scan s ~node r) with
+  | `Done, r -> (
+      match r.snap with Some snap -> `Snap snap | None -> assert false)
+  | `Crashed, _ -> `Crashed
+
+let crash_node s i =
+  Net.crash s.net i;
+  Mutex.lock s.lock;
+  let victims = s.in_flight.(i) in
+  s.in_flight.(i) <- [];
+  s.batch_q.(i) <- [];
+  Mutex.unlock s.lock;
+  (* Items popped from the mailbox but not yet finished unwind through
+     [Node.Crashed] and resolve themselves; everything else is resolved
+     here. Either way [resolve] fires exactly once per reply. *)
+  List.iter (fun r -> resolve r `Crashed) victims
+
+let ops_of algo b ~f =
+  match algo with
+  | Eq_aso ->
+      let t = Aso_core.Eq_aso.create_on b ~f in
+      {
+        op_update = (fun ~node v -> Aso_core.Eq_aso.update t ~node v);
+        op_scan = (fun ~node -> Aso_core.Eq_aso.scan t ~node);
+      }
+  | Sso_fast_scan ->
+      let t = Aso_core.Sso.create_on b ~f in
+      {
+        op_update = (fun ~node v -> Aso_core.Sso.update t ~node v);
+        op_scan = (fun ~node -> Aso_core.Sso.scan t ~node);
+      }
+
+let create ?(batch = false) ~algo ~n ~f () =
+  let net = Net.create ~n in
+  let ops = ops_of algo (Net.backend net) ~f in
+  {
+    net;
+    n;
+    f;
+    ops;
+    batch;
+    lock = Mutex.create ();
+    history = History.create ();
+    in_flight = Array.make n [];
+    batch_q = Array.make n [];
+    batch_draining = Array.make n false;
+    fused_away = 0;
+    next_value = Atomic.make 1;
+  }
+
+let start s = Net.start s.net
+let stop s = Net.stop s.net
+let history s = s.history
+let net s = s.net
+
+(* {2 The closed-loop load service} *)
+
+type client_stats = {
+  mutable ok_updates : int;
+  mutable ok_scans : int;
+  mutable rejected : int;
+  mutable u_lat : float list;
+  mutable s_lat : float list;
+}
+
+type report = {
+  algorithm : string;
+  backend : string;
+  rep_n : int;
+  rep_f : int;
+  clients : int;
+  batched : bool;
+  duration : float;
+  completed_updates : int;
+  completed_scans : int;
+  rejected : int;
+  fused_updates : int;
+  ops_per_sec : float;
+  update_latencies : float list;  (** client-observed, seconds *)
+  scan_latencies : float list;
+  crashed_nodes : int list;
+  messages_sent : int;
+  history : History.t;
+}
+
+let rec pick_node s home j =
+  if j >= s.n then None
+  else
+    let c = (home + j) mod s.n in
+    if Net.is_crashed s.net c then pick_node s home (j + 1) else Some c
+
+let client_loop s ~deadline ~scan_fraction rng home stats =
+  let live = ref true in
+  while !live && Net.now s.net < deadline do
+    match pick_node s home 0 with
+    | None -> live := false
+    | Some node ->
+        let t0 = Net.now s.net in
+        if Random.State.float rng 1.0 < scan_fraction then (
+          match scan s ~node with
+          | `Snap _ ->
+              stats.ok_scans <- stats.ok_scans + 1;
+              stats.s_lat <- (Net.now s.net -. t0) :: stats.s_lat
+          | `Crashed -> stats.rejected <- stats.rejected + 1)
+        else
+          match update s ~node (fresh_value s) with
+          | `Done ->
+              stats.ok_updates <- stats.ok_updates + 1;
+              stats.u_lat <- (Net.now s.net -. t0) :: stats.u_lat
+          | `Crashed -> stats.rejected <- stats.rejected + 1
+  done
+
+let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
+    ?crash_after ~algo ~n ~f ~clients ~secs () =
+  if clients <= 0 then invalid_arg "Rt.Service.run: clients must be positive";
+  if secs <= 0. then invalid_arg "Rt.Service.run: secs must be positive";
+  let crash = List.sort_uniq compare crash in
+  if List.length crash > f then
+    invalid_arg "Rt.Service.run: cannot crash more than f nodes";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Rt.Service.run: crash node out of range")
+    crash;
+  let s = create ~batch ~algo ~n ~f () in
+  start s;
+  let t_start = Net.now s.net in
+  let deadline = t_start +. secs in
+  let crasher =
+    match crash with
+    | [] -> None
+    | nodes ->
+        let after = Option.value crash_after ~default:(secs /. 2.) in
+        Some
+          (Thread.create
+             (fun () ->
+               Thread.delay after;
+               List.iter (fun i -> crash_node s i) nodes)
+             ())
+  in
+  let stats =
+    Array.init clients (fun _ ->
+        { ok_updates = 0; ok_scans = 0; rejected = 0; u_lat = []; s_lat = [] })
+  in
+  let threads =
+    Array.init clients (fun i ->
+        let rng = Random.State.make [| seed; i |] in
+        Thread.create
+          (fun () ->
+            client_loop s ~deadline ~scan_fraction rng (i mod n) stats.(i))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Option.iter Thread.join crasher;
+  let duration = Net.now s.net -. t_start in
+  stop s;
+  let snapshot = Obs.Metrics.snapshot (Net.metrics s.net) in
+  let sum g = Array.fold_left (fun acc c -> acc + g c) 0 stats in
+  let gather g =
+    Array.fold_left (fun acc c -> List.rev_append (g c) acc) [] stats
+  in
+  let completed_updates = sum (fun c -> c.ok_updates) in
+  let completed_scans = sum (fun c -> c.ok_scans) in
+  let total = completed_updates + completed_scans in
+  {
+    algorithm = algo_name algo;
+    backend = "rt";
+    rep_n = n;
+    rep_f = f;
+    clients;
+    batched = batch;
+    duration;
+    completed_updates;
+    completed_scans;
+    rejected = sum (fun c -> c.rejected);
+    fused_updates = s.fused_away;
+    ops_per_sec = (if duration > 0. then float_of_int total /. duration else 0.);
+    update_latencies = gather (fun c -> c.u_lat);
+    scan_latencies = gather (fun c -> c.s_lat);
+    crashed_nodes = crash;
+    messages_sent =
+      Option.value (Obs.Metrics.find_count snapshot "net.sent") ~default:0;
+    history = s.history;
+  }
+
+(* Bench feed: everything here is timing-dependent, hence volatile (the
+   CI drift gate must not compare it run-to-run beyond a sanity floor). *)
+let volatile_metrics r =
+  [
+    ("ops_per_sec", r.ops_per_sec);
+    ("completed_updates", float_of_int r.completed_updates);
+    ("completed_scans", float_of_int r.completed_scans);
+    ("fused_updates", float_of_int r.fused_updates);
+    ("messages_sent", float_of_int r.messages_sent);
+  ]

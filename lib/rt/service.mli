@@ -1,0 +1,103 @@
+(** Front-end that owns an rt deployment and drives it under load.
+
+    Clients (systhreads) submit UPDATE/SCAN requests; each request runs
+    as a work thunk on the target node's own domain, so per-node
+    execution is serialized — the model's sequential-node assumption —
+    while different nodes run genuinely in parallel. The service stamps
+    a real-time {!History.t} at protocol execution boundaries (under one
+    service lock, with the monotonic clock), which every completed run
+    feeds through the batch A0–A4 checker. Client-perceived latency
+    (including mailbox queueing) is measured separately by the clients
+    and reported as p50/p99 material; it is {e not} what the history
+    records, because overlapping same-node client intervals would
+    violate history well-formedness.
+
+    {b Batching} ([~batch:true]): per-node group commit. Queued updates
+    are coalesced into a single protocol write of the last queued value;
+    only that fused write enters the checked history, and the coalesced
+    requests are acknowledged when it completes (linearize them
+    immediately before the fused write — sound because checker bases
+    are prefix-closed in per-node program order).
+
+    {b Crashes}: {!run}'s [~crash] list poisons those nodes mid-run
+    (k ≤ f enforced); their in-flight requests resolve as [`Crashed] and
+    clients fail over to other nodes. A crashed node contributes at most
+    one pending operation to the history, as the model prescribes. *)
+
+type algo = Eq_aso | Sso_fast_scan
+
+val algo_name : algo -> string
+val algo_of_name : string -> algo option
+(** Accepts dashes or underscores, case-insensitive. *)
+
+type t
+
+val create : ?batch:bool -> algo:algo -> n:int -> f:int -> unit -> t
+(** Build the deployment (network, protocol wiring, history); domains
+    are not running until {!start}. Requires [n > 2f]. *)
+
+val start : t -> unit
+val stop : t -> unit
+(** Stop all node domains and join them. Call only when no requests are
+    outstanding. *)
+
+val fresh_value : t -> int
+(** Globally unique update values (the checker identifies an UPDATE by
+    its value — the paper's footnote-2 assumption). *)
+
+val update : t -> node:int -> int -> [ `Done | `Crashed ]
+(** Blocking (closed-loop) UPDATE from any client thread. [`Crashed] if
+    the node failed before or during the request. *)
+
+val scan : t -> node:int -> [ `Snap of int option array | `Crashed ]
+
+val crash_node : t -> int -> unit
+(** Poison the node and fail its in-flight requests. *)
+
+val history : t -> History.t
+val net : t -> int Aso_core.Lattice_core.Msg.t Net.t
+
+(** {2 Closed-loop load runs} *)
+
+type report = {
+  algorithm : string;
+  backend : string;
+  rep_n : int;
+  rep_f : int;
+  clients : int;
+  batched : bool;
+  duration : float;  (** measured wall seconds *)
+  completed_updates : int;
+  completed_scans : int;
+  rejected : int;  (** requests refused or aborted by crashes *)
+  fused_updates : int;  (** protocol writes saved by batching *)
+  ops_per_sec : float;
+  update_latencies : float list;  (** client-observed, seconds *)
+  scan_latencies : float list;
+  crashed_nodes : int list;
+  messages_sent : int;
+  history : History.t;
+}
+
+val run :
+  ?batch:bool ->
+  ?scan_fraction:float ->
+  ?seed:int ->
+  ?crash:int list ->
+  ?crash_after:float ->
+  algo:algo ->
+  n:int ->
+  f:int ->
+  clients:int ->
+  secs:float ->
+  unit ->
+  report
+(** Deploy, run [clients] closed-loop client threads for [secs] wall
+    seconds (default [scan_fraction] 0.2, [seed] 42), optionally crash
+    the [~crash] nodes at [~crash_after] (default halfway), stop the
+    deployment, and report. The returned history is finished and ready
+    for the batch checker. *)
+
+val volatile_metrics : report -> (string * float) list
+(** The report's timing-dependent numbers, for the bench JSON's volatile
+    section ({e never} the drift-gated one). *)

@@ -11,7 +11,7 @@ let make_kernel ?(n = 4) ?(me = 0) () =
   let kernel =
     Aso_core.Eq_kernel.create ~n ~me
       ~forward:(fun t v -> forwarded := (t, v) :: !forwarded)
-      ~changed
+      ~changed:(Aso_core.Backend_sim.condition changed)
   in
   (kernel, forwarded, changed)
 
@@ -100,7 +100,8 @@ let test_incremental_matches_reference () =
     let engine = Sim.Engine.create ~seed:(Int64.of_int trial) () in
     let changed = Sim.Condition.create () in
     let kernel =
-      Aso_core.Eq_kernel.create ~n ~me:0 ~forward:(fun _ _ -> ()) ~changed
+      Aso_core.Eq_kernel.create ~n ~me:0 ~forward:(fun _ _ -> ())
+        ~changed:(Aso_core.Backend_sim.condition changed)
     in
     (* Schedule arrivals at distinct times; recheck reference after
        each. NOTE: arrival sources/timestamps are arbitrary — the
@@ -155,7 +156,8 @@ let test_must_contain_gates () =
   let engine = Sim.Engine.create () in
   let changed = Sim.Condition.create () in
   let kernel =
-    Aso_core.Eq_kernel.create ~n:3 ~me:0 ~forward:(fun _ _ -> ()) ~changed
+    Aso_core.Eq_kernel.create ~n:3 ~me:0 ~forward:(fun _ _ -> ())
+      ~changed:(Aso_core.Backend_sim.condition changed)
   in
   let t1 = ts ~tag:1 ~writer:0 in
   let done_at = ref (-1.0) in

@@ -23,5 +23,6 @@ let () =
          Test_obs.suites;
          Test_causal.suites;
          Test_mc.suites;
+         Test_rt.suites;
          Test_configs.suites;
        ])

@@ -318,6 +318,95 @@ let test_traced_run_contents () =
     | Some s -> s > 0
     | None -> false)
 
+(* --- bench drift gate: volatile rows are exempt ------------------- *)
+
+(* The CI gate (ci.yml, "Bench regression gate") compares "metrics"
+   strictly (>20% drift fails) and "volatile" only against a collapse
+   floor (<20% of baseline fails). This mirrors that rule so we can
+   assert the contract the runtime-throughput rows rely on: wall-clock
+   numbers published through [Rt.Service.volatile_metrics] may drift
+   arbitrarily upward (and 5x downward) without tripping the gate,
+   while the same drift on a gated metric fails. *)
+
+type gate_row = {
+  g_metrics : (string * float) list;
+  g_volatile : (string * float) list;
+}
+
+let gate_passes ~base ~next =
+  let threshold = 0.20 and floor = 0.20 in
+  let strict_bad (k, bv) =
+    match List.assoc_opt k next.g_metrics with
+    | None -> true
+    | Some nv -> Float.abs (nv -. bv) > (threshold *. Float.max (Float.abs bv) 1e-9)
+  in
+  let volatile_bad (k, bv) =
+    match List.assoc_opt k next.g_volatile with
+    | None -> false
+    | Some nv -> nv < floor *. bv
+  in
+  not
+    (List.exists strict_bad base.g_metrics
+    || List.exists volatile_bad base.g_volatile)
+
+let gate_report ~ops_per_sec ~updates =
+  {
+    Rt.Service.algorithm = "eq-aso";
+    backend = "rt";
+    rep_n = 4;
+    rep_f = 1;
+    clients = 4;
+    batched = false;
+    duration = 1.0;
+    completed_updates = updates;
+    completed_scans = updates / 4;
+    rejected = 0;
+    fused_updates = 0;
+    ops_per_sec;
+    update_latencies = [];
+    scan_latencies = [];
+    crashed_nodes = [];
+    messages_sent = updates * 50;
+    history = History.create ();
+  }
+
+let test_drift_gate_ignores_volatile () =
+  let row r =
+    { g_metrics = [ ("history_ok", 1.0) ];
+      g_volatile = Rt.Service.volatile_metrics r }
+  in
+  let base = row (gate_report ~ops_per_sec:1000.0 ~updates:250) in
+  (* 10x faster host: every volatile number explodes, gate unmoved *)
+  Alcotest.(check bool) "10x volatile drift up passes" true
+    (gate_passes ~base
+       ~next:(row (gate_report ~ops_per_sec:10_000.0 ~updates:2500)));
+  (* 2x slower host: still above the 20% collapse floor *)
+  Alcotest.(check bool) "2x volatile drift down passes" true
+    (gate_passes ~base
+       ~next:(row (gate_report ~ops_per_sec:500.0 ~updates:125)));
+  (* total collapse (<20% of baseline) is still caught *)
+  Alcotest.(check bool) "volatile collapse fails" false
+    (gate_passes ~base
+       ~next:(row (gate_report ~ops_per_sec:100.0 ~updates:25)));
+  (* the same 10x drift on a gated metric would fail: the exemption is
+     a property of the section, not of the gate being toothless *)
+  let strict v = { g_metrics = [ ("ops_per_sec", v) ]; g_volatile = [] } in
+  Alcotest.(check bool) "10x strict drift fails" false
+    (gate_passes ~base:(strict 1000.0) ~next:(strict 10_000.0));
+  (* a checker regression flips the gated bool and fails *)
+  let ok v = { g_metrics = [ ("history_ok", v) ]; g_volatile = [] } in
+  Alcotest.(check bool) "history_ok flip fails" false
+    (gate_passes ~base:(ok 1.0) ~next:(ok 0.0))
+
+let test_volatile_metrics_keys () =
+  (* bench/main.ml publishes exactly these under "volatile"; a timing
+     metric added outside this list would land in the gated section *)
+  let r = gate_report ~ops_per_sec:1234.0 ~updates:100 in
+  Alcotest.(check (list string)) "volatile keys"
+    [ "ops_per_sec"; "completed_updates"; "completed_scans";
+      "fused_updates"; "messages_sent" ]
+    (List.map fst (Rt.Service.volatile_metrics r))
+
 let suites =
   [
     ( "obs",
@@ -333,5 +422,8 @@ let suites =
         case "jsonl export is valid JSON" test_jsonl_export;
         case "schedule identical traced or not" test_schedule_identity;
         case "traced run has phases and metrics" test_traced_run_contents;
+        case "drift gate ignores volatile section"
+          test_drift_gate_ignores_volatile;
+        case "rt volatile metrics keys" test_volatile_metrics_keys;
       ] );
   ]
