@@ -581,7 +581,8 @@ let fuzz_cmd =
    so a saved counterexample replays the exact system that produced
    it. *)
 let spec_of_args (algo : Harness.Algo.t) n ops seed scan_fraction max_gap
-    two_op crash_nodes crash_bound mutation drop dup reorder monitor =
+    two_op crash_nodes crash_bound restart_nodes restart_bound mutation drop
+    dup reorder monitor =
   let substrate =
     if drop > 0. || dup > 0. || reorder > 0. then
       Mc.Replay.Lossy { drop; dup; reorder }
@@ -590,6 +591,12 @@ let spec_of_args (algo : Harness.Algo.t) n ops seed scan_fraction max_gap
   (* Choice 0 is [-1] ("never crash") so the default schedule is the
      failure-free run; choices 1..bound crash before that engine step. *)
   let crash_steps = Array.append [| -1 |] (Array.init crash_bound Fun.id) in
+  (* Restart candidates sit after the crash window so a chosen restart
+     can actually find its node down ([explore] arms it behind an
+     is_crashed guard either way). *)
+  let restart_steps =
+    Array.append [| -1 |] (Array.init restart_bound (fun i -> crash_bound + i))
+  in
   {
     Mc.Replay.default_spec with
     algo = algo.name;
@@ -605,16 +612,18 @@ let spec_of_args (algo : Harness.Algo.t) n ops seed scan_fraction max_gap
       | Some gap -> Mc.Replay.Pair { updater = 0; scanner = 1; gap });
     substrate;
     crashes = List.map (fun node -> (node, crash_steps)) crash_nodes;
+    restarts = List.map (fun node -> (node, restart_steps)) restart_nodes;
     mutation;
     monitor;
   }
 
 let explore_impl algo n ops seed scan_fraction max_gap two_op max_schedules
-    depth random crash_nodes crash_bound mutation drop dup reorder monitor out
-    =
+    depth random crash_nodes crash_bound restart_nodes restart_bound mutation
+    drop dup reorder monitor out =
   let spec =
     spec_of_args algo n ops seed scan_fraction max_gap two_op crash_nodes
-      crash_bound mutation drop dup reorder monitor
+      crash_bound restart_nodes restart_bound mutation drop dup reorder
+      monitor
   in
   match Mc.Replay.to_sys spec with
   | Error e ->
@@ -707,6 +716,19 @@ let explore_cmd =
           value & opt int 8
           & info [ "crash-bound" ] ~docv:"B"
               ~doc:"Candidate crash step indices 0..B-1 per --crash node.")
+      $ Arg.(
+          value & opt_all int []
+          & info [ "restart" ] ~docv:"NODE"
+              ~doc:
+                "Make NODE's restart point a choice (repeatable; pair with \
+                 --crash NODE — a restart only fires if the node is down, \
+                 and replays its write-ahead log before rejoining).")
+      $ Arg.(
+          value & opt int 8
+          & info [ "restart-bound" ] ~docv:"B"
+              ~doc:
+                "Candidate restart step indices per --restart node (offset \
+                 past the crash window).")
       $ Arg.(
           value
           & opt (some mutation_conv) None
@@ -940,7 +962,8 @@ let serve_check_history algo ~n (r : Rt.Service.report) =
         | Ok () -> Ok "sequentially consistent (S1-S3, scalable pass)"
         | Error e -> Error e)
 
-let serve_impl algo_name n clients secs batch scan_fraction seed crash =
+let serve_impl algo_name n clients secs batch scan_fraction seed crash
+    crash_restart wal_dir =
   let algo =
     match Rt.Service.algo_of_name algo_name with
     | Some a -> a
@@ -954,21 +977,27 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash =
   if n < 3 then (
     Format.eprintf "error: need n >= 3 for crash tolerance (n > 2f)@.";
     exit 1);
+  (* --crash-restart with no --crash means "crash one node and bring it
+     back": crash at half the run, replay + rejoin at three quarters. *)
+  let crash = if crash_restart && crash = 0 then 1 else crash in
   if crash > f then (
     Format.eprintf "error: --crash %d exceeds f=%d for n=%d@." crash f n;
     exit 1);
   let crash_nodes = List.init crash (fun i -> i) in
+  let restart_after = if crash_restart then Some (secs *. 0.75) else None in
   let report =
-    Rt.Service.run ~batch ~scan_fraction ~seed ~crash:crash_nodes ~algo ~n ~f
-      ~clients ~secs ()
+    Rt.Service.run ~batch ~scan_fraction ~seed ~crash:crash_nodes
+      ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs ()
   in
   Format.printf "backend     : rt (%d node domains, %d client threads)@." n
     clients;
   Format.printf "algorithm   : %s@." report.algorithm;
   Format.printf "duration    : %.2f s (requested %.1f)@." report.duration secs;
   Format.printf
-    "operations  : %d updates + %d scans completed, %d rejected, %d pending@."
+    "operations  : %d updates + %d scans completed, %d rejected, %d aborted, \
+     %d pending@."
     report.completed_updates report.completed_scans report.rejected
+    report.aborted
     (List.length (History.pending report.history));
   Format.printf "throughput  : %.0f ops/s@." report.ops_per_sec;
   let pp_lat label lats =
@@ -991,6 +1020,18 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash =
   | nodes ->
       Format.printf "crashed     : %s (mid-run)@."
         (String.concat ", " (List.map (Printf.sprintf "n%d") nodes)));
+  List.iter
+    (fun (r : Rt.Service.recovery) ->
+      Format.printf
+        "recovered   : n%d — %d log record(s) replayed, rejoined in %.1f ms, \
+         first op served at %.1f ms@."
+        r.rec_node r.rec_replayed
+        (r.rec_ready_after *. 1e3)
+        (r.rec_first_op *. 1e3))
+    report.recoveries;
+  (if crash_restart && report.recoveries = [] then (
+     Format.printf "history     : VIOLATION — no node completed recovery@.";
+     exit 1));
   let total_ops = List.length (History.ops report.history) in
   match serve_check_history algo ~n report with
   | Ok label -> Format.printf "history     : %s, %d ops@." label total_ops
@@ -1034,7 +1075,98 @@ let serve_cmd =
       $ Arg.(
           value & opt int 0
           & info [ "crash" ] ~docv:"K"
-              ~doc:"Crash K nodes (K <= f) halfway through the run."))
+              ~doc:"Crash K nodes (K <= f) halfway through the run.")
+      $ Arg.(
+          value & flag
+          & info [ "crash-restart" ]
+              ~doc:
+                "Crash-restart chaos: crash the --crash nodes (default 1) \
+                 halfway through, then at three quarters tear down their \
+                 domains' remains, replay each write-ahead log, rejoin via \
+                 a quorum state pull, and serve live traffic again — \
+                 recovery times are reported and the post-restart history \
+                 is checked.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "wal-dir" ] ~docv:"DIR"
+              ~doc:
+                "Directory for per-node write-ahead logs (node-N.wal); \
+                 without it nodes log to durable memory."))
+
+(* ---- recover: offline write-ahead-log replay ----------------------- *)
+
+let recover_impl file =
+  match Persist.Log.replay_file file with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+  | Ok { records; tail } ->
+      let entries =
+        List.filter_map
+          (function
+            | Persist.Record.Entry { tag; writer; value } ->
+                Some (tag, writer, value)
+            | Persist.Record.Restart -> None)
+          records
+      in
+      let epoch =
+        List.length
+          (List.filter (function Persist.Record.Restart -> true | _ -> false)
+             records)
+      in
+      Format.printf "log         : %s@." file;
+      Format.printf "records     : %d (%d mint(s), %d restart marker(s))@."
+        (List.length records) (List.length entries) epoch;
+      (* Restored state = the replayed kernel's view of this writer: the
+         latest (highest-tag) surviving mint per writer id. *)
+      let latest = Hashtbl.create 8 in
+      List.iter
+        (fun (tag, writer, value) ->
+          match Hashtbl.find_opt latest writer with
+          | Some (t, _) when t >= tag -> ()
+          | _ -> Hashtbl.replace latest writer (tag, value))
+        entries;
+      let writers =
+        List.sort Int.compare
+          (Hashtbl.fold (fun w _ acc -> w :: acc) latest [])
+      in
+      List.iter
+        (fun w ->
+          let tag, value = Hashtbl.find latest w in
+          Format.printf "restored    : writer %d -> value %d (tag %d)@." w
+            value tag)
+        writers;
+      let max_tag =
+        List.fold_left (fun acc (tag, _, _) -> max acc tag) 0 entries
+      in
+      Format.printf "max tag     : %d@." max_tag;
+      (match tail with
+      | Persist.Log.Clean -> Format.printf "tail        : clean@."
+      | Torn { valid; dropped_bytes } ->
+          Format.printf
+            "tail        : TORN — %d trailing byte(s) discarded after \
+             offset %d (longest valid prefix restored)@."
+            dropped_bytes valid);
+      if tail <> Persist.Log.Clean then exit 1
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Replay a node's write-ahead log offline: print the records that \
+          survive (the longest valid prefix), the restored per-writer \
+          state a rejoin would re-announce, the recovery epoch, and the \
+          tail verdict. Exits non-zero if the log is torn or corrupt — \
+          the prefix is still printed, exactly what a rejoin would \
+          recover.")
+    Term.(
+      const recover_impl
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"LOG"
+              ~doc:"Write-ahead log file (e.g. wal-dir/node-0.wal)."))
 
 let main_cmd =
   let doc = "fault-tolerant snapshot objects in message-passing systems" in
@@ -1050,7 +1182,8 @@ let main_cmd =
          $(b,chaos) (lossy-link adversary), $(b,fuzz) (randomized schedule \
          search), $(b,explore) (bounded model checking), $(b,replay) \
          (counterexample replay), $(b,serve) (parallel runtime backend \
-         under load). Run $(b,aso_demo COMMAND --help) for details.";
+         under load), $(b,recover) (offline write-ahead-log replay). Run \
+         $(b,aso_demo COMMAND --help) for details.";
     ]
   in
   Cmd.group
@@ -1059,6 +1192,7 @@ let main_cmd =
     [
       run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd;
       causal_cmd; chaos_cmd; fuzz_cmd; explore_cmd; replay_cmd; serve_cmd;
+      recover_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

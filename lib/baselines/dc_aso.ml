@@ -152,3 +152,4 @@ let instance t =
             ~some:(Int.equal (Timestamp.writer entry.Reg_store.ts))
             writer
       | _ -> false)
+    ()

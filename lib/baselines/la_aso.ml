@@ -275,3 +275,4 @@ let instance t =
       | Msg.Value { ts; _ } ->
           Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
       | _ -> false)
+    ()

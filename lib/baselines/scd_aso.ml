@@ -104,3 +104,4 @@ let instance t =
             ~some:(Int.equal (Timestamp.writer entry.Reg_store.ts))
             writer
       | Scd_broadcast.Wire.Forward { payload = Msg.Sync _; _ } -> false)
+    ()

@@ -258,3 +258,4 @@ let instance t =
       | Msg.Rbc (Rbc.Send { payload = Fwd { ts }; _ }) ->
           Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
       | _ -> false)
+    ()

@@ -138,7 +138,12 @@ let check_sequential ~n history =
   in
   let updates = Base.updates ctx in
   (* (S2): program-order same-node updates before a scan are in its
-     base; ones after it are not. Program order = id order. *)
+     base; ones after it are not. Program order = id order. The "must be
+     in the base" half applies only to {e acknowledged} updates: an
+     unacked update (crashed mid-op, possibly aborted by a restart) is
+     effect-optional, and a post-restart scan by the same node id may
+     legitimately miss it — read-your-writes covers writes that were
+     acknowledged to the caller. *)
   let* () =
     List.fold_left
       (fun acc (sc, b) ->
@@ -147,7 +152,10 @@ let check_sequential ~n history =
           (fun acc (u : History.op) ->
             let* () = acc in
             if u.node <> sc.History.node then Ok ()
-            else if u.id < sc.History.id && not (Base.Int_set.mem u.id b) then
+            else if
+              u.id < sc.History.id && u.resp <> None
+              && not (Base.Int_set.mem u.id b)
+            then
               Error
                 (violation "S2"
                    "node %d's update #%d precedes its scan #%d in program \

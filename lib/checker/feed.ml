@@ -24,6 +24,12 @@ let events history =
               } )
         in
         match (op.resp, op.kind) with
+        | None, _ when op.aborted <> None ->
+            (* Aborted by a restart: lower to Invoke + Abort so the
+               monitor frees the node's outstanding slot before the
+               post-restart invocations arrive. *)
+            let at = Option.get op.aborted in
+            [ invoke; (at, 0, op.id, Obs.Monitor.Abort { id = op.id; at }) ]
         | None, _ | Some _, History.Scan None -> [ invoke ]
         | Some at, History.Update _ ->
             [ invoke; (at, 0, op.id, Obs.Monitor.Respond_update { id = op.id; at }) ]

@@ -58,8 +58,30 @@ let scan t ~node =
 
 let core t = t.core
 
+let begin_recovery t ~node = LC.begin_recovery t.core (LC.node t.core node)
+
+let recover t ~node =
+  let (_ : View.t) = LC.recover t.core (LC.node t.core node) in
+  ()
+
+let is_recovering t ~node = LC.recovering (LC.node t.core node)
+
+(* Simulator restart: reset the volatile state {e before} reviving the
+   network (so no message reaches a half-reset node and the runner's
+   restart hooks already observe [recovering]), then run the blocking
+   recovery in a fresh fiber of its own. *)
+let sim_restart ~begin_recovery ~recover net i =
+  begin_recovery i;
+  Sim.Fiber.spawn (Sim.Network.engine net) (fun () -> recover i);
+  Sim.Network.restart net i
+
 let instance t =
   Wiring.instance ~name:"eq-aso" ~f:(LC.f t.core)
+    ~restart:
+      (sim_restart (LC.net t.core)
+         ~begin_recovery:(fun node -> begin_recovery t ~node)
+         ~recover:(fun node -> recover t ~node))
+    ~is_recovering:(fun node -> is_recovering t ~node)
     ~update:(fun node v -> update t ~node v)
     ~scan:(fun node -> scan t ~node)
     ~net:(LC.net t.core)
@@ -67,3 +89,4 @@ let instance t =
       | LC.Msg.Value { ts; _ } ->
           Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
       | _ -> false)
+    ()

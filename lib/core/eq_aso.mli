@@ -44,4 +44,23 @@ val scan_view : 'v t -> node:int -> View.t
 val core : 'v t -> 'v Lattice_core.t
 (** Underlying machinery (stats, network access for fault injection). *)
 
+val begin_recovery : 'v t -> node:int -> unit
+(** Synchronous restart step; see {!Lattice_core.begin_recovery}. *)
+
+val recover : 'v t -> node:int -> unit
+(** Blocking rejoin (log replay, state pull, mint fence, one renewal);
+    run in a fiber. See {!Lattice_core.recover}. *)
+
+val is_recovering : 'v t -> node:int -> bool
+
+val sim_restart :
+  begin_recovery:(int -> unit) ->
+  recover:(int -> unit) ->
+  'm Sim.Network.t ->
+  int ->
+  unit
+(** Simulator restart recipe shared with {!Sso}: reset volatile state,
+    spawn the blocking recovery in a fresh fiber, then revive the node
+    on the network (firing its restart hooks). *)
+
 val instance : 'v t -> 'v Instance.t

@@ -7,6 +7,12 @@ module Msg = struct
     | Write_ack of { req : int }
     | Echo_tag of { tag : int }
     | Good_la of { tag : int }
+    | Recover_pull of { req : int }
+    | Recover_push of {
+        req : int;
+        entries : (Timestamp.t * 'v) list;
+        max_tag : int;
+      }
 
   let kind = function
     | Value _ -> "value"
@@ -16,25 +22,54 @@ module Msg = struct
     | Write_ack _ -> "writeAck"
     | Echo_tag _ -> "echoTag"
     | Good_la _ -> "goodLA"
+    | Recover_pull _ -> "recoverPull"
+    | Recover_push _ -> "recoverPush"
 end
 
 type 'v node = {
   id : int;
-  kernel : 'v Eq_kernel.t;
+  mutable kernel : 'v Eq_kernel.t;
   mutable max_tag : int;
   (* Lattice operations run by this node, ever; operations diff it to
      measure their own rounds-per-op. *)
   mutable lattice_count : int;
   (* tag -> first borrowed view announced for that tag (line 49) *)
   borrowed : (int, View.t) Hashtbl.t;
-  reads : Collector.t;
-  writes : Collector.t;
-  changed : Backend.condition;
+  mutable reads : Collector.t;
+  mutable writes : Collector.t;
+  (* Recover_pull ack collection; lives beside reads/writes so a rejoin
+     is just one more quorum phase. *)
+  mutable pulls : Collector.t;
+  (* The node's lifetime condition. [changed] wraps it with the current
+     incarnation's generation guard; protocol code only ever sees the
+     wrapper. *)
+  changed_raw : Backend.condition;
+  mutable changed : Backend.condition;
+  (* Incarnation counter. A fiber suspended inside a pre-crash operation
+     may be woken by a queued signal after the restart with a predicate
+     the rebuilt state happens to satisfy; the generation guard in
+     [changed] makes every stale predicate false forever, so zombie
+     fibers park instead of completing a dead operation. *)
+  generation : int ref;
+  mutable recovering : bool;
+  (* Write-ahead lattice log; [None] = volatile node (no restart). *)
+  mutable store : 'v Persist.Store.t option;
   mutable busy : bool;
   (* Observer for good-lattice-operation views as they become known
      locally (via "goodLA"); the SSO's fast-scan path feeds on this. *)
   mutable good_view_hook : (View.t -> unit) option;
 }
+
+(* Generation-guarded face of [changed_raw] for incarnation [g]: awaits
+   registered by a dead incarnation can never see a true predicate
+   again. Signals are generation-oblivious — they wake every waiter,
+   current and stale; the stale ones re-suspend. *)
+let guarded_condition ~raw ~gen g =
+  {
+    Backend.await =
+      (fun pred -> raw.Backend.await (fun () -> !gen = g && pred ()));
+    signal = raw.Backend.signal;
+  }
 
 type stats = {
   mutable lattice_ops : int;
@@ -118,7 +153,33 @@ let handle t nd ~src msg =
       in
       if not (Hashtbl.mem nd.borrowed tag) then
         Hashtbl.replace nd.borrowed tag borrowed_view;
-      Option.iter (fun hook -> hook borrowed_view) nd.good_view_hook);
+      Option.iter (fun hook -> hook borrowed_view) nd.good_view_hook
+  | Msg.Recover_pull { req } ->
+      (* State transfer for a rejoining peer: everything this node has
+         seen, plus its tag watermark. The payload rides the ordinary
+         channel, so FIFO guarantees it reflects every pre-crash
+         broadcast of the puller this node already delivered. *)
+      let entries =
+        View.fold
+          (fun ts acc -> (ts, Eq_kernel.value_of nd.kernel ts) :: acc)
+          (Eq_kernel.my_view nd.kernel) []
+      in
+      t.b.Backend.send ~src:nd.id ~dst:src
+        (Msg.Recover_push { req; entries; max_tag = nd.max_tag })
+  | Msg.Recover_push { req; entries; max_tag } ->
+      (* Feed the transferred entries through the kernel as if the
+         pushing peer had announced them: rebuilds V.(src) (so EQ can
+         hold again) and re-forwards anything genuinely fresh. Entries
+         minted by this node's previous incarnation raise the mint
+         watermark — the log may have lost their suffix. *)
+      List.iter
+        (fun (ts, value) ->
+          Eq_kernel.receive nd.kernel ~src ts value;
+          if Timestamp.writer ts = nd.id then
+            nd.max_tag <- max nd.max_tag (Timestamp.tag ts))
+        entries;
+      if max_tag > nd.max_tag then nd.max_tag <- max_tag;
+      Collector.record nd.pulls ~req ~sender:src ~payload:max_tag);
   nd.changed.Backend.signal ()
 
 let create_on (b : 'v Msg.t Backend.net) ~f =
@@ -126,10 +187,12 @@ let create_on (b : 'v Msg.t Backend.net) ~f =
   Quorum.check_crash ~n ~f;
   b.Backend.set_msg_label Msg.kind;
   let make_node id =
-    let changed = b.Backend.new_condition ~node:id in
+    let changed_raw = b.Backend.new_condition ~node:id in
     let forward ts value =
       b.Backend.broadcast ~src:id (Msg.Value { ts; value })
     in
+    let gen = ref 0 in
+    let changed = guarded_condition ~raw:changed_raw ~gen 0 in
     {
       id;
       kernel = Eq_kernel.create ~n ~me:id ~forward ~changed;
@@ -138,7 +201,12 @@ let create_on (b : 'v Msg.t Backend.net) ~f =
       borrowed = Hashtbl.create 16;
       reads = Collector.create ();
       writes = Collector.create ();
+      pulls = Collector.create ();
+      changed_raw;
       changed;
+      generation = gen;
+      recovering = false;
+      store = None;
       busy = false;
       good_view_hook = None;
     }
@@ -172,6 +240,13 @@ let create engine ~n ~f ~delay =
   let net = Sim.Network.create engine ~n ~delay in
   let t = create_on (Backend_sim.net net) ~f in
   t.sim <- Some net;
+  (* Simulator deployments are restart-capable out of the box: the
+     in-memory durable store lives outside the node, so it survives a
+     [crash]. Tests that model torn tails replace it ([set_store]) with
+     a store they hold the [lose_suffix] handle to. *)
+  Array.iter
+    (fun nd -> nd.store <- Some (Persist.Store.mem_store (Persist.Store.mem ())))
+    t.nodes;
   t
 
 let n t = t.n
@@ -226,7 +301,18 @@ let write_tag t nd tag =
 
 let fresh_timestamp _t nd r = Timestamp.make ~tag:(r + 1) ~writer:nd.id
 
+(* Write-ahead discipline: the mint is durable before any other node can
+   see it. A crash between append and broadcast loses only a value
+   nobody observed; a crash after the broadcast leaves a logged mint the
+   rejoin replays — there is no window where the system remembers a
+   value its writer's log does not. *)
 let broadcast_value t nd ts value =
+  (match nd.store with
+  | Some s ->
+      Persist.Store.append s
+        (Persist.Record.Entry
+           { tag = Timestamp.tag ts; writer = Timestamp.writer ts; value })
+  | None -> ());
   Eq_kernel.local_insert nd.kernel ts value;
   t.b.Backend.broadcast ~src:nd.id (Msg.Value { ts; value })
 
@@ -280,6 +366,101 @@ let extract t nd view =
   View.extract view ~n:t.n ~value_of:(Eq_kernel.value_of nd.kernel)
 
 let set_good_view_hook nd hook = nd.good_view_hook <- Some hook
+
+(* ---- crash recovery -------------------------------------------------- *)
+
+let set_store nd s = nd.store <- Some s
+let store nd = nd.store
+let recovering nd = nd.recovering
+
+(* Collector request ids must be disjoint across incarnations: a
+   pre-crash ack arriving late must not count toward a post-restart
+   phase. The epoch (number of Restart records in the log, including the
+   one just appended) is durable, so even a restart-of-a-restart gets a
+   fresh range. *)
+let epoch_stride = 1_000_000
+
+let begin_recovery t nd =
+  let s =
+    match nd.store with
+    | Some s -> s
+    | None ->
+        invalid_arg
+          "Lattice_core.begin_recovery: node has no durable store \
+           (set_store) to recover from"
+  in
+  Persist.Store.append s Persist.Record.Restart;
+  let epoch =
+    List.fold_left
+      (fun k r -> match r with Persist.Record.Restart -> k + 1 | _ -> k)
+      0 (Persist.Store.read s)
+  in
+  incr nd.generation;
+  let g = !(nd.generation) in
+  nd.changed <- guarded_condition ~raw:nd.changed_raw ~gen:nd.generation g;
+  let forward ts value =
+    t.b.Backend.broadcast ~src:nd.id (Msg.Value { ts; value })
+  in
+  nd.kernel <- Eq_kernel.create ~n:t.n ~me:nd.id ~forward ~changed:nd.changed;
+  nd.max_tag <- 0;
+  Hashtbl.reset nd.borrowed;
+  let first = epoch * epoch_stride in
+  nd.reads <- Collector.create ~first ();
+  nd.writes <- Collector.create ~first ();
+  nd.pulls <- Collector.create ~first ();
+  nd.busy <- false;
+  nd.recovering <- true
+
+let recover t nd =
+  if not nd.recovering then
+    invalid_arg "Lattice_core.recover: call begin_recovery first";
+  span t nd ~cat:"op" "recover" @@ fun () ->
+  begin_op nd;
+  Fun.protect
+    ~finally:(fun () ->
+      nd.recovering <- false;
+      end_op nd)
+  @@ fun () ->
+  (* 1. Replay the durable log: re-insert every surviving mint and
+     re-announce it (idempotent at every receiver — duplicates are
+     neither re-stored nor re-forwarded). This is NOT broadcast_value:
+     replay must not append to the log it is reading. *)
+  let records =
+    match nd.store with Some s -> Persist.Store.read s | None -> []
+  in
+  let watermark = ref 0 in
+  span t nd "replayLog" (fun () ->
+      List.iter
+        (function
+          | Persist.Record.Entry { tag; writer; value } ->
+              let ts = Timestamp.make ~tag ~writer in
+              if writer = nd.id then watermark := max !watermark tag;
+              Eq_kernel.local_insert nd.kernel ts value;
+              t.b.Backend.broadcast ~src:nd.id (Msg.Value { ts; value })
+          | Persist.Record.Restart -> ())
+        records);
+  (* 2. Quorum state pull: catch up on everything minted while this node
+     was down (and recover any own mint the log's lost suffix dropped —
+     FIFO channels mean a peer's push reflects every pre-crash broadcast
+     of ours it delivered). The pushes also rebuild enough per-peer view
+     state for EQ to hold again. *)
+  span t nd "statePull" (fun () ->
+      let req = Collector.fresh nd.pulls in
+      t.b.Backend.broadcast ~src:nd.id (Msg.Recover_pull { req });
+      nd.changed.Backend.await (fun () ->
+          Collector.count nd.pulls ~req >= quorum t);
+      Collector.forget nd.pulls ~req);
+  (* 3. Mint fence: writeTag at the watermark plants it at a quorum, so
+     every future readTag (quorum intersection) returns at least it and
+     every future mint by this node is strictly larger than anything its
+     previous incarnation can have minted — restart never re-issues a
+     timestamp. *)
+  let fence = max nd.max_tag !watermark in
+  write_tag t nd fence;
+  (* 4. One renewal at a fresh tag: returns a full good-lattice view, so
+     the first post-restart SCAN starts from consistent ground. *)
+  let r = read_tag t nd in
+  lattice_renewal t nd (r + 1)
 
 let set_borrowing t enabled = t.borrowing <- enabled
 

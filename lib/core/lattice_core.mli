@@ -26,6 +26,15 @@ module Msg : sig
     | Write_ack of { req : int }
     | Echo_tag of { tag : int }
     | Good_la of { tag : int }
+    | Recover_pull of { req : int }
+        (** rejoin state-transfer request from a restarted node *)
+    | Recover_push of {
+        req : int;
+        entries : (Timestamp.t * 'v) list;
+        max_tag : int;
+      }
+        (** full-state reply: every (timestamp, value) the sender has
+            seen, plus its tag watermark *)
 
   val kind : 'v t -> string
   (** Wire-protocol message name as in the paper's pseudocode, for
@@ -143,6 +152,43 @@ val set_good_view_hook : 'v node -> (View.t -> unit) -> unit
 (** Observe every good-lattice-operation view the node learns of through
     ["goodLA"] messages (all such views are mutually comparable —
     Lemma 2). At most one hook per node; used by {!Sso}. *)
+
+(** {2 Crash recovery}
+
+    A node with a durable store writes every mint to a write-ahead log
+    ({!broadcast_value} appends {e before} broadcasting) and can come
+    back from a crash under the same id: {!begin_recovery} resets the
+    volatile state, then {!recover} — run as an ordinary blocking
+    operation — replays the log, pulls a quorum's state, fences the mint
+    watermark and runs one renewal, after which the node serves again.
+    Restart is {e not} resurrection: operations pending at the crash are
+    gone for good (the harness reports them aborted), and the mint fence
+    guarantees the new incarnation never re-issues a timestamp. *)
+
+val set_store : 'v node -> 'v Persist.Store.t -> unit
+(** Attach the node's durable store. Without one the node is volatile
+    and {!begin_recovery} raises [Invalid_argument]. *)
+
+val store : 'v node -> 'v Persist.Store.t option
+
+val recovering : _ node -> bool
+(** True between {!begin_recovery} and the completion of {!recover};
+    the node must not be offered operations while it holds. *)
+
+val begin_recovery : 'v t -> 'v node -> unit
+(** Synchronous part of a restart: append a [Restart] record (making
+    the new epoch durable), bump the incarnation (parking every fiber of
+    the old one forever via the generation guard), and reset kernel,
+    collectors, tag watermark and borrowed views. Runs in the restart
+    event itself, before any message reaches the revived node.
+    @raise Invalid_argument without a store. *)
+
+val recover : 'v t -> 'v node -> View.t
+(** Blocking part of a restart (run it in a fresh fiber / the node's
+    own execution context): log replay with re-announcement, quorum
+    state pull, mint-fence [writeTag], one {!lattice_renewal}. Returns
+    the renewal's view (the SSO seeds its fast-scan cache from it) and
+    clears {!recovering} — also on exception. *)
 
 val set_mutation : 'v t -> mutation option -> unit
 (** Install (or clear) a seeded bug. A test-only knob: the

@@ -89,3 +89,4 @@ let instance t =
       | Msg.Value { ts; _ } ->
           Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
       | Msg.Value_ack _ -> false)
+    ()

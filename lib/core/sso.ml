@@ -65,8 +65,27 @@ let scan t ~node =
 
 let core t = t.core
 
+let begin_recovery t ~node =
+  LC.begin_recovery t.core (LC.node t.core node);
+  (* The cached fast-scan view belongs to the dead incarnation; recovery
+     re-seeds it from the rejoin renewal (good-view hooks firing during
+     recovery union into the cleared slot, preserving monotonicity from
+     empty). *)
+  t.local_views.(node) <- View.empty
+
+let recover t ~node =
+  let view = LC.recover t.core (LC.node t.core node) in
+  t.local_views.(node) <- View.union t.local_views.(node) view
+
+let is_recovering t ~node = LC.recovering (LC.node t.core node)
+
 let instance t =
   Wiring.instance ~name:"sso-fast-scan" ~f:(LC.f t.core)
+    ~restart:
+      (Eq_aso.sim_restart (LC.net t.core)
+         ~begin_recovery:(fun node -> begin_recovery t ~node)
+         ~recover:(fun node -> recover t ~node))
+    ~is_recovering:(fun node -> is_recovering t ~node)
     ~update:(fun node v -> update t ~node v)
     ~scan:(fun node -> scan t ~node)
     ~net:(LC.net t.core)
@@ -74,3 +93,4 @@ let instance t =
       | LC.Msg.Value { ts; _ } ->
           Option.fold ~none:true ~some:(Int.equal (Timestamp.writer ts)) writer
       | _ -> false)
+    ()

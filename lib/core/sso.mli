@@ -43,4 +43,16 @@ val scan_view : 'v t -> node:int -> View.t
 (** The raw local view a scan would extract. *)
 
 val core : 'v t -> 'v Lattice_core.t
+
+val begin_recovery : 'v t -> node:int -> unit
+(** Synchronous restart step: {!Lattice_core.begin_recovery} plus
+    clearing the node's fast-scan view (it belonged to the dead
+    incarnation; recovery re-seeds it). *)
+
+val recover : 'v t -> node:int -> unit
+(** Blocking rejoin; the renewal's view re-seeds the fast-scan cache,
+    so the first post-restart SCAN is already consistent. *)
+
+val is_recovering : 'v t -> node:int -> bool
+
 val instance : 'v t -> 'v Instance.t

@@ -13,7 +13,13 @@ let net_stats net () =
     reordered = s.reordered;
   }
 
-let instance ~name ~f ~update ~scan ~net ~value_match =
+let no_persistence _ =
+  invalid_arg
+    "Instance.restart: this algorithm has no persistence layer (only the \
+     EQ-ASO and SSO deployments write a lattice log to recover from)"
+
+let instance ?(restart = no_persistence) ?(is_recovering = fun _ -> false)
+    ~name ~f ~update ~scan ~net ~value_match () =
   {
     Instance.name;
     n = Sim.Network.size net;
@@ -30,6 +36,9 @@ let instance ~name ~f ~update ~scan ~net ~value_match =
           ~match_:(value_match ~writer) ~deliver_to);
     is_crashed = (fun i -> Sim.Network.is_crashed net i);
     on_crash = (fun cb -> Sim.Network.on_crash net cb);
+    restart;
+    is_recovering;
+    on_restart = (fun cb -> Sim.Network.on_restart net cb);
     messages = (fun () -> Sim.Network.messages_sent net);
     partition = (fun groups -> Sim.Network.partition net groups);
     heal = (fun () -> Sim.Network.heal net);

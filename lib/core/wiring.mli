@@ -1,13 +1,18 @@
 (** Glue for exposing an algorithm deployment as a {!Proto.Instance.t}. *)
 
 val instance :
+  ?restart:(int -> unit) ->
+  ?is_recovering:(int -> bool) ->
   name:string ->
   f:int ->
   update:(int -> 'v -> unit) ->
   scan:(int -> 'v option array) ->
   net:'m Sim.Network.t ->
   value_match:(writer:int option -> 'm -> bool) ->
+  unit ->
   'v Instance.t
 (** [value_match] recognises the protocol's value-carrying broadcast
     messages — optionally only those carrying a value originated by
-    [writer] — backing {!Instance.t.crash_on_next_value}. *)
+    [writer] — backing {!Instance.t.crash_on_next_value}. [restart]
+    defaults to raising [Invalid_argument] (no persistence layer);
+    [is_recovering] defaults to constantly [false]. *)

@@ -3,6 +3,7 @@ type chain = { updater : int; relays : int list; final : int }
 type t =
   | No_faults
   | Crash_at of (float * int) list
+  | Crash_restart_at of (float * int * float) list
   | Crash_k_random of { k : int; window : float }
   | Chains of chain list
   | Lossy of { drop : float; dup : float; reorder : float }
@@ -30,6 +31,21 @@ let rec apply t ~rng ~engine instance =
           Sim.Engine.schedule ~label:(Sim.Label.Crash node) engine ~delay:time
             (fun () -> instance.Instance.crash node))
         crashes
+  | Crash_restart_at specs ->
+      List.iter
+        (fun (crash_time, node, restart_time) ->
+          if restart_time <= crash_time then
+            invalid_arg "Adversary: restart not after the crash";
+          Sim.Engine.schedule ~label:(Sim.Label.Crash node) engine
+            ~delay:crash_time (fun () -> instance.Instance.crash node);
+          Sim.Engine.schedule ~label:(Sim.Label.Restart node) engine
+            ~delay:restart_time (fun () ->
+              (* The node may have burnt a different fault in between
+                 (e.g. a composed chain crash) — restart only what is
+                 actually down. *)
+              if instance.Instance.is_crashed node then
+                instance.Instance.restart node))
+        specs
   | Crash_k_random { k; window } ->
       let n = instance.Instance.n in
       if k > n then invalid_arg "Adversary: k > n";
@@ -103,6 +119,8 @@ let chains_for_budget ?(min_len = 1) ~n ~k ~scanner () =
 let rec faulty_nodes = function
   | No_faults -> []
   | Crash_at crashes -> List.sort_uniq Int.compare (List.map snd crashes)
+  | Crash_restart_at specs ->
+      List.sort_uniq Int.compare (List.map (fun (_, node, _) -> node) specs)
   | Crash_k_random _ -> []
   | Chains chains ->
       List.sort_uniq Int.compare

@@ -23,6 +23,12 @@ type t =
   | No_faults
   | Crash_at of (float * int) list
       (** crash node at absolute virtual time *)
+  | Crash_restart_at of (float * int * float) list
+      (** [(crash_time, node, restart_time)]: crash the node, then
+          revive it ([Instance.restart] — log replay + rejoin) at the
+          later time. Requires a restart-capable instance (EQ-ASO / SSO
+          with persistence) on the {!Sim.Network.Ideal} substrate;
+          raises [Invalid_argument] if [restart_time <= crash_time]. *)
   | Crash_k_random of { k : int; window : float }
       (** [k] distinct random nodes at random times in [\[0, window)] *)
   | Chains of chain list

@@ -58,7 +58,12 @@ let client_fiber engine (instance : int Instance.t) history next_value
     | { Workload.gap; op } :: rest ->
         if gap > 0. then
           Sim.Fiber.sleep ~label:(Sim.Label.Timer node) engine gap;
-        if not (instance.is_crashed node) then begin
+        (* A fiber that slept through a crash-restart cycle must not
+           resume the old schedule: its node is mid-recovery (or serving
+           the post-restart fiber's traffic). Stop walking — post-restart
+           operations are the restart hook's job. *)
+        if not (instance.is_crashed node) && not (instance.is_recovering node)
+        then begin
           (match op with
           | Workload.Update ->
               let value = !next_value in
@@ -105,6 +110,23 @@ let client_fiber engine (instance : int Instance.t) history next_value
   in
   walk steps
 
+(* Post-restart traffic: wait out the node's recovery (poll — its length
+   is protocol- and schedule-dependent), then drive fresh operations
+   through the ordinary client machinery so they are recorded, monitored
+   and liveness-checked exactly like pre-crash ones. *)
+let post_restart_fiber engine instance history next_value feeder node ops () =
+  let rec wait () =
+    if instance.Instance.is_recovering node then begin
+      Sim.Fiber.sleep ~label:(Sim.Label.Timer node) engine 1.0;
+      wait ()
+    end
+  in
+  wait ();
+  if not (instance.Instance.is_crashed node) then
+    client_fiber engine instance history next_value feeder node
+      (List.map (fun op -> { Workload.gap = 1.0; op }) ops)
+      ()
+
 (* The watchdog's post-mortem: the pending operations, the per-node
    transport/link state, and the tail of the structured trace —
    everything needed to see {e where} a hung operation is waiting. *)
@@ -131,7 +153,9 @@ let diagnose (instance : int Instance.t) history ~tail ~now ~budget =
       end)
 
 let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
-    ?causal ?monitor ?configure ~make config ~workload ~adversary =
+    ?causal ?monitor ?configure
+    ?(restart_ops = [ Workload.Update; Workload.Scan ]) ~make config ~workload
+    ~adversary =
   let engine = Sim.Engine.create ~seed:config.seed () in
   (* One trace serves both consumers: a caller-supplied unbounded trace
      for export, or the watchdog's bounded ring for the [Stuck] tail.
@@ -221,6 +245,26 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
       instance.on_crash (fun node ->
           feeder.feed
             (Obs.Monitor.Crash { node; at = Sim.Engine.now engine })));
+  (* Restart bookkeeping is unconditional (not monitor-only): the final
+     liveness check must know the node's pre-crash pending op was
+     aborted, or it would wait forever for an operation restart
+     deliberately killed. The hook runs inside the restart event, after
+     the instance reset [is_recovering] to true and before any delivery
+     reaches the revived node. *)
+  instance.on_restart (fun node ->
+      let now = Sim.Engine.now engine in
+      List.iter
+        (fun (op : History.op) ->
+          if op.node = node then begin
+            History.abort history ~now op;
+            feeder.feed (Obs.Monitor.Abort { id = op.id; at = now })
+          end)
+        (History.pending history);
+      feeder.feed (Obs.Monitor.Restart { node; at = now });
+      if restart_ops <> [] then
+        Sim.Fiber.spawn engine
+          (post_restart_fiber engine instance history next_value feeder node
+             restart_ops));
   let adversary_rng =
     Sim.Rng.create (Option.value workload_seed ~default:config.seed)
   in

@@ -79,6 +79,7 @@ val run :
   ?causal:Obs.Vclock.recorder ->
   ?monitor:Obs.Monitor.t ->
   ?configure:(Sim.Engine.t -> int Instance.t -> unit) ->
+  ?restart_ops:Workload.op list ->
   make:maker ->
   config ->
   workload:Workload.t ->
@@ -114,7 +115,16 @@ val run :
     [configure] runs after the deployment is built but before any event
     executes — the model checker's entry point for installing a
     controllable scheduler ({!Sim.Engine.set_chooser}) and step-indexed
-    crash injections ({!Sim.Engine.add_on_step}) on the run. *)
+    crash injections ({!Sim.Engine.add_on_step}) on the run.
+
+    Whenever a node {e restarts} (crash-restart adversary or
+    model-checker restart injection), the runner aborts the node's
+    pre-crash pending operation in the history (restart is not
+    resurrection), streams [Abort]/[Restart] to the monitor, and — once
+    the node's recovery completes — drives [restart_ops] (default one
+    UPDATE then one SCAN) at it through the ordinary client machinery,
+    so post-restart behaviour is recorded and checked like any other
+    traffic. Pass [~restart_ops:[]] to disable post-restart traffic. *)
 
 val update_latencies : outcome -> float list
 (** Completed UPDATE durations divided by [D], invocation order. *)

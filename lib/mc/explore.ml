@@ -15,6 +15,7 @@ type sys = {
   adversary : Harness.Adversary.t;
   substrate : Sim.Network.substrate;
   crashes : (int * int array) list;
+  restarts : (int * int array) list;
   max_link_faults : int;
   check : Harness.Runner.outcome -> (unit, string) result;
   watchdog : Harness.Runner.watchdog option;
@@ -97,7 +98,19 @@ let exec ?trace sys ~forced ~sample =
               if step = s && not (instance.is_crashed node) then
                 instance.crash node)
         end)
-      sys.crashes
+      sys.crashes;
+    List.iter
+      (fun (node, steps) ->
+        let k = decide (Sim.Label.Restart_step { node; steps }) in
+        let s = steps.(k) in
+        (* A restart only fires on a node that is actually down at that
+           step; arming one needs no budget — reviving a node can only
+           return capacity to the system. *)
+        if s >= 0 then
+          Sim.Engine.add_on_step engine (fun step ->
+              if step = s && instance.is_crashed node then
+                instance.restart node))
+      sys.restarts
   in
   let monitor =
     if sys.monitor then Some (Obs.Monitor.create ~n:sys.config.n ())
@@ -144,7 +157,9 @@ let explorable choice j =
         i < j && ((not (Sim.Label.commute labels.(i) lj)) || conflicts (i + 1))
       in
       conflicts 0
-  | Sim.Label.Link_fault _ | Sim.Label.Crash_step _ -> true
+  | Sim.Label.Link_fault _ | Sim.Label.Crash_step _ | Sim.Label.Restart_step _
+    ->
+      true
 
 let first_n n l = List.filteri (fun i _ -> i < n) l
 
@@ -258,7 +273,8 @@ let level_of_consistency = function
    also work but costs simulated time on every hung schedule.) *)
 let default_watchdog = { Harness.Runner.budget = 150.; trace = 16 }
 
-let sys_of_algo ?(crashes = []) ?(substrate = Sim.Network.Ideal)
+let sys_of_algo ?(crashes = []) ?(restarts = [])
+    ?(substrate = Sim.Network.Ideal)
     ?(adversary = Harness.Adversary.No_faults)
     ?(watchdog = Some default_watchdog) ?mutation ?(monitor = false) ~config
     ~workload (algo : Harness.Algo.t) =
@@ -273,6 +289,7 @@ let sys_of_algo ?(crashes = []) ?(substrate = Sim.Network.Ideal)
     adversary;
     substrate;
     crashes;
+    restarts;
     (* Paired with the 150 D watchdog: more simultaneous drops could
        inflate retransmission timers past any fixed budget and turn
        "slow" into a spurious "stuck". *)

@@ -34,6 +34,13 @@ type sys = {
           {!Sim.Label.Crash_step} choice point. At most [config.f]
           crashes are armed per schedule — beyond the resilience bound
           every liveness report would be a false positive. *)
+  restarts : (int * int array) list;
+      (** Per node, candidate engine-step indices at which to restart it
+          (log replay + rejoin), if it is down at that step; [-1] means
+          "never". Each entry becomes one leading
+          {!Sim.Label.Restart_step} choice point, consumed after the
+          crash points. Restarts need no fault budget — reviving a node
+          only returns capacity. *)
   max_link_faults : int;
       (** Budget for {e sampled} (random-walk) non-default link-fault
           answers per schedule. Liveness holds only under fair links;
@@ -99,6 +106,7 @@ val default_watchdog : Harness.Runner.watchdog
 
 val sys_of_algo :
   ?crashes:(int * int array) list ->
+  ?restarts:(int * int array) list ->
   ?substrate:Sim.Network.substrate ->
   ?adversary:Harness.Adversary.t ->
   ?watchdog:Harness.Runner.watchdog option ->

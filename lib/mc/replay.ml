@@ -23,6 +23,7 @@ type spec = {
   workload : workload_spec;
   substrate : substrate_spec;
   crashes : (int * int array) list;
+  restarts : (int * int array) list;
   mutation : Mutants.t option;
   monitor : bool;
   choices : int list;
@@ -41,6 +42,7 @@ let default_spec =
     workload = Random;
     substrate = Ideal;
     crashes = [];
+    restarts = [];
     mutation = None;
     monitor = false;
     choices = [];
@@ -96,6 +98,10 @@ let save file spec =
     (fun (node, steps) ->
       line "crash %d %s" node (ints_str (Array.to_list steps)))
     spec.crashes;
+  List.iter
+    (fun (node, steps) ->
+      line "restart %d %s" node (ints_str (Array.to_list steps)))
+    spec.restarts;
   line "choices %s" (ints_str spec.choices);
   if spec.note <> "" then line "note %s" spec.note;
   let oc = open_out file in
@@ -213,6 +219,17 @@ let parse_line spec line =
                     @ [ (int_of_string node, Array.of_list (parse_ints steps)) ];
                 }
           | _ -> Error (Printf.sprintf "bad crash line: %S" line))
+      | "restart" -> (
+          match String.split_on_char ' ' rest with
+          | [ node; steps ] ->
+              Ok
+                {
+                  spec with
+                  restarts =
+                    spec.restarts
+                    @ [ (int_of_string node, Array.of_list (parse_ints steps)) ];
+                }
+          | _ -> Error (Printf.sprintf "bad restart line: %S" line))
       | "monitor" -> (
           match String.trim rest with
           | "on" -> Ok { spec with monitor = true }
@@ -280,7 +297,8 @@ let to_sys spec =
               Harness.Adversary.No_faults )
       in
       Ok
-        (Explore.sys_of_algo ~crashes:spec.crashes ~substrate ~adversary
+        (Explore.sys_of_algo ~crashes:spec.crashes ~restarts:spec.restarts
+           ~substrate ~adversary
            ?mutation:spec.mutation ~monitor:spec.monitor ~config ~workload
            algo)
 

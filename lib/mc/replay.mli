@@ -43,6 +43,9 @@ type spec = {
   substrate : substrate_spec;
   crashes : (int * int array) list;
       (** crash choice points, as in {!Explore.sys.crashes} *)
+  restarts : (int * int array) list;
+      (** restart choice points ([restart NODE s1,s2,...] lines), as in
+          {!Explore.sys.restarts}; a negative step means "never" *)
   mutation : Mutants.t option;
   monitor : bool;
       (** re-run with the online monitor attached ([monitor on] line);

@@ -7,6 +7,8 @@ type event =
   | Respond_update of { id : int; at : float }
   | Respond_scan of { id : int; at : float; snap : int option array }
   | Crash of { node : int; at : float }
+  | Abort of { id : int; at : float }
+  | Restart of { node : int; at : float }
   | Rounds of { id : int; rounds : float }
 
 type violation = {
@@ -24,6 +26,7 @@ type op_state = {
   o_op : op;
   o_inv : float;
   mutable o_resp : float option;
+  mutable o_aborted : bool;
 }
 
 (* One link of the A1 inclusion chain: a base that some responded scan
@@ -130,7 +133,8 @@ let on_invoke t ~id ~node ~at ~op =
         node id prev
   | None -> ());
   Hashtbl.replace t.ops id
-    { o_id = id; o_node = node; o_op = op; o_inv = at; o_resp = None };
+    { o_id = id; o_node = node; o_op = op; o_inv = at; o_resp = None;
+      o_aborted = false };
   t.outstanding.(node) <- Some id;
   match op with
   | Scan -> ()
@@ -154,6 +158,11 @@ let on_respond t ~id ~at ~kind =
       fail t ~condition:"wf" ~op:id ~node:o.o_node ~at "op %d responded twice"
         id
   | None -> ());
+  if o.o_aborted then
+    fail t ~condition:"wf" ~op:id ~node:o.o_node ~at
+      "op %d responded after being aborted (restart resurrected an \
+       operation)"
+      id;
   (match (o.o_op, kind) with
   | Update _, `Update | Scan, `Scan -> ()
   | _ ->
@@ -304,6 +313,29 @@ let process t ev =
         t.crashed.(node) <- true;
         t.k <- t.k + 1
       end
+  | Abort { id; at } ->
+      check_time t ~op:id ~node:(-1) at;
+      let o = lookup t ~at id in
+      (match o.o_resp with
+      | Some _ ->
+          fail t ~condition:"wf" ~op:id ~node:o.o_node ~at
+            "completed op %d aborted" id
+      | None -> ());
+      o.o_aborted <- true;
+      if t.outstanding.(o.o_node) = Some id then
+        t.outstanding.(o.o_node) <- None
+  | Restart { node; at } ->
+      check_time t ~op:(-1) ~node at;
+      if node < 0 || node >= t.n then
+        fail t ~condition:"wf" ~op:(-1) ~node ~at
+          "restart of node %d out of range" node;
+      if not t.crashed.(node) then
+        fail t ~condition:"wf" ~op:(-1) ~node ~at "restart of live node %d"
+          node;
+      (* [k] keeps counting cumulative crashes: the round budget is a
+         function of failures that occurred, not of nodes currently
+         down. *)
+      t.crashed.(node) <- false
   | Rounds { id; rounds } ->
       let o = lookup t ~at:t.last_at id in
       (match o.o_op with

@@ -51,6 +51,15 @@ type event =
   | Respond_update of { id : int; at : float }
   | Respond_scan of { id : int; at : float; snap : int option array }
   | Crash of { node : int; at : float }
+  | Abort of { id : int; at : float }
+      (** operation [id] will never respond: its node restarted while it
+          was pending. Clears the node's outstanding slot; a later
+          response for it is a ["wf"] violation (restart must not
+          resurrect operations). *)
+  | Restart of { node : int; at : float }
+      (** a crashed node rejoined; it may invoke again. Restarting a
+          live node is a ["wf"] violation. The crash count [k] (and with
+          it the round budget) keeps counting cumulative failures. *)
   | Rounds of { id : int; rounds : float }
       (** lattice-operation count sampled for completed update [id]
           (from the [aso.rounds_per_update] histogram); feed after the

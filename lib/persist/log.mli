@@ -1,0 +1,41 @@
+(** The write-ahead log format: versioned magic header, then one framed
+    record per line — [LEN CHECKSUM PAYLOAD\n], length-prefixed and
+    FNV-1a-checksummed so a torn final write is detected on replay and
+    exactly the longest valid prefix of records is recovered. *)
+
+val magic : string
+(** First line of every log file ("aso-wal 1"). *)
+
+val frame : int Record.t -> string
+(** The exact bytes one [append] writes for this record. *)
+
+val checksum : string -> int
+(** FNV-1a (32-bit) over a payload, as embedded in frames. *)
+
+type tail =
+  | Clean  (** every byte of the file parsed as a frame *)
+  | Torn of { valid : int; dropped_bytes : int }
+      (** parsing stopped at byte offset [valid]; the remaining
+          [dropped_bytes] bytes (a truncated or corrupted final frame,
+          or garbage behind one) were discarded *)
+
+type replayed = { records : int Record.t list; tail : tail }
+
+val replay_string : string -> (replayed, string) result
+(** Replay log contents: [Error] if the magic header is missing (the
+    bytes are not a log at all), otherwise the longest valid prefix of
+    records plus the tail verdict. *)
+
+val replay_file : string -> (replayed, string) result
+
+type writer
+
+val create_writer : string -> writer
+(** Open (or create, stamping the header) a log file for appending. *)
+
+val append : writer -> int Record.t -> unit
+(** Failure-atomic append: one write of a complete frame, then flush. *)
+
+val writer_path : writer -> string
+
+val close_writer : writer -> unit

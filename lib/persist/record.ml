@@ -1,0 +1,12 @@
+type 'v t =
+  | Entry of { tag : int; writer : int; value : 'v }
+  | Restart
+
+let map f = function
+  | Entry { tag; writer; value } -> Entry { tag; writer; value = f value }
+  | Restart -> Restart
+
+let pp pp_v ppf = function
+  | Entry { tag; writer; value } ->
+      Format.fprintf ppf "entry ts=(%d,%d) value=%a" tag writer pp_v value
+  | Restart -> Format.fprintf ppf "restart"

@@ -1,0 +1,16 @@
+(** One write-ahead-log record of lattice state.
+
+    [Entry] is a value the node minted: its timestamp (tag, writer) and
+    the value itself, appended {e before} the mint is broadcast — the
+    write-ahead discipline that makes the log an upper bound on what the
+    rest of the system may have seen from this node. [Restart] marks the
+    start of an incarnation; counting them yields the recovery epoch. *)
+
+type 'v t =
+  | Entry of { tag : int; writer : int; value : 'v }
+  | Restart
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val pp :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit

@@ -1,0 +1,58 @@
+type 'v t = {
+  append : 'v Record.t -> unit;
+  read : unit -> 'v Record.t list;
+  size : unit -> int;
+  label : string;
+}
+
+let append t r = t.append r
+let read t = t.read ()
+let size t = t.size ()
+let label t = t.label
+
+(* ---- simulator store ------------------------------------------------- *)
+
+type 'v mem = { store : 'v t; mutable log : 'v Record.t list (* newest first *) }
+
+let mem () =
+  let rec m =
+    {
+      store =
+        {
+          append = (fun r -> m.log <- r :: m.log);
+          read = (fun () -> List.rev m.log);
+          size = (fun () -> List.length m.log);
+          label = "mem";
+        };
+      log = [];
+    }
+  in
+  m
+
+let mem_store m = m.store
+
+(* The torn-write knob: drop the newest [k] records, as if the crash hit
+   before they reached the disk. The write-ahead discipline means each
+   lost record is a mint the rest of the system may already have seen —
+   exactly the hazard the rejoin protocol's quorum pull plus mint fence
+   must absorb. *)
+let lose_suffix m k =
+  let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+  m.log <- drop k m.log
+
+(* ---- file store ------------------------------------------------------ *)
+
+(* Replay errors surface as an empty prefix: an unreadable or headerless
+   file restores nothing, which is the conservative reading (recover
+   from scratch) rather than a crash of the recovering node. *)
+let file path =
+  let w = Log.create_writer path in
+  let replay () =
+    match Log.replay_file path with Ok r -> r.records | Error _ -> []
+  in
+  {
+    append = (fun r -> Log.append w r);
+    read = replay;
+    size = (fun () -> List.length (replay ()));
+    label = path;
+  }

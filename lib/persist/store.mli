@@ -1,0 +1,25 @@
+(** A node's durable store, as the protocol layer sees it: append a
+    record, read the whole surviving prefix back. Two implementations:
+    an in-memory store for the simulator (it lives outside the node, so
+    it survives [crash], with an injectable lost suffix to model torn
+    writes) and a file-backed store over {!Log} for the rt backend. *)
+
+type 'v t
+
+val append : 'v t -> 'v Record.t -> unit
+val read : 'v t -> 'v Record.t list
+val size : 'v t -> int
+val label : 'v t -> string
+
+type 'v mem
+
+val mem : unit -> 'v mem
+val mem_store : 'v mem -> 'v t
+
+val lose_suffix : 'v mem -> int -> unit
+(** Drop the newest [k] records, modeling a crash whose last appends
+    never became durable. *)
+
+val file : string -> int t
+(** File-backed store: opens (or creates) the log at this path for
+    appending; [read] replays the longest valid prefix from disk. *)

@@ -2,7 +2,9 @@ type entry = { senders : (int, unit) Hashtbl.t; mutable max_payload : int }
 
 type t = { mutable next : int; entries : (int, entry) Hashtbl.t }
 
-let create () = { next = 0; entries = Hashtbl.create 16 }
+let create ?(first = 0) () = { next = first; entries = Hashtbl.create 16 }
+
+let next_req t = t.next
 
 let fresh t =
   let req = t.next in

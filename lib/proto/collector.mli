@@ -9,7 +9,15 @@
 
 type t
 
-val create : unit -> t
+val create : ?first:int -> unit -> t
+(** [first] offsets the request-id space — a node restarting into a new
+    incarnation derives a disjoint range from its durable epoch, so an
+    ack addressed to a pre-crash request can never satisfy a post-crash
+    phase. *)
+
+val next_req : t -> int
+(** The next identifier {!fresh} would issue (= requests issued so
+    far, counting from [first]). *)
 
 val fresh : t -> int
 (** New request identifier to stamp outgoing requests with. *)

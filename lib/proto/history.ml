@@ -6,6 +6,12 @@ type op = {
   mutable kind : kind;
   inv : float;
   mutable resp : float option;
+  (* Set when the op's node restarted while it was pending: the op will
+     never respond (restart is not resurrection). Kept separate from
+     [resp] so the checkers keep treating it as an incomplete operation
+     (droppable / effect-optional), while liveness accounting stops
+     waiting for it. *)
+  mutable aborted : float option;
 }
 
 type t = { ops : op Vec.t }
@@ -13,7 +19,10 @@ type t = { ops : op Vec.t }
 let create () = { ops = Vec.create () }
 
 let begin_op t ~now ~node kind =
-  let op = { id = Vec.length t.ops; node; kind; inv = now; resp = None } in
+  let op =
+    { id = Vec.length t.ops; node; kind; inv = now; resp = None;
+      aborted = None }
+  in
   Vec.push t.ops op;
   op
 
@@ -29,9 +38,15 @@ let finish_scan _t ~now op ~snap =
   op.kind <- Scan (Some snap);
   op.resp <- Some now
 
+let abort _t ~now op = if op.resp = None then op.aborted <- Some now
+
 let ops t = Vec.to_list t.ops
 let completed t = List.filter (fun op -> op.resp <> None) (ops t)
-let pending t = List.filter (fun op -> op.resp = None) (ops t)
+
+let pending t =
+  List.filter (fun op -> op.resp = None && op.aborted = None) (ops t)
+
+let aborted t = List.filter (fun op -> op.aborted <> None) (ops t)
 
 let precedes a b =
   match a.resp with None -> false | Some r -> r < b.inv
@@ -63,6 +78,7 @@ let pp_snap ppf snap =
 
 let pp_op ppf op =
   let pp_resp ppf = function
+    | None when op.aborted <> None -> Format.fprintf ppf "aborted"
     | None -> Format.fprintf ppf "pending"
     | Some r -> Format.fprintf ppf "%g" r
   in

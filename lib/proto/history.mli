@@ -19,6 +19,10 @@ type op = {
   mutable kind : kind;
   inv : float;
   mutable resp : float option;  (** [None] = pending (node crashed) *)
+  mutable aborted : float option;
+      (** set when the node restarted with this op still pending: it
+          will never respond. Checkers still see an incomplete op
+          (effect-optional); liveness accounting stops waiting. *)
 }
 
 type t
@@ -34,8 +38,17 @@ val finish_scan : t -> now:float -> op -> snap:int option array -> unit
 val ops : t -> op list
 (** All operations in invocation order. *)
 
+val abort : t -> now:float -> op -> unit
+(** Mark a still-pending op as aborted (its node restarted). No-op on a
+    completed op. *)
+
 val completed : t -> op list
+
 val pending : t -> op list
+(** Incomplete operations that may yet respond — excludes aborted
+    ones. *)
+
+val aborted : t -> op list
 
 val precedes : op -> op -> bool
 (** [precedes a b] is the real-time order [a -> b]: [resp a < inv b].

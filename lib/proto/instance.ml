@@ -25,6 +25,9 @@ type 'v t = {
   crash_on_next_value : ?writer:int -> int -> deliver_to:int list -> unit;
   is_crashed : int -> bool;
   on_crash : (int -> unit) -> unit;
+  restart : int -> unit;
+  is_recovering : int -> bool;
+  on_restart : (int -> unit) -> unit;
   messages : unit -> int;
   partition : int list list -> unit;
   heal : unit -> unit;

@@ -45,6 +45,20 @@ type 'v t = {
           message matching is supplied by each algorithm. *)
   is_crashed : int -> bool;
   on_crash : (int -> unit) -> unit;
+  restart : int -> unit;
+      (** Revive a crashed node under the same id: reset volatile state,
+          replay the durable log, rejoin (quorum state pull + mint
+          fence + one renewal), then serve again. Pre-crash pending
+          operations are aborted, never resurrected — a restart issues
+          {e new} invocations only. Algorithms without a persistence
+          layer raise [Invalid_argument]. *)
+  is_recovering : int -> bool;
+      (** True from the moment of {!restart} until the node's recovery
+          completed and it can serve operations again. *)
+  on_restart : (int -> unit) -> unit;
+      (** Callback invoked when a node restarts (before its recovery has
+          completed); the harness uses it to abort the node's pre-crash
+          pending operations and schedule post-restart traffic. *)
   messages : unit -> int;
   partition : int list list -> unit;
       (** Split the deployment's link layer into isolated groups (chaos

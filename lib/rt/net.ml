@@ -78,5 +78,6 @@ let stop t =
   Array.iter Node.join t.nodes
 
 let crash t i = Node.crash t.nodes.(i)
+let restart t i = Node.restart t.nodes.(i)
 let is_crashed t i = Node.is_crashed t.nodes.(i)
 let post_work t i f = Node.post t.nodes.(i) (Node.Work f)

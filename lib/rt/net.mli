@@ -54,6 +54,10 @@ val stop : _ t -> unit
 val crash : _ t -> int -> unit
 val is_crashed : _ t -> int -> bool
 
+val restart : _ t -> int -> unit
+(** Revive a crashed node with a fresh domain and an empty mailbox
+    ({!Node.restart}); protocol volatile state must already be reset. *)
+
 val post_work : 'm t -> int -> (unit -> unit) -> bool
 (** Submit an operation thunk to run on node [i]'s domain; [false] if
     the node has crashed. *)

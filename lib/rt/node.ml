@@ -130,3 +130,22 @@ let join t =
   | Some d ->
       t.domain <- None;
       Domain.join d
+
+(* Restart = join the dead domain, discard every remnant of the old
+   incarnation (queued messages and deferred work are channel/volatile
+   state lost in the crash), then unpoison and spawn a fresh domain.
+   Caller-serialized: the node is down for the whole call, so this
+   thread is the sole consumer of the mailbox. *)
+let restart t =
+  if not (Atomic.get t.poisoned) then
+    invalid_arg "Rt.Node.restart: node is not crashed";
+  join t;
+  let rec drain () =
+    match Queue.pop_opt t.mbox with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  t.deferred_rev <- [];
+  t.stop <- false;
+  Atomic.set t.parked false;
+  Atomic.set t.poisoned false;
+  start t

@@ -60,3 +60,12 @@ val start : 'm t -> unit
 val join : 'm t -> unit
 (** Wait for the node's domain to exit (after [Stop] was posted or the
     node crashed). Idempotent. *)
+
+val restart : 'm t -> unit
+(** Revive a crashed node: join its dead domain, drain the mailbox and
+    deferred work (the old incarnation's channel state — lost in the
+    crash), unpoison, and spawn a fresh domain running {!run} with the
+    handler still installed. The caller is responsible for resetting
+    protocol-level volatile state {e before} calling this — once the new
+    domain is up, messages flow again.
+    @raise Invalid_argument if the node is not crashed. *)

@@ -13,17 +13,30 @@ let algo_of_name s =
 type ops = {
   op_update : node:int -> int -> unit;
   op_scan : node:int -> int option array;
+  op_begin_recovery : node:int -> unit;
+  op_recover : node:int -> unit;
 }
 
 (* A client's handle on one submitted request. [state] transitions
-   Pending -> Done | Crashed exactly once ([resolve] is idempotent), so
+   Pending -> Done | Aborted exactly once ([resolve] is idempotent), so
    the operation's own completion path and the crash sweep can race
    harmlessly. *)
 type reply = {
   rm : Mutex.t;
   rc : Condition.t;
-  mutable state : [ `Pending | `Done | `Crashed ];
+  mutable state : [ `Pending | `Done | `Aborted ];
   mutable snap : int option array option;
+}
+
+type recovery = {
+  rec_node : int;
+  rec_replayed : int;
+      (** log records replayed (the store's size at restart) *)
+  rec_ready_after : float;
+      (** seconds from the restart call to recovery completion *)
+  rec_first_op : float;
+      (** seconds from the restart call to the first served operation
+          (the probe SCAN the service runs as soon as rejoin ends) *)
 }
 
 type t = {
@@ -31,6 +44,7 @@ type t = {
   n : int;
   f : int;
   ops : ops;
+  stores : int Persist.Store.t array;
   batch : bool;
   (* One service lock guards the history, the in-flight registries and
      the batch queues. Protocol execution never holds it across a
@@ -41,6 +55,11 @@ type t = {
   in_flight : reply list array;
   batch_q : (int * reply) list array;  (* newest first *)
   batch_draining : bool array;
+  (* Service-level flag: true from [restart_node] until the node's
+     rejoin completes. [pick_node] skips recovering nodes; a racy read
+     only costs a request that waits behind the recovery work. *)
+  recovering : bool array;
+  mutable recoveries : recovery list;
   mutable fused_away : int;
   next_value : int Atomic.t;
 }
@@ -59,7 +78,7 @@ let resolve r st =
   | `Pending ->
       r.state <- st;
       Condition.broadcast r.rc
-  | `Done | `Crashed -> ());
+  | `Done | `Aborted -> ());
   Mutex.unlock r.rm
 
 let await_reply r =
@@ -69,7 +88,7 @@ let await_reply r =
   done;
   let st = r.state in
   Mutex.unlock r.rm;
-  match st with `Pending -> assert false | (`Done | `Crashed) as st -> st
+  match st with `Pending -> assert false | (`Done | `Aborted) as st -> st
 
 (* Callers hold [s.lock]. *)
 let unregister s node r =
@@ -96,7 +115,7 @@ let run_update s ~node v r () =
       (* The op stays pending in the history (the node crashed mid-op,
          exactly the model's pending operation); re-raise so the node's
          run loop unwinds. *)
-      resolve r `Crashed;
+      resolve r `Aborted;
       raise Node.Crashed
 
 let run_scan s ~node r () =
@@ -112,7 +131,7 @@ let run_scan s ~node r () =
       r.snap <- Some snap;
       resolve r `Done
   | exception Node.Crashed ->
-      resolve r `Crashed;
+      resolve r `Aborted;
       raise Node.Crashed
 
 (* Group commit: run the queued updates of one node as a single
@@ -147,7 +166,7 @@ let rec drain_batch s node () =
           List.iter (fun (_, r) -> resolve r `Done) items;
           drain_batch s node ()
       | exception Node.Crashed ->
-          List.iter (fun (_, r) -> resolve r `Crashed) items;
+          List.iter (fun (_, r) -> resolve r `Aborted) items;
           raise Node.Crashed)
 
 let submit_direct s ~node work =
@@ -166,7 +185,8 @@ let submit_direct s ~node work =
     end
   in
   Mutex.unlock s.lock;
-  if accepted then (await_reply r, r) else (`Crashed, r)
+  if accepted then ((await_reply r :> [ `Done | `Aborted | `Rejected ]), r)
+  else (`Rejected, r)
 
 let submit_batched_update s ~node v =
   let r = new_reply () in
@@ -190,7 +210,8 @@ let submit_batched_update s ~node v =
     end
   in
   Mutex.unlock s.lock;
-  if accepted then await_reply r else `Crashed
+  if accepted then (await_reply r :> [ `Done | `Aborted | `Rejected ])
+  else `Rejected
 
 let fresh_value s = Atomic.fetch_and_add s.next_value 1
 
@@ -202,7 +223,8 @@ let scan s ~node =
   match submit_direct s ~node (fun r -> run_scan s ~node r) with
   | `Done, r -> (
       match r.snap with Some snap -> `Snap snap | None -> assert false)
-  | `Crashed, _ -> `Crashed
+  | `Aborted, _ -> `Aborted
+  | `Rejected, _ -> `Rejected
 
 let crash_node s i =
   Net.crash s.net i;
@@ -210,41 +232,122 @@ let crash_node s i =
   let victims = s.in_flight.(i) in
   s.in_flight.(i) <- [];
   s.batch_q.(i) <- [];
+  (* The drain flag belongs to the dead incarnation: without this reset,
+     a post-restart batched update would see [batch_draining] still true,
+     queue itself, and wait forever for a drain work item that died with
+     the old domain. *)
+  s.batch_draining.(i) <- false;
   Mutex.unlock s.lock;
   (* Items popped from the mailbox but not yet finished unwind through
      [Node.Crashed] and resolve themselves; everything else is resolved
      here. Either way [resolve] fires exactly once per reply. *)
-  List.iter (fun r -> resolve r `Crashed) victims
+  List.iter (fun r -> resolve r `Aborted) victims
 
-let ops_of algo b ~f =
+let restart_node s i =
+  if not (Net.is_crashed s.net i) then
+    invalid_arg "Rt.Service.restart_node: node is not crashed";
+  let t_restart = Net.now s.net in
+  Mutex.lock s.lock;
+  s.recovering.(i) <- true;
+  (* Restart is not resurrection: whatever the old incarnation left
+     pending in the history is aborted now — the new incarnation's
+     operations are fresh invocations by the same node id. *)
+  List.iter
+    (fun (op : History.op) ->
+      if op.node = i then History.abort s.history ~now:t_restart op)
+    (History.pending s.history);
+  Mutex.unlock s.lock;
+  let replayed = Persist.Store.size s.stores.(i) in
+  (* The dead domain has exited, so this thread owns the node: reset the
+     protocol's volatile state BEFORE reviving the network (the same
+     order as the simulator restart — no message may reach a half-reset
+     node), then run the blocking rejoin as the first work item of the
+     fresh domain. *)
+  s.ops.op_begin_recovery ~node:i;
+  Net.restart s.net i;
+  let posted =
+    Net.post_work s.net i (fun () ->
+        s.ops.op_recover ~node:i;
+        let ready = Net.now s.net -. t_restart in
+        (* Probe SCAN: the recovered node's first served operation,
+           stamped into the checked history like any client request. *)
+        Mutex.lock s.lock;
+        let op = History.begin_scan s.history ~now:(Net.now s.net) ~node:i in
+        Mutex.unlock s.lock;
+        let snap = s.ops.op_scan ~node:i in
+        Mutex.lock s.lock;
+        History.finish_scan s.history ~now:(Net.now s.net) op ~snap;
+        s.recovering.(i) <- false;
+        s.recoveries <-
+          {
+            rec_node = i;
+            rec_replayed = replayed;
+            rec_ready_after = ready;
+            rec_first_op = Net.now s.net -. t_restart;
+          }
+          :: s.recoveries;
+        Mutex.unlock s.lock)
+  in
+  if not posted then
+    (* Crashed again between restart and the post; leave it down. *)
+    ()
+
+let attach_stores core stores =
+  Array.iteri
+    (fun i store -> LC.set_store (LC.node core i) store)
+    stores
+
+let ops_of algo b ~f ~stores =
   match algo with
   | Eq_aso ->
       let t = Aso_core.Eq_aso.create_on b ~f in
+      attach_stores (Aso_core.Eq_aso.core t) stores;
       {
         op_update = (fun ~node v -> Aso_core.Eq_aso.update t ~node v);
         op_scan = (fun ~node -> Aso_core.Eq_aso.scan t ~node);
+        op_begin_recovery =
+          (fun ~node -> Aso_core.Eq_aso.begin_recovery t ~node);
+        op_recover = (fun ~node -> Aso_core.Eq_aso.recover t ~node);
       }
   | Sso_fast_scan ->
       let t = Aso_core.Sso.create_on b ~f in
+      attach_stores (Aso_core.Sso.core t) stores;
       {
         op_update = (fun ~node v -> Aso_core.Sso.update t ~node v);
         op_scan = (fun ~node -> Aso_core.Sso.scan t ~node);
+        op_begin_recovery = (fun ~node -> Aso_core.Sso.begin_recovery t ~node);
+        op_recover = (fun ~node -> Aso_core.Sso.recover t ~node);
       }
 
-let create ?(batch = false) ~algo ~n ~f () =
+let create ?(batch = false) ?wal_dir ~algo ~n ~f () =
   let net = Net.create ~n in
-  let ops = ops_of algo (Net.backend net) ~f in
+  (* Every node gets a durable store: file-backed WALs under [wal_dir]
+     when given (the real crash-recovery path — survives the process),
+     in-memory otherwise (models durable memory; survives [crash_node],
+     which only tears down the domain). *)
+  let stores =
+    Array.init n (fun i ->
+        match wal_dir with
+        | Some dir ->
+            Persist.Store.file
+              (Filename.concat dir (Printf.sprintf "node-%d.wal" i))
+        | None -> Persist.Store.mem_store (Persist.Store.mem ()))
+  in
+  let ops = ops_of algo (Net.backend net) ~f ~stores in
   {
     net;
     n;
     f;
     ops;
+    stores;
     batch;
     lock = Mutex.create ();
     history = History.create ();
     in_flight = Array.make n [];
     batch_q = Array.make n [];
     batch_draining = Array.make n false;
+    recovering = Array.make n false;
+    recoveries = [];
     fused_away = 0;
     next_value = Atomic.make 1;
   }
@@ -260,6 +363,7 @@ type client_stats = {
   mutable ok_updates : int;
   mutable ok_scans : int;
   mutable rejected : int;
+  mutable aborted : int;
   mutable u_lat : float list;
   mutable s_lat : float list;
 }
@@ -275,11 +379,13 @@ type report = {
   completed_updates : int;
   completed_scans : int;
   rejected : int;
+  aborted : int;
   fused_updates : int;
   ops_per_sec : float;
   update_latencies : float list;  (** client-observed, seconds *)
   scan_latencies : float list;
   crashed_nodes : int list;
+  recoveries : recovery list;
   messages_sent : int;
   history : History.t;
 }
@@ -288,7 +394,8 @@ let rec pick_node s home j =
   if j >= s.n then None
   else
     let c = (home + j) mod s.n in
-    if Net.is_crashed s.net c then pick_node s home (j + 1) else Some c
+    if Net.is_crashed s.net c || s.recovering.(c) then pick_node s home (j + 1)
+    else Some c
 
 let client_loop s ~deadline ~scan_fraction rng home stats =
   let live = ref true in
@@ -302,17 +409,19 @@ let client_loop s ~deadline ~scan_fraction rng home stats =
           | `Snap _ ->
               stats.ok_scans <- stats.ok_scans + 1;
               stats.s_lat <- (Net.now s.net -. t0) :: stats.s_lat
-          | `Crashed -> stats.rejected <- stats.rejected + 1)
+          | `Rejected -> stats.rejected <- stats.rejected + 1
+          | `Aborted -> stats.aborted <- stats.aborted + 1)
         else
           match update s ~node (fresh_value s) with
           | `Done ->
               stats.ok_updates <- stats.ok_updates + 1;
               stats.u_lat <- (Net.now s.net -. t0) :: stats.u_lat
-          | `Crashed -> stats.rejected <- stats.rejected + 1
+          | `Rejected -> stats.rejected <- stats.rejected + 1
+          | `Aborted -> stats.aborted <- stats.aborted + 1
   done
 
 let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
-    ?crash_after ~algo ~n ~f ~clients ~secs () =
+    ?crash_after ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs () =
   if clients <= 0 then invalid_arg "Rt.Service.run: clients must be positive";
   if secs <= 0. then invalid_arg "Rt.Service.run: secs must be positive";
   let crash = List.sort_uniq compare crash in
@@ -322,7 +431,12 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
     (fun i ->
       if i < 0 || i >= n then invalid_arg "Rt.Service.run: crash node out of range")
     crash;
-  let s = create ~batch ~algo ~n ~f () in
+  let crash_delay = Option.value crash_after ~default:(secs /. 2.) in
+  (match restart_after with
+  | Some r when r <= crash_delay ->
+      invalid_arg "Rt.Service.run: restart_after must be after the crash"
+  | _ -> ());
+  let s = create ~batch ?wal_dir ~algo ~n ~f () in
   start s;
   let t_start = Net.now s.net in
   let deadline = t_start +. secs in
@@ -330,17 +444,31 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
     match crash with
     | [] -> None
     | nodes ->
-        let after = Option.value crash_after ~default:(secs /. 2.) in
         Some
           (Thread.create
              (fun () ->
-               Thread.delay after;
-               List.iter (fun i -> crash_node s i) nodes)
+               Thread.delay crash_delay;
+               List.iter (fun i -> crash_node s i) nodes;
+               match restart_after with
+               | None -> ()
+               | Some r ->
+                   Thread.delay (r -. crash_delay);
+                   List.iter
+                     (fun i ->
+                       if Net.is_crashed s.net i then restart_node s i)
+                     nodes)
              ())
   in
   let stats =
     Array.init clients (fun _ ->
-        { ok_updates = 0; ok_scans = 0; rejected = 0; u_lat = []; s_lat = [] })
+        {
+          ok_updates = 0;
+          ok_scans = 0;
+          rejected = 0;
+          aborted = 0;
+          u_lat = [];
+          s_lat = [];
+        })
   in
   let threads =
     Array.init clients (fun i ->
@@ -373,11 +501,13 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
     completed_updates;
     completed_scans;
     rejected = sum (fun c -> c.rejected);
+    aborted = sum (fun c -> c.aborted);
     fused_updates = s.fused_away;
     ops_per_sec = (if duration > 0. then float_of_int total /. duration else 0.);
     update_latencies = gather (fun c -> c.u_lat);
     scan_latencies = gather (fun c -> c.s_lat);
     crashed_nodes = crash;
+    recoveries = List.rev s.recoveries;
     messages_sent =
       Option.value (Obs.Metrics.find_count snapshot "net.sent") ~default:0;
     history = s.history;
@@ -386,10 +516,22 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
 (* Bench feed: everything here is timing-dependent, hence volatile (the
    CI drift gate must not compare it run-to-run beyond a sanity floor). *)
 let volatile_metrics r =
+  let mean f =
+    match r.recoveries with
+    | [] -> 0.
+    | l ->
+        List.fold_left (fun acc x -> acc +. f x) 0. l
+        /. float_of_int (List.length l)
+  in
   [
     ("ops_per_sec", r.ops_per_sec);
     ("completed_updates", float_of_int r.completed_updates);
     ("completed_scans", float_of_int r.completed_scans);
     ("fused_updates", float_of_int r.fused_updates);
     ("messages_sent", float_of_int r.messages_sent);
+    ("aborted", float_of_int r.aborted);
+    ("recoveries", float_of_int (List.length r.recoveries));
+    ("recovery_ready_s", mean (fun x -> x.rec_ready_after));
+    ("recovery_first_op_s", mean (fun x -> x.rec_first_op));
+    ("recovery_replayed", mean (fun x -> float_of_int x.rec_replayed));
   ]

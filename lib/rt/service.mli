@@ -20,9 +20,20 @@
     are prefix-closed in per-node program order).
 
     {b Crashes}: {!run}'s [~crash] list poisons those nodes mid-run
-    (k ≤ f enforced); their in-flight requests resolve as [`Crashed] and
+    (k ≤ f enforced); their in-flight requests resolve as [`Aborted] and
     clients fail over to other nodes. A crashed node contributes at most
-    one pending operation to the history, as the model prescribes. *)
+    one pending operation to the history, as the model prescribes.
+
+    {b Crash-restart}: every node owns a durable store (a file-backed
+    write-ahead log under [~wal_dir], or durable memory without it) that
+    survives {!crash_node} — the crash tears down the domain, not the
+    disk. {!restart_node} aborts the dead incarnation's pending history
+    operation, resets the protocol's volatile state, replays the log,
+    rejoins via a quorum state pull on a fresh domain, and serves again;
+    the first served operation is a probe SCAN the service stamps into
+    the checked history, so the A0–A4 battery exercises the recovered
+    node. {!run}'s [~restart_after] drives the whole cycle under live
+    client traffic. *)
 
 type algo = Eq_aso | Sso_fast_scan
 
@@ -32,9 +43,23 @@ val algo_of_name : string -> algo option
 
 type t
 
-val create : ?batch:bool -> algo:algo -> n:int -> f:int -> unit -> t
+type recovery = {
+  rec_node : int;
+  rec_replayed : int;
+      (** log records replayed (the store's size at restart) *)
+  rec_ready_after : float;
+      (** seconds from the restart call to recovery completion *)
+  rec_first_op : float;
+      (** seconds from the restart call to the first served operation
+          (the probe SCAN the service runs as soon as rejoin ends) *)
+}
+
+val create : ?batch:bool -> ?wal_dir:string -> algo:algo -> n:int -> f:int -> unit -> t
 (** Build the deployment (network, protocol wiring, history); domains
-    are not running until {!start}. Requires [n > 2f]. *)
+    are not running until {!start}. Requires [n > 2f]. With [~wal_dir],
+    node [i] writes its mints to [wal_dir/node-i.wal] (created or
+    appended); without it, each node gets an in-memory durable store, so
+    {!restart_node} works either way. *)
 
 val start : t -> unit
 val stop : t -> unit
@@ -45,14 +70,28 @@ val fresh_value : t -> int
 (** Globally unique update values (the checker identifies an UPDATE by
     its value — the paper's footnote-2 assumption). *)
 
-val update : t -> node:int -> int -> [ `Done | `Crashed ]
-(** Blocking (closed-loop) UPDATE from any client thread. [`Crashed] if
-    the node failed before or during the request. *)
+val update : t -> node:int -> int -> [ `Done | `Rejected | `Aborted ]
+(** Blocking (closed-loop) UPDATE from any client thread. [`Rejected] if
+    the node was already down when the request arrived (nothing ran);
+    [`Aborted] if it crashed while the request was in flight. *)
 
-val scan : t -> node:int -> [ `Snap of int option array | `Crashed ]
+val scan : t -> node:int -> [ `Snap of int option array | `Rejected | `Aborted ]
 
 val crash_node : t -> int -> unit
-(** Poison the node and fail its in-flight requests. *)
+(** Poison the node, fail its in-flight requests as [`Aborted], and
+    reset its group-commit drain flag (the drain work died with the
+    domain; a stale flag would park post-restart batched clients
+    forever). *)
+
+val restart_node : t -> int -> unit
+(** Revive a crashed node: abort its pending history operation (restart
+    is not resurrection), reset protocol volatile state, respawn the
+    domain ({!Net.restart}), and run the blocking rejoin — log replay,
+    quorum state pull, mint fence, one renewal — as the fresh domain's
+    first work item, followed by a probe SCAN stamped into the history.
+    Returns as soon as the rejoin is {e posted}; the node serves again
+    once it completes (requests meanwhile queue behind it).
+    @raise Invalid_argument if the node is not crashed. *)
 
 val history : t -> History.t
 val net : t -> int Aso_core.Lattice_core.Msg.t Net.t
@@ -69,12 +108,14 @@ type report = {
   duration : float;  (** measured wall seconds *)
   completed_updates : int;
   completed_scans : int;
-  rejected : int;  (** requests refused or aborted by crashes *)
+  rejected : int;  (** requests refused up front — target already down *)
+  aborted : int;  (** requests in flight when their node crashed *)
   fused_updates : int;  (** protocol writes saved by batching *)
   ops_per_sec : float;
   update_latencies : float list;  (** client-observed, seconds *)
   scan_latencies : float list;
   crashed_nodes : int list;
+  recoveries : recovery list;  (** one entry per completed rejoin *)
   messages_sent : int;
   history : History.t;
 }
@@ -85,6 +126,8 @@ val run :
   ?seed:int ->
   ?crash:int list ->
   ?crash_after:float ->
+  ?restart_after:float ->
+  ?wal_dir:string ->
   algo:algo ->
   n:int ->
   f:int ->
@@ -95,8 +138,12 @@ val run :
 (** Deploy, run [clients] closed-loop client threads for [secs] wall
     seconds (default [scan_fraction] 0.2, [seed] 42), optionally crash
     the [~crash] nodes at [~crash_after] (default halfway), stop the
-    deployment, and report. The returned history is finished and ready
-    for the batch checker. *)
+    deployment, and report. With [~restart_after] (must exceed the crash
+    time; raises [Invalid_argument] otherwise), the crashed nodes are
+    revived at that offset — log replay, rejoin, probe SCAN — while
+    client traffic continues, and the report's [recoveries] list carries
+    the measured recovery times. The returned history is finished and
+    ready for the batch checker. *)
 
 val volatile_metrics : report -> (string * float) list
 (** The report's timing-dependent numbers, for the bench JSON's volatile

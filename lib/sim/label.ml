@@ -2,6 +2,7 @@ type t =
   | Deliver of int
   | Timer of int
   | Crash of int
+  | Restart of int
   | Opaque
 
 type fault_op = Drop | Dup | Reorder
@@ -10,11 +11,12 @@ type choice =
   | Tie of t array
   | Link_fault of { op : fault_op; src : int; dst : int }
   | Crash_step of { node : int; steps : int array }
+  | Restart_step of { node : int; steps : int array }
 
 let domain = function
   | Tie labels -> Array.length labels
   | Link_fault _ -> 2
-  | Crash_step { steps; _ } -> Array.length steps
+  | Crash_step { steps; _ } | Restart_step { steps; _ } -> Array.length steps
 
 (* Independence relation for the sleep-set-style prune: two
    same-instant events commute iff each touches the state of a single,
@@ -26,7 +28,7 @@ let domain = function
    unlabeled events are conservatively treated as global. *)
 let node_of = function
   | Deliver i | Timer i -> Some i
-  | Crash _ | Opaque -> None
+  | Crash _ | Restart _ | Opaque -> None
 
 let commute a b =
   match (node_of a, node_of b) with
@@ -37,6 +39,7 @@ let pp ppf = function
   | Deliver i -> Format.fprintf ppf "d%d" i
   | Timer i -> Format.fprintf ppf "t%d" i
   | Crash i -> Format.fprintf ppf "x%d" i
+  | Restart i -> Format.fprintf ppf "r%d" i
   | Opaque -> Format.fprintf ppf "?"
 
 let fault_op_name = function
@@ -55,5 +58,7 @@ let pp_choice ppf = function
       Format.fprintf ppf "%s:%d->%d" (fault_op_name op) src dst
   | Crash_step { node; steps } ->
       Format.fprintf ppf "crash:%d[%d]" node (Array.length steps)
+  | Restart_step { node; steps } ->
+      Format.fprintf ppf "restart:%d[%d]" node (Array.length steps)
 
 let describe c = Format.asprintf "%a" pp_choice c

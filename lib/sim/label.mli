@@ -10,6 +10,7 @@ type t =
   | Deliver of int  (** message delivery to the given node *)
   | Timer of int  (** timer/sleep wakeup owned by the given node *)
   | Crash of int  (** scheduled crash of the given node *)
+  | Restart of int  (** scheduled restart of the given node *)
   | Opaque  (** unlabeled — conservatively conflicts with everything *)
 
 type fault_op = Drop | Dup | Reorder
@@ -28,6 +29,10 @@ type choice =
   | Crash_step of { node : int; steps : int array }
       (** crash-injection site: choosing [i] crashes [node] just before
           engine step [steps.(i)] ([-1] = never) *)
+  | Restart_step of { node : int; steps : int array }
+      (** restart-injection site: choosing [i] revives the crashed
+          [node] (log replay + rejoin) just before engine step
+          [steps.(i)] ([-1] = never) *)
 
 val domain : choice -> int
 (** Number of alternatives of the choice point. *)

@@ -29,6 +29,7 @@ type 'm t = {
      node dies. *)
   pending_bcast_crash : (('m -> bool) * int list) option array;
   crash_hooks : (int -> unit) Queue.t;
+  restart_hooks : (int -> unit) Queue.t;
   metrics : Obs.Metrics.t;
   sent : Obs.Metrics.counter;
   delivered : Obs.Metrics.counter;
@@ -142,6 +143,7 @@ let create ?substrate engine ~n ~delay =
       crashed = Array.make n false;
       pending_bcast_crash = Array.make n None;
       crash_hooks = Queue.create ();
+      restart_hooks = Queue.create ();
       metrics;
       sent = Obs.Metrics.counter metrics "net.sent";
       delivered = Obs.Metrics.counter metrics "net.delivered";
@@ -191,6 +193,32 @@ let crash t i =
     | None -> ());
     (match t.backend with Direct _ -> () | Stack tr -> Transport.kill tr i);
     Queue.iter (fun f -> f i) t.crash_hooks
+  end
+
+let on_restart t f = Queue.push f t.restart_hooks
+
+(* Restart = the same node id comes back up with empty volatile state;
+   only the ideal substrate supports it. [Transport.kill] discarded the
+   per-channel sequence state on both sides, so reviving a node over the
+   lossy stack would need a connection-epoch handshake the transport does
+   not implement — restarts against it are a configuration bug, like
+   [partition] against the ideal one. *)
+let restart t i =
+  if t.crashed.(i) then begin
+    (match t.backend with
+    | Direct _ -> ()
+    | Stack _ ->
+        invalid_arg
+          "Sim.Network.restart: the lossy substrate cannot revive a node \
+           (its transport channel state was discarded at crash time); use \
+           the Ideal substrate for crash-restart runs");
+    t.crashed.(i) <- false;
+    t.pending_bcast_crash.(i) <- None;
+    (match t.causal with
+    | Some r ->
+        Obs.Vclock.record_local r ~node:i ~at:(Engine.now t.engine) "restart"
+    | None -> ());
+    Queue.iter (fun f -> f i) t.restart_hooks
   end
 
 (* Ideal channels: delivery is scheduled at send time and happens

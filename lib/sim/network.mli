@@ -101,6 +101,22 @@ val on_crash : 'm t -> (int -> unit) -> unit
     crashes; used by the harness to excuse pending operations at the
     crashed node. *)
 
+val restart : _ t -> int -> unit
+(** Revive crashed node [i]: it may send and receive again, with
+    whatever volatile state its handler closure still holds — the
+    {e protocol} layer is responsible for resetting that state and
+    recovering from its durable log before serving (see
+    [Proto.Instance.restart]). No-op when [i] is live.
+    @raise Invalid_argument on the {!Lossy} substrate: the transport
+    discarded [i]'s channel state at crash time, so revival would need a
+    connection-epoch handshake it does not implement. Crash-restart runs
+    use the {!Ideal} substrate. *)
+
+val on_restart : 'm t -> (int -> unit) -> unit
+(** Register a callback invoked (after state update) each time a node
+    restarts; the harness uses it to abort the node's pre-crash pending
+    operations and launch post-restart traffic. *)
+
 val messages_sent : _ t -> int
 (** Total messages handed to the network (including self-sends). These
     are {e logical} messages; wire-level packet counts (retransmits,

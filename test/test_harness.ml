@@ -169,6 +169,7 @@ let test_runner_detects_stuck () =
         [||])
       ~net
       ~value_match:(fun ~writer:_ _ -> false)
+      ()
   in
   let workload = Harness.Workload.single ~n:3 ~node:0 Harness.Workload.Scan in
   Alcotest.(check bool) "Stuck raised" true

@@ -24,5 +24,6 @@ let () =
          Test_causal.suites;
          Test_mc.suites;
          Test_rt.suites;
+         Test_persist.suites;
          Test_configs.suites;
        ])

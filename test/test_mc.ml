@@ -287,6 +287,7 @@ let test_replay_roundtrip () =
       workload = Mc.Replay.Steps [| [ u 3.0 ]; [ u 0.0; u 2.0 ]; [ s 10.0 ] |];
       substrate = Mc.Replay.Lossy { drop = 0.3; dup = 0.1; reorder = 0.05 };
       crashes = [ (1, [| -1; 3; 17 |]); (2, [| -1 |]) ];
+      restarts = [ (1, [| -1; 25 |]) ];
       mutation = Some Mc.Mutants.Stale_renewal;
       monitor = true;
       choices = [ 0; 0; 1; 2 ];

@@ -361,11 +361,13 @@ let gate_report ~ops_per_sec ~updates =
     completed_updates = updates;
     completed_scans = updates / 4;
     rejected = 0;
+    aborted = 0;
     fused_updates = 0;
     ops_per_sec;
     update_latencies = [];
     scan_latencies = [];
     crashed_nodes = [];
+    recoveries = [];
     messages_sent = updates * 50;
     history = History.create ();
   }
@@ -404,7 +406,8 @@ let test_volatile_metrics_keys () =
   let r = gate_report ~ops_per_sec:1234.0 ~updates:100 in
   Alcotest.(check (list string)) "volatile keys"
     [ "ops_per_sec"; "completed_updates"; "completed_scans";
-      "fused_updates"; "messages_sent" ]
+      "fused_updates"; "messages_sent"; "aborted"; "recoveries";
+      "recovery_ready_s"; "recovery_first_op_s"; "recovery_replayed" ]
     (List.map fst (Rt.Service.volatile_metrics r))
 
 let suites =

@@ -152,10 +152,12 @@ let test_sim_vs_rt_same_workload () =
     for _ = 1 to rounds do
       (match Rt.Service.update s ~node (Rt.Service.fresh_value s) with
       | `Done -> ()
-      | `Crashed -> Alcotest.fail "update crashed in failure-free run");
+      | `Rejected | `Aborted ->
+          Alcotest.fail "update crashed in failure-free run");
       match Rt.Service.scan s ~node with
       | `Snap _ -> ()
-      | `Crashed -> Alcotest.fail "scan crashed in failure-free run"
+      | `Rejected | `Aborted ->
+          Alcotest.fail "scan crashed in failure-free run"
     done
   in
   let threads =
