@@ -671,18 +671,18 @@ let table_runtime_throughput () =
     List.map
       (fun algo ->
         let r, ok = rt_run algo in
-        let pct q l =
-          match Harness.Stats.summarize l with
+        let pct q d =
+          match Obs.Hdr.dist_quantile d q with
           | None -> "-"
-          | Some s -> Printf.sprintf "%.2f" (q s *. 1e3)
+          | Some v -> Printf.sprintf "%.2f" (v *. 1e3)
         in
         [
           Rt.Service.algo_name algo;
           string_of_int r.Rt.Service.completed_updates;
           string_of_int r.completed_scans;
           Printf.sprintf "%.0f" r.ops_per_sec;
-          pct (fun s -> s.Harness.Stats.p50) r.update_latencies;
-          pct (fun s -> s.Harness.Stats.p99) r.update_latencies;
+          pct 0.5 r.update_lat;
+          pct 0.99 r.update_lat;
           string_of_int r.messages_sent;
           (if ok then "pass" else "FAIL");
         ])
@@ -790,6 +790,64 @@ let table_recovery () =
     ~header:
       [ "algorithm"; "replayed"; "rejoin ms"; "first op ms"; "replay rec/s";
         "catch-up D (sim)"; "checker" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Recorder overhead: the same closed-loop run with the flight
+   recorder off and on. The recorder's writer path is allocation-free
+   (two atomic bumps plus four array stores per event), so the on/off
+   throughput ratio should sit near 1.0; the acceptance budget is 10%.
+   Both rates are wall-clock and go to "volatile" — the ratio itself is
+   also volatile (a noisy host moves numerator and denominator
+   independently), so the committed baseline floor is conservative. *)
+
+let rt_overhead_run algo ~recorder =
+  let n = 4 and f = 1 in
+  let svc = ref None in
+  let report =
+    Rt.Service.run ~recorder ~algo ~n ~f ~clients:4 ~secs:0.3
+      ~seed:(Int64.to_int seed)
+      ~on_start:(fun s -> svc := Some s)
+      ()
+  in
+  let emitted =
+    match Option.bind !svc Rt.Service.recorder with
+    | None -> 0
+    | Some r -> Obs.Recorder.total_emitted r
+  in
+  (report, emitted)
+
+let recorder_overhead_rows () =
+  List.map
+    (fun algo ->
+      let off, _ = rt_overhead_run algo ~recorder:false in
+      let on_, emitted = rt_overhead_run algo ~recorder:true in
+      let ratio =
+        on_.Rt.Service.ops_per_sec
+        /. Float.max off.Rt.Service.ops_per_sec 1e-9
+      in
+      (algo, off, on_, emitted, ratio))
+    rt_algos
+
+let table_recorder_overhead () =
+  let rows =
+    List.map
+      (fun (algo, off, on_, emitted, ratio) ->
+        [
+          Rt.Service.algo_name algo;
+          Printf.sprintf "%.0f" off.Rt.Service.ops_per_sec;
+          Printf.sprintf "%.0f" on_.Rt.Service.ops_per_sec;
+          Printf.sprintf "%.2f" ratio;
+          string_of_int emitted;
+        ])
+      (recorder_overhead_rows ())
+  in
+  Harness.Table.print
+    ~title:
+      "Recorder overhead — flight recorder off vs on (n=4, f=1, 4 \
+       clients, wall-clock)"
+    ~header:
+      [ "algorithm"; "ops/s (off)"; "ops/s (on)"; "on/off"; "events" ]
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -1061,6 +1119,29 @@ let json_recovery () =
   in
   ("recovery", rows)
 
+(* Recorder overhead rows: everything here is wall-clock, so all of it
+   lives under "volatile". The on/off throughput ratio is the headline
+   number — near 1.0 when the writer path stays allocation-free — and
+   the emitted-event count floors how much instrumentation actually
+   fired (a silently disabled recorder would pass a pure ratio gate). *)
+let json_recorder_overhead () =
+  let rows =
+    List.map
+      (fun (algo, off, on_, emitted, ratio) ->
+        jrow
+          (Rt.Service.algo_name algo)
+          ~volatile:
+            [
+              ("ops_per_s_recorder_off", jnum off.Rt.Service.ops_per_sec);
+              ("ops_per_s_recorder_on", jnum on_.Rt.Service.ops_per_sec);
+              ("throughput_ratio_on_off", jnum ratio);
+              ("events_emitted", jnum (float_of_int emitted));
+            ]
+          [])
+      (recorder_overhead_rows ())
+  in
+  ("recorder_overhead", rows)
+
 (* One representative instrumented run, its full metrics registry
    exported in [Obs.Metrics.sorted] order — identically-seeded runs
    produce byte-identical rows, so this section doubles as the
@@ -1094,7 +1175,18 @@ let json_run_metrics () =
                   (name ^ ".count", J_int s_count);
                   (name ^ ".mean", jnum mean);
                   (name ^ ".max", jnum max);
-                ]))
+                ])
+        | Obs.Metrics.Dist d ->
+            if d.Obs.Hdr.d_count = 0 then []
+            else
+              let q p =
+                Option.value (Obs.Hdr.dist_quantile d p) ~default:Float.nan
+              in
+              [
+                (name ^ ".count", J_int d.Obs.Hdr.d_count);
+                (name ^ ".p50", jnum (q 0.5));
+                (name ^ ".p99", jnum (q 0.99));
+              ])
       (Obs.Metrics.sorted outcome.metrics)
   in
   ("run_metrics", [ jrow "eq-aso/n=8" metrics ])
@@ -1109,6 +1201,7 @@ let emit_json file =
       json_mc_throughput ();
       json_runtime_throughput ();
       json_recovery ();
+      json_recorder_overhead ();
       json_run_metrics ();
     ]
   in
@@ -1164,6 +1257,7 @@ let run_all_tables () =
   table_mc_throughput ();
   table_runtime_throughput ();
   table_recovery ();
+  table_recorder_overhead ();
   print_endline "== Simulator throughput (bechamel, OLS ns/run) ==";
   bechamel_suite ();
   Printf.printf "\nTotal bench CPU time: %.1f s\n" (Sys.time () -. t0)

@@ -963,7 +963,7 @@ let serve_check_history algo ~n (r : Rt.Service.report) =
         | Error e -> Error e)
 
 let serve_impl algo_name n clients secs batch scan_fraction seed crash
-    crash_restart wal_dir =
+    crash_restart wal_dir telemetry stats_every dump_dir mutation no_recorder =
   let algo =
     match Rt.Service.algo_of_name algo_name with
     | Some a -> a
@@ -985,9 +985,107 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash
     exit 1);
   let crash_nodes = List.init crash (fun i -> i) in
   let restart_after = if crash_restart then Some (secs *. 0.75) else None in
+  (match mutation with
+  | Some m -> Format.printf "mutant armed: %s@." (Mc.Mutants.to_string m)
+  | None -> ());
+  (* Live exposition: [on_start] receives the deployment right after its
+     domains spin up, so the sampler thread and the telemetry endpoint
+     observe the same registry the clients are writing into. *)
+  let svc_ref = ref None in
+  let expo = ref None in
+  let sampler = ref None in
+  let sampler_stop = Atomic.make false in
+  let on_start svc =
+    svc_ref := Some svc;
+    (match telemetry with
+    | Some addr ->
+        let srv =
+          Rt.Expo_server.start ~addr (fun () ->
+              Obs.Expo.to_prometheus (Rt.Service.stats_snapshot svc))
+        in
+        Format.printf "telemetry   : Prometheus text exposition on %s@."
+          (Rt.Expo_server.addr srv);
+        expo := Some srv
+    | None -> ());
+    match stats_every with
+    | Some every when every > 0. ->
+        sampler :=
+          Some
+            (Thread.create
+               (fun () ->
+                 let t0 = Unix.gettimeofday () in
+                 let last = ref 0 in
+                 while not (Atomic.get sampler_stop) do
+                   Thread.delay every;
+                   if not (Atomic.get sampler_stop) then begin
+                     let snap = Rt.Service.stats_snapshot svc in
+                     let count name =
+                       Option.value
+                         (Obs.Metrics.find_count snap name)
+                         ~default:0
+                     in
+                     let ok =
+                       count "svc.updates_ok" + count "svc.scans_ok"
+                     in
+                     let rate = float_of_int (ok - !last) /. every in
+                     last := ok;
+                     let q p =
+                       match
+                         Obs.Metrics.find_dist snap "svc.update_latency_s"
+                       with
+                       | Some d -> (
+                           match Obs.Hdr.dist_quantile d p with
+                           | Some v -> Printf.sprintf "%.2f" (v *. 1e3)
+                           | None -> "-")
+                       | None -> "-"
+                     in
+                     Format.printf
+                       "[%6.1fs] %7d ops  %8.0f ops/s  upd p50 %s ms  p99 \
+                        %s ms  aborted %d@."
+                       (Unix.gettimeofday () -. t0)
+                       ok rate (q 0.5) (q 0.99) (count "svc.aborted")
+                   end
+                 done)
+               ())
+    | _ -> ()
+  in
   let report =
-    Rt.Service.run ~batch ~scan_fraction ~seed ~crash:crash_nodes
-      ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs ()
+    Rt.Service.run ~batch ~recorder:(not no_recorder) ?mutation ~on_start
+      ~scan_fraction ~seed ~crash:crash_nodes ?restart_after ?wal_dir ~algo
+      ~n ~f ~clients ~secs ()
+  in
+  Atomic.set sampler_stop true;
+  Option.iter Thread.join !sampler;
+  Option.iter Rt.Expo_server.stop !expo;
+  (* Forensics: on any failing exit, dump the flight recorder (merged
+     rings as Perfetto-loadable Chrome JSON) and the final metrics
+     snapshot, so the violating run can be examined after the process is
+     gone — CI uploads exactly these files. *)
+  let dump_forensics reason =
+    (try
+       if not (Sys.file_exists dump_dir) then Sys.mkdir dump_dir 0o755
+     with Sys_error _ -> ());
+    let stats_file = Filename.concat dump_dir "flight-recorder.stats" in
+    Obs.Expo.save stats_file (Obs.Metrics.sorted report.final_metrics);
+    Format.printf "forensics   : metrics snapshot -> %s@." stats_file;
+    (match Option.bind !svc_ref Rt.Service.recorder with
+    | Some rc ->
+        let trace_file = Filename.concat dump_dir "flight-recorder.json" in
+        (* Recorder timestamps are wall seconds; Trace renders one unit
+           as 1 ms, so scale by 1e3 to keep Perfetto's axis honest. *)
+        let tr = Obs.Recorder.to_trace ~mul:1e3 rc in
+        let oc = open_out trace_file in
+        output_string oc
+          (Obs.Trace.to_chrome ~process_name:"aso-serve" tr);
+        close_out oc;
+        Format.printf
+          "forensics   : flight recorder -> %s (%d events kept, %d \
+           overwritten; load in Perfetto)@."
+          trace_file
+          (List.length (Obs.Recorder.events rc))
+          (Obs.Recorder.total_overwritten rc)
+    | None -> ());
+    Format.printf "forensics   : dumped because %s@." reason
   in
   Format.printf "backend     : rt (%d node domains, %d client threads)@." n
     clients;
@@ -1000,17 +1098,17 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash
     report.aborted
     (List.length (History.pending report.history));
   Format.printf "throughput  : %.0f ops/s@." report.ops_per_sec;
-  let pp_lat label lats =
-    match Harness.Stats.summarize lats with
-    | None -> Format.printf "%s : (no completed ops)@." label
-    | Some s ->
+  let pp_lat label (d : Obs.Hdr.dist) =
+    match
+      (Obs.Hdr.dist_quantile d 0.5, Obs.Hdr.dist_quantile d 0.99)
+    with
+    | Some p50, Some p99 ->
         Format.printf "%s : p50 %.2f ms   p99 %.2f ms   (%d ops)@." label
-          (s.Harness.Stats.p50 *. 1e3)
-          (s.Harness.Stats.p99 *. 1e3)
-          s.Harness.Stats.count
+          (p50 *. 1e3) (p99 *. 1e3) d.Obs.Hdr.d_count
+    | _ -> Format.printf "%s : (no completed ops)@." label
   in
-  pp_lat "update lat " report.update_latencies;
-  pp_lat "scan lat   " report.scan_latencies;
+  pp_lat "update lat " report.update_lat;
+  pp_lat "scan lat   " report.scan_lat;
   if batch then
     Format.printf "batching    : %d updates fused into group commits@."
       report.fused_updates;
@@ -1031,12 +1129,14 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash
     report.recoveries;
   (if crash_restart && report.recoveries = [] then (
      Format.printf "history     : VIOLATION — no node completed recovery@.";
+     dump_forensics "no node completed recovery";
      exit 1));
   let total_ops = List.length (History.ops report.history) in
   match serve_check_history algo ~n report with
   | Ok label -> Format.printf "history     : %s, %d ops@." label total_ops
   | Error e ->
       Format.printf "history     : VIOLATION — %s@." e;
+      dump_forensics "the checker found a violation";
       exit 1
 
 let serve_cmd =
@@ -1092,7 +1192,45 @@ let serve_cmd =
           & info [ "wal-dir" ] ~docv:"DIR"
               ~doc:
                 "Directory for per-node write-ahead logs (node-N.wal); \
-                 without it nodes log to durable memory."))
+                 without it nodes log to durable memory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "telemetry" ] ~docv:"ADDR"
+              ~doc:
+                "Serve live metrics (Prometheus text exposition) over \
+                 HTTP on HOST:PORT for the duration of the run — scrape \
+                 with curl or point a Prometheus at it.")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "stats-every" ] ~docv:"SECS"
+              ~doc:
+                "Print a one-line console stats sample (ops so far, \
+                 ops/s, update p50/p99) every SECS seconds while the run \
+                 is live.")
+      $ Arg.(
+          value & opt string "."
+          & info [ "dump-dir" ] ~docv:"DIR"
+              ~doc:
+                "Where to write the forensics dump (flight-recorder.json \
+                 + flight-recorder.stats) when the run exits non-zero \
+                 (default: current directory).")
+      $ Arg.(
+          value
+          & opt (some mutation_conv) None
+          & info [ "mutate" ] ~docv:"MUTATION"
+              ~doc:
+                "Arm a seeded protocol bug on the deployment so the run \
+                 is guaranteed to violate — demonstrates the checker and \
+                 the forensics dump end-to-end. One of: quorum-off-by-one, \
+                 skip-write-tag, stale-renewal.")
+      $ Arg.(
+          value & flag
+          & info [ "no-recorder" ]
+              ~doc:
+                "Disable the per-node flight-recorder rings (the bench's \
+                 recorder-overhead baseline)."))
 
 (* ---- recover: offline write-ahead-log replay ----------------------- *)
 
@@ -1168,31 +1306,79 @@ let recover_cmd =
           & info [] ~docv:"LOG"
               ~doc:"Write-ahead log file (e.g. wal-dir/node-0.wal)."))
 
+(* ---- stats: pretty-print a metrics snapshot dump ------------------- *)
+
+let stats_impl file =
+  match Obs.Expo.load file with
+  | exception Failure e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+  | exception Sys_error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+  | snap ->
+      Format.printf "snapshot    : %s (%d metric(s))@." file
+        (List.length snap);
+      Format.printf "%a@." Obs.Metrics.pp_snapshot snap
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Pretty-print a metrics snapshot file (the \"aso-stats 1\" \
+          format serve's forensics dump writes): counters, gauges, and \
+          log-histogram quantiles (p50/p90/p99/p999). Exits non-zero on \
+          a corrupt or truncated snapshot.")
+    Term.(
+      const stats_impl
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"FILE"
+              ~doc:"Snapshot file, e.g. flight-recorder.stats."))
+
+(* The ONE subcommand table: the group's command list and the no-args /
+   --help enumeration are both derived from it, so a new subcommand
+   cannot appear in one and not the other (README's list mirrors
+   [aso_demo --help]). *)
+let subcommands =
+  [
+    (run_cmd, "random workload + check");
+    (fig1_cmd, "worked example");
+    (fig2_cmd, "worked example");
+    (table1_cmd, "paper's comparison table");
+    (sweep_cmd, "latency sweeps");
+    (trace_cmd, "Perfetto export");
+    (causal_cmd, "vector-clock causal monitor");
+    (chaos_cmd, "lossy-link adversary");
+    (fuzz_cmd, "randomized schedule search");
+    (explore_cmd, "bounded model checking");
+    (replay_cmd, "counterexample replay");
+    (serve_cmd, "parallel runtime backend under load, live telemetry");
+    (recover_cmd, "offline write-ahead-log replay");
+    (stats_cmd, "pretty-print a metrics snapshot dump");
+  ]
+
 let main_cmd =
   let doc = "fault-tolerant snapshot objects in message-passing systems" in
   let man =
     [
       `S Manpage.s_description;
       `P
-        "Simulate, measure, model-check and serve the paper's snapshot \
-         algorithms. Subcommands: $(b,run) (random workload + check), \
-         $(b,fig1)/$(b,fig2) (worked examples), $(b,table1) (paper's \
-         comparison table), $(b,sweep) (latency sweeps), $(b,trace) \
-         (Perfetto export), $(b,causal) (vector-clock causal monitor), \
-         $(b,chaos) (lossy-link adversary), $(b,fuzz) (randomized schedule \
-         search), $(b,explore) (bounded model checking), $(b,replay) \
-         (counterexample replay), $(b,serve) (parallel runtime backend \
-         under load), $(b,recover) (offline write-ahead-log replay). Run \
-         $(b,aso_demo COMMAND --help) for details.";
+        (Printf.sprintf
+           "Simulate, measure, model-check and serve the paper's snapshot \
+            algorithms. Subcommands: %s. Run $(b,aso_demo COMMAND --help) \
+            for details."
+           (String.concat ", "
+              (List.map
+                 (fun (cmd, hook) ->
+                   Printf.sprintf "$(b,%s) (%s)" (Cmd.name cmd) hook)
+                 subcommands)));
     ]
   in
   Cmd.group
     (Cmd.info "aso_demo" ~version:"1.0.0" ~doc ~man)
     ~default:Term.(ret (const (`Help (`Pager, None))))
-    [
-      run_cmd; fig1_cmd; fig2_cmd; table1_cmd; sweep_cmd; trace_cmd;
-      causal_cmd; chaos_cmd; fuzz_cmd; explore_cmd; replay_cmd; serve_cmd;
-      recover_cmd;
-    ]
+    (List.map fst subcommands)
 
 let () = exit (Cmd.eval main_cmd)

@@ -6,17 +6,26 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
+(* Linear interpolation between closest ranks (the "exclusive of the
+   extremes" C = 1 variant, NumPy's default): quantile q sits at
+   fractional rank q*(n-1) and interpolates between the two surrounding
+   order statistics. Unlike nearest-rank, small samples don't snap tail
+   percentiles to the max, and the estimator is continuous in q. *)
 let summarize = function
   | [] -> None
   | sample ->
       let sorted = List.sort Float.compare sample in
       let arr = Array.of_list sorted in
       let count = Array.length arr in
-      let nearest_rank p =
-        let rank = int_of_float (ceil (p *. float_of_int count)) in
-        arr.(max 0 (min (count - 1) (rank - 1)))
+      let interpolated q =
+        let r = q *. float_of_int (count - 1) in
+        let lo = int_of_float (Float.floor r) in
+        let hi = min (count - 1) (lo + 1) in
+        let frac = r -. float_of_int lo in
+        arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
       in
       Some
         {
@@ -24,15 +33,16 @@ let summarize = function
           mean = List.fold_left ( +. ) 0. sample /. float_of_int count;
           min = arr.(0);
           max = arr.(count - 1);
-          p50 = nearest_rank 0.50;
-          p90 = nearest_rank 0.90;
-          p99 = nearest_rank 0.99;
+          p50 = interpolated 0.50;
+          p90 = interpolated 0.90;
+          p99 = interpolated 0.99;
+          p999 = interpolated 0.999;
         }
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "n=%d mean=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f" s.count
-    s.mean s.min s.p50 s.p90 s.p99 s.max
+    "n=%d mean=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f p999=%.2f max=%.2f"
+    s.count s.mean s.min s.p50 s.p90 s.p99 s.p999 s.max
 
 (* RFC 4180: a cell containing a comma, double quote, CR or LF is
    wrapped in double quotes, with embedded quotes doubled. *)

@@ -8,11 +8,14 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 val summarize : float list -> summary option
-(** [None] on an empty sample. Percentiles use the nearest-rank method
-    on the sorted sample. *)
+(** [None] on an empty sample. Percentiles interpolate linearly between
+    the closest ranks (quantile [q] at fractional rank [q*(n-1)]), so
+    tail percentiles on small samples don't snap to the max and the
+    estimator is continuous in [q]. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

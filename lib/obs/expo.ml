@@ -1,0 +1,182 @@
+(* Exposition: render a Metrics snapshot as Prometheus text format (for
+   the live --telemetry endpoint) and as a small versioned on-disk
+   snapshot format (for flight-recorder forensics dumps that a later
+   [aso_demo stats] invocation can pretty-print). Both operate on the
+   plain-data [Metrics.snapshot], so they never race live instruments. *)
+
+(* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]* — our dotted
+   names ("svc.updates_ok") map dots (and anything else illegal) to
+   underscores. *)
+let sanitize name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+let pr_float b v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.bprintf b "%.0f" v
+  else Printf.bprintf b "%.9g" v
+
+let to_prometheus ?(namespace = "aso") snap =
+  let b = Buffer.create 1024 in
+  let full name = namespace ^ "_" ^ sanitize name in
+  List.iter
+    (fun (name, stat) ->
+      let n = full name in
+      match (stat : Metrics.stat) with
+      | Metrics.Count c ->
+          Printf.bprintf b "# TYPE %s counter\n%s %d\n" n n c
+      | Metrics.Level l ->
+          Printf.bprintf b "# TYPE %s gauge\n%s " n n;
+          pr_float b l;
+          Buffer.add_char b '\n'
+      | Metrics.Samples s -> (
+          (* Raw-sample histograms expose count/sum only: their point is
+             exact per-sample data for offline analysis, not live
+             quantiles. *)
+          match Metrics.summary s with
+          | None -> ()
+          | Some { Metrics.s_count; mean; _ } ->
+              Printf.bprintf b "# TYPE %s summary\n" n;
+              Printf.bprintf b "%s_count %d\n" n s_count;
+              Printf.bprintf b "%s_sum " n;
+              pr_float b (mean *. float_of_int s_count);
+              Buffer.add_char b '\n')
+      | Metrics.Dist d ->
+          Printf.bprintf b "# TYPE %s summary\n" n;
+          List.iter
+            (fun q ->
+              match Hdr.dist_quantile d q with
+              | None -> ()
+              | Some v ->
+                  Printf.bprintf b "%s{quantile=\"%g\"} " n q;
+                  pr_float b v;
+                  Buffer.add_char b '\n')
+            [ 0.5; 0.9; 0.99; 0.999 ];
+          Printf.bprintf b "%s_count %d\n" n d.Hdr.d_count;
+          Printf.bprintf b "%s_sum " n;
+          pr_float b
+            (match Hdr.dist_mean d with
+            | None -> 0.
+            | Some m -> m *. float_of_int d.Hdr.d_count);
+          Buffer.add_char b '\n')
+    snap;
+  Buffer.contents b
+
+(* ---- versioned snapshot files --------------------------------------- *)
+
+(* Line-oriented, one metric per line after the version header:
+
+     aso-stats 1
+     counter <name> <int>
+     gauge <name> <float>
+     samples <name> <v> <v> ...
+     dist <name> <count> <index:count> <index:count> ...
+
+   Names are percent-free dotted identifiers (no spaces by
+   construction); floats round-trip via %h (hex float). *)
+
+let magic = "aso-stats 1"
+
+let save_string snap =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (name, stat) ->
+      (if String.contains name ' ' || String.contains name '\n' then
+         invalid_arg
+           (Printf.sprintf "Obs.Expo.save: metric name %S has whitespace"
+              name));
+      match (stat : Metrics.stat) with
+      | Metrics.Count c -> Printf.bprintf b "counter %s %d\n" name c
+      | Metrics.Level l -> Printf.bprintf b "gauge %s %h\n" name l
+      | Metrics.Samples s ->
+          Printf.bprintf b "samples %s" name;
+          List.iter (fun v -> Printf.bprintf b " %h" v) s;
+          Buffer.add_char b '\n'
+      | Metrics.Dist d ->
+          Printf.bprintf b "dist %s %d" name d.Hdr.d_count;
+          List.iter
+            (fun (i, c) -> Printf.bprintf b " %d:%d" i c)
+            d.Hdr.d_buckets;
+          Buffer.add_char b '\n')
+    snap;
+  Buffer.contents b
+
+let save file snap =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save_string snap))
+
+let parse_error line msg =
+  failwith (Printf.sprintf "Obs.Expo.load: %s in %S" msg line)
+
+let load_string s =
+  match String.split_on_char '\n' s with
+  | [] -> failwith "Obs.Expo.load: empty file"
+  | header :: rest ->
+      if String.trim header <> magic then
+        failwith
+          (Printf.sprintf "Obs.Expo.load: bad header %S (want %S)" header
+             magic);
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match String.split_on_char ' ' line with
+            | "counter" :: name :: [ c ] -> (
+                match int_of_string_opt c with
+                | Some c -> Some (name, Metrics.Count c)
+                | None -> parse_error line "bad counter value")
+            | "gauge" :: name :: [ l ] -> (
+                match float_of_string_opt l with
+                | Some l -> Some (name, Metrics.Level l)
+                | None -> parse_error line "bad gauge value")
+            | "samples" :: name :: vs ->
+                Some
+                  ( name,
+                    Metrics.Samples
+                      (List.map
+                         (fun v ->
+                           match float_of_string_opt v with
+                           | Some v -> v
+                           | None -> parse_error line "bad sample")
+                         vs) )
+            | "dist" :: name :: count :: pairs -> (
+                match int_of_string_opt count with
+                | None -> parse_error line "bad dist count"
+                | Some d_count ->
+                    let d_buckets =
+                      List.map
+                        (fun p ->
+                          match String.split_on_char ':' p with
+                          | [ i; c ] -> (
+                              match
+                                (int_of_string_opt i, int_of_string_opt c)
+                              with
+                              | Some i, Some c -> (i, c)
+                              | _ -> parse_error line "bad dist bucket")
+                          | _ -> parse_error line "bad dist bucket")
+                        pairs
+                    in
+                    (* Validate indices/counts the same way [of_dist]
+                       would, so a corrupt file fails here, loudly. *)
+                    let d = { Hdr.d_count; d_buckets } in
+                    ignore (Hdr.of_dist d : Hdr.t);
+                    Some (name, Metrics.Dist d))
+            | _ -> parse_error line "unknown record")
+        rest
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      load_string (really_input_string ic n))

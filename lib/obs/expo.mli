@@ -1,0 +1,28 @@
+(** Exposition of {!Metrics} snapshots: Prometheus text format for the
+    live telemetry endpoint, and a small versioned file format
+    ("aso-stats 1") for forensics dumps that survive the process. Both
+    work on the immutable {!Metrics.snapshot}, never live instruments. *)
+
+val sanitize : string -> string
+(** Map a dotted metric name to a legal Prometheus name
+    (dots and other illegal characters become underscores). *)
+
+val to_prometheus : ?namespace:string -> Metrics.snapshot -> string
+(** Text exposition format. Counters and gauges map directly;
+    log-histograms become summaries with quantile 0.5/0.9/0.99/0.999
+    lines plus [_count]/[_sum]; raw-sample histograms expose
+    [_count]/[_sum] only. Names are prefixed ["<namespace>_"]
+    (default ["aso"]). *)
+
+(** {2 Snapshot files} *)
+
+val save_string : Metrics.snapshot -> string
+(** Serialize under the ["aso-stats 1"] header. @raise Invalid_argument
+    if a metric name contains whitespace. *)
+
+val load_string : string -> Metrics.snapshot
+(** @raise Failure on a bad header or malformed record — a corrupt dump
+    fails loudly rather than parsing partially. *)
+
+val save : string -> Metrics.snapshot -> unit
+val load : string -> Metrics.snapshot

@@ -1,0 +1,61 @@
+(** Log-bucketed ("HDR-style") histogram: fixed memory, bounded relative
+    error, lock-free multi-domain recording.
+
+    Values are bucketed by IEEE-754 exponent with 16 linear sub-buckets
+    per octave, so any reported statistic is within ~3.1% (hard bound
+    1/32) of the true sample value. Bucket counts are atomic: domains
+    record concurrently without coordination, and two histograms merge
+    by bucket-wise addition — commutative and associative, which is what
+    lets a collector fold per-domain histograms in any order.
+
+    Non-finite and non-positive values clamp into the extreme buckets
+    (they are counted, with saturated values), so latency paths never
+    raise. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one sample. Allocation-free; safe from any domain. *)
+
+val count : t -> int
+
+val quantile : t -> float -> float option
+(** Nearest-rank quantile (bucket-midpoint value); [None] when empty. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' samples. *)
+
+(** {2 Immutable snapshots}
+
+    A [dist] is the serializable face of a histogram: sparse
+    (bucket index, count) pairs in ascending index order. All the
+    statistics below also work on snapshots, so merged cross-domain or
+    cross-run data never needs a live [t]. *)
+
+type dist = {
+  d_count : int;
+  d_buckets : (int * int) list;  (** index-ascending, counts positive *)
+}
+
+val empty_dist : dist
+val snapshot : t -> dist
+
+val of_dist : dist -> t
+(** @raise Invalid_argument on out-of-range bucket indices or negative
+    counts (e.g. a corrupted snapshot file). *)
+
+val dist_merge : dist -> dist -> dist
+val dist_quantile : dist -> float -> float option
+val dist_mean : dist -> float option
+val dist_min : dist -> float option
+val dist_max : dist -> float option
+
+val value_of : int -> float
+(** Midpoint value of a bucket index (for rendering / export). *)
+
+val index_of : float -> int
+(** Bucket index a value lands in (exposed for the error-bound tests). *)
+
+val pp_dist : Format.formatter -> dist -> unit

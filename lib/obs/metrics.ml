@@ -14,7 +14,13 @@ type histogram = {
   samples : float list Atomic.t; (* newest first *)
 }
 
-type metric = C of counter | G of gauge | H of histogram
+type log_histogram = { l_name : string; hdr : Hdr.t }
+
+type metric =
+  | C of counter
+  | G of gauge
+  | H of histogram
+  | L of log_histogram
 
 type t = {
   tbl : (string, metric) Hashtbl.t;
@@ -23,7 +29,11 @@ type t = {
 
 let create () = { tbl = Hashtbl.create 32; order = [] }
 
-let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+let kind_name = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+  | L _ -> "log_histogram"
 
 let register t name make describe =
   match Hashtbl.find_opt t.tbl name with
@@ -61,6 +71,13 @@ let histogram t name =
       (h, H h))
     (function H h -> Some h | _ -> None)
 
+let log_histogram t name =
+  register t name
+    (fun () ->
+      let l = { l_name = name; hdr = Hdr.create () } in
+      (l, L l))
+    (function L l -> Some l | _ -> None)
+
 let incr c = Atomic.incr c.count
 let add c n = ignore (Atomic.fetch_and_add c.count n : int)
 let count c = Atomic.get c.count
@@ -78,12 +95,17 @@ let rec observe h v =
 
 let histogram_name h = h.h_name
 
+let record l v = Hdr.observe l.hdr v
+let log_histogram_name l = l.l_name
+let hdr l = l.hdr
+
 (* ---- snapshots ------------------------------------------------------- *)
 
 type stat =
   | Count of int
   | Level of float
   | Samples of float list (* oldest first *)
+  | Dist of Hdr.dist
 
 type snapshot = (string * stat) list
 
@@ -94,7 +116,8 @@ let snapshot t =
         match Hashtbl.find t.tbl name with
         | C c -> Count (Atomic.get c.count)
         | G g -> Level (Atomic.get g.level)
-        | H h -> Samples (List.rev (Atomic.get h.samples)) ))
+        | H h -> Samples (List.rev (Atomic.get h.samples))
+        | L l -> Dist (Hdr.snapshot l.hdr) ))
     t.order
 
 let merge_stat name a b =
@@ -102,6 +125,7 @@ let merge_stat name a b =
   | Count x, Count y -> Count (x + y)
   | Level x, Level y -> Level (Float.max x y)
   | Samples x, Samples y -> Samples (x @ y)
+  | Dist x, Dist y -> Dist (Hdr.dist_merge x y)
   | _ ->
       invalid_arg
         (Printf.sprintf "Obs.Metrics.merge: %S has conflicting kinds" name)
@@ -135,6 +159,9 @@ let find_count snap name =
 let find_samples snap name =
   match find snap name with Some (Samples s) -> Some s | _ -> None
 
+let find_dist snap name =
+  match find snap name with Some (Dist d) -> Some d | _ -> None
+
 type summary = { s_count : int; mean : float; min : float; max : float }
 
 let summary = function
@@ -158,6 +185,7 @@ let pp_stat ppf = function
       | Some { s_count; mean; min; max } ->
           Format.fprintf ppf "n=%d mean=%.2f min=%.2f max=%.2f" s_count mean
             min max)
+  | Dist d -> Hdr.pp_dist ppf d
 
 let pp_snapshot ppf snap =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline

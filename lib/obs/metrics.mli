@@ -27,6 +27,7 @@ type t
 type counter
 type gauge
 type histogram
+type log_histogram
 
 val create : unit -> t
 
@@ -36,6 +37,12 @@ val counter : t -> string -> counter
 
 val gauge : t -> string -> gauge
 val histogram : t -> string -> histogram
+
+val log_histogram : t -> string -> log_histogram
+(** Log-bucketed ({!Hdr}) histogram: fixed memory, ~3.1% bounded
+    relative error, lock-free multi-domain recording. Prefer this over
+    {!histogram} on high-volume rt paths — a sample-list histogram
+    allocates per observation and keeps every sample alive. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -49,12 +56,21 @@ val gauge_name : gauge -> string
 val observe : histogram -> float -> unit
 val histogram_name : histogram -> string
 
+val record : log_histogram -> float -> unit
+(** Allocation-free; safe from any domain. *)
+
+val log_histogram_name : log_histogram -> string
+
+val hdr : log_histogram -> Hdr.t
+(** The underlying histogram (for direct quantile reads). *)
+
 (** {2 Snapshots} *)
 
 type stat =
   | Count of int
   | Level of float
   | Samples of float list  (** observation order *)
+  | Dist of Hdr.dist
 
 type snapshot = (string * stat) list
 (** Registration order. *)
@@ -63,8 +79,8 @@ val snapshot : t -> snapshot
 
 val merge : snapshot -> snapshot -> snapshot
 (** Union by name: counters add, gauges keep the max, histograms
-    concatenate samples ([a]'s before [b]'s). Order: [a]'s entries
-    first, then names only in [b].
+    concatenate samples ([a]'s before [b]'s), log-histograms add
+    bucket-wise. Order: [a]'s entries first, then names only in [b].
     @raise Invalid_argument if a name carries different kinds. *)
 
 val sorted : snapshot -> snapshot
@@ -77,6 +93,7 @@ val sorted : snapshot -> snapshot
 val find : snapshot -> string -> stat option
 val find_count : snapshot -> string -> int option
 val find_samples : snapshot -> string -> float list option
+val find_dist : snapshot -> string -> Hdr.dist option
 
 type summary = { s_count : int; mean : float; min : float; max : float }
 

@@ -1,0 +1,93 @@
+(* Minimal exposition endpoint: one listener thread, one short-lived
+   HTTP/1.0 exchange per connection (read and discard the request, write
+   the rendered body, close). Prometheus scrapes are exactly this shape,
+   and one render per scrape means the server never holds locks or
+   references into the live deployment — the render callback snapshots
+   whatever it needs. *)
+
+type t = {
+  sock : Unix.file_descr;
+  addr : string;
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let parse_addr addr =
+  match String.rindex_opt addr ':' with
+  | None -> invalid_arg "Rt.Expo_server: ADDR must be HOST:PORT"
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port with
+      | None -> invalid_arg "Rt.Expo_server: bad port"
+      | Some port ->
+          let host = if host = "" then "127.0.0.1" else host in
+          (Unix.inet_addr_of_string host, port))
+
+let handle render client =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Read (and ignore) whatever request arrived; a zero-length read
+         means the peer closed first. *)
+      let buf = Bytes.create 4096 in
+      (try ignore (Unix.read client buf 0 (Bytes.length buf) : int)
+       with Unix.Unix_error _ -> ());
+      let body = render () in
+      let resp =
+        Printf.sprintf
+          "HTTP/1.0 200 OK\r\n\
+           Content-Type: text/plain; version=0.0.4\r\n\
+           Content-Length: %d\r\n\
+           Connection: close\r\n\
+           \r\n\
+           %s"
+          (String.length body) body
+      in
+      let rec write_all off =
+        if off < String.length resp then
+          match
+            Unix.write_substring client resp off (String.length resp - off)
+          with
+          | 0 -> ()
+          | n -> write_all (off + n)
+          | exception Unix.Unix_error _ -> ()
+      in
+      write_all 0)
+
+let start ~addr render =
+  let inet, port = parse_addr addr in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (inet, port))
+   with e ->
+     Unix.close sock;
+     raise e);
+  Unix.listen sock 16;
+  let stopping = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Unix.accept sock with
+          | client, _ ->
+              handle render client;
+              loop ()
+          | exception Unix.Unix_error _ ->
+              (* [stop] closed the listener (or accept failed hard):
+                 either way the endpoint is done. *)
+              if not (Atomic.get stopping) then () else ()
+        in
+        loop ())
+      ()
+  in
+  { sock; addr; thread; stopping }
+
+let addr t = t.addr
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then (
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    Thread.join t.thread)

@@ -1,0 +1,22 @@
+(** Minimal HTTP exposition endpoint for live telemetry ([aso_demo serve
+    --telemetry ADDR]): a listener thread answers every request with the
+    body the render callback returns at that moment (Prometheus
+    text-format scrapes are one short-lived exchange each).
+
+    The callback runs on the listener thread — it must be safe to call
+    concurrently with the deployment (e.g. render an
+    {!Obs.Metrics.snapshot} through {!Obs.Expo.to_prometheus}; both are
+    designed for exactly this). *)
+
+type t
+
+val start : addr:string -> (unit -> string) -> t
+(** Bind [addr] ("HOST:PORT"; empty host means 127.0.0.1) and serve
+    until {!stop}.
+    @raise Invalid_argument on a malformed address;
+    @raise Unix.Unix_error if the bind fails (port taken). *)
+
+val addr : t -> string
+
+val stop : t -> unit
+(** Close the listener and join its thread. Idempotent. *)

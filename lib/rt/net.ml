@@ -6,13 +6,22 @@ type 'm t = {
   c_dropped : Obs.Metrics.counter;
   c_broadcasts : Obs.Metrics.counter;
   t0 : int64;
+  telem : Telem.t option;
 }
 
-let create ~n =
+let create ?(recorder = true) ~n () =
   if n <= 0 then invalid_arg "Rt.Net.create: n must be positive";
   let metrics = Obs.Metrics.create () in
+  let t0 = Monotonic_clock.now () in
+  let now () = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9 in
+  let telem = if recorder then Some (Telem.create ~n ~now ()) else None in
+  let nodes = Array.init n Node.create in
+  (match telem with
+  | Some tl ->
+      Array.iteri (fun i nd -> Node.set_telem nd (Some (Telem.node tl i))) nodes
+  | None -> ());
   {
-    nodes = Array.init n Node.create;
+    nodes;
     metrics;
     (* Same instrument names as the simulator's network, so bench and
        campaign aggregation treat both backends uniformly. *)
@@ -20,12 +29,15 @@ let create ~n =
     c_delivered = Obs.Metrics.counter metrics "net.delivered";
     c_dropped = Obs.Metrics.counter metrics "net.dropped";
     c_broadcasts = Obs.Metrics.counter metrics "net.broadcasts";
-    t0 = Monotonic_clock.now ();
+    t0;
+    telem;
   }
 
 let size t = Array.length t.nodes
 let metrics t = t.metrics
 let node t i = t.nodes.(i)
+let telem t = t.telem
+let recorder t = Option.map Telem.recorder t.telem
 
 let now t = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.t0) *. 1e-9
 

@@ -17,15 +17,21 @@
 
 type 'm t
 
-val create : n:int -> 'm t
+val create : ?recorder:bool -> n:int -> unit -> 'm t
 (** Allocate nodes and register the network counters ([net.sent] etc. —
     the simulator's names). Domains are not yet running: install
     handlers (via {!backend} and the protocol constructor), then
-    {!start}. *)
+    {!start}. [recorder] (default [true]) attaches a flight-recorder
+    ring to every node ({!Telem}); pass [false] to measure its absence
+    (the bench overhead rows). *)
 
 val size : _ t -> int
 val metrics : _ t -> Obs.Metrics.t
 val node : 'm t -> int -> 'm Node.t
+
+val telem : _ t -> Telem.t option
+val recorder : _ t -> Obs.Recorder.t option
+(** The flight recorder, when enabled at {!create}. *)
 
 val now : _ t -> float
 (** Monotonic seconds since {!create}. Safe from any domain. *)

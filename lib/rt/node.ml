@@ -24,6 +24,10 @@ type 'm t = {
   mutable deferred_rev : (unit -> unit) list;
   mutable stop : bool;
   mutable domain : unit Domain.t option;
+  (* Flight-recorder handle; written only from this node's own domain
+     (receive-side events), matching the recorder's single-writer
+     contract. Installed before [start], like the handler. *)
+  mutable telem : Telem.node option;
 }
 
 let create id =
@@ -38,10 +42,12 @@ let create id =
     deferred_rev = [];
     stop = false;
     domain = None;
+    telem = None;
   }
 
 let id t = t.id
 let set_handler t h = t.handler <- h
+let set_telem t tl = t.telem <- tl
 let is_crashed t = Atomic.get t.poisoned
 
 let post t item =
@@ -66,28 +72,44 @@ let crash t =
   Mutex.unlock t.lock
 
 (* Blocking receive, node domain only. Fast path is a plain lock-free
-   pop; the slow path parks under the mailbox lock. *)
+   pop; the slow path parks under the mailbox lock. Telemetry rides the
+   receive side: after every pop we sample the remaining mailbox depth,
+   and a slow-path pop additionally records how long the domain slept —
+   both written to this node's own ring (we are its single writer). *)
 let next t =
   if Atomic.get t.poisoned then raise Crashed;
   match Queue.pop_opt t.mbox with
-  | Some item -> item
+  | Some item ->
+      (match t.telem with
+      | Some nd -> Telem.depth nd ~n:(Queue.length t.mbox)
+      | None -> ());
+      item
   | None ->
+      let t_park = match t.telem with Some nd -> Telem.now nd | None -> 0. in
       Mutex.lock t.lock;
       Atomic.set t.parked true;
-      Fun.protect
-        ~finally:(fun () ->
-          Atomic.set t.parked false;
-          Mutex.unlock t.lock)
-        (fun () ->
-          let rec wait () =
-            match Queue.pop_opt t.mbox with
-            | Some item -> item
-            | None ->
-                if Atomic.get t.poisoned then raise Crashed;
-                Condition.wait t.nonempty t.lock;
-                wait ()
-          in
-          wait ())
+      let item =
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set t.parked false;
+            Mutex.unlock t.lock)
+          (fun () ->
+            let rec wait () =
+              match Queue.pop_opt t.mbox with
+              | Some item -> item
+              | None ->
+                  if Atomic.get t.poisoned then raise Crashed;
+                  Condition.wait t.nonempty t.lock;
+                  wait ()
+            in
+            wait ())
+      in
+      (match t.telem with
+      | Some nd ->
+          Telem.park nd ~secs:(Telem.now nd -. t_park);
+          Telem.depth nd ~n:(Queue.length t.mbox)
+      | None -> ());
+      item
 
 (* The operation-context wait: pump the node's own mailbox until [pred]
    holds. Message handlers run inline (that is what makes the predicate

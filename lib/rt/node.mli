@@ -33,6 +33,12 @@ val id : _ t -> int
 val set_handler : 'm t -> (src:int -> 'm -> unit) -> unit
 (** Install the message handler. Must happen before {!start}. *)
 
+val set_telem : 'm t -> Telem.node option -> unit
+(** Attach this node's flight-recorder ring. Must happen before
+    {!start}: the ring is written from the node's domain (depth samples
+    after each receive, park-wait instants on the slow path), honouring
+    the recorder's single-writer contract. *)
+
 val post : 'm t -> 'm item -> bool
 (** Enqueue from any domain; wakes the node if parked. [false] if the
     node is crashed (the item is dropped — a crashed node receives

@@ -14,11 +14,17 @@ type 'a node = {
 type 'a t = {
   tail : 'a node Atomic.t;  (* producers swap here, then link *)
   mutable head : 'a node;  (* consumer-only: current stub *)
+  (* Approximate occupancy for telemetry: bumped after the push's
+     exchange, dropped after a successful pop. Racy by design — a reader
+     can observe the count before the element is linked or after it was
+     popped — but never drifts (every push is matched by one pop), which
+     is all a mailbox-depth gauge needs. *)
+  depth : int Atomic.t;
 }
 
 let create () =
   let stub = { value = None; next = Atomic.make None } in
-  { tail = Atomic.make stub; head = stub }
+  { tail = Atomic.make stub; head = stub; depth = Atomic.make 0 }
 
 let push t v =
   let n = { value = Some v; next = Atomic.make None } in
@@ -28,7 +34,8 @@ let push t v =
      reads the queue as empty. That transient is why mailbox consumers
      must park under a lock and producers signal after [push] returns —
      the linking producer's signal is what makes the suffix visible. *)
-  Atomic.set prev.next (Some n)
+  Atomic.set prev.next (Some n);
+  Atomic.incr t.depth
 
 let pop_opt t =
   match Atomic.get t.head.next with
@@ -37,6 +44,9 @@ let pop_opt t =
       let v = n.value in
       n.value <- None;
       t.head <- n;
+      Atomic.decr t.depth;
       v
 
 let is_empty t = Atomic.get t.head.next = None
+
+let length t = max 0 (Atomic.get t.depth)

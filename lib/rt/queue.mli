@@ -34,3 +34,9 @@ val pop_opt : 'a t -> 'a option
 
 val is_empty : 'a t -> bool
 (** Consumer only; same transient-emptiness caveat as {!pop_opt}. *)
+
+val length : 'a t -> int
+(** Approximate occupancy, safe from any domain. Exact whenever no push
+    or pop is in flight; momentarily off by the number of in-flight
+    operations otherwise. Telemetry-grade — never use it to decide
+    emptiness (see {!is_empty}'s caveat). *)

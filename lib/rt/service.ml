@@ -62,6 +62,19 @@ type t = {
   mutable recoveries : recovery list;
   mutable fused_away : int;
   next_value : int Atomic.t;
+  (* Per-node flight-recorder handles ([None] when the recorder is off);
+     written only from the owning node's domain, except the retroactive
+     replay span in [restart_node] (explicit-timestamp events emitted by
+     the fresh incarnation). *)
+  tnodes : Telem.node option array;
+  (* Service-level instruments, live in the deployment's registry so the
+     telemetry endpoint exposes them next to the [net.*] counters. *)
+  c_updates_ok : Obs.Metrics.counter;
+  c_scans_ok : Obs.Metrics.counter;
+  c_rejected : Obs.Metrics.counter;
+  c_aborted : Obs.Metrics.counter;
+  h_update_lat : Obs.Metrics.log_histogram;
+  h_scan_lat : Obs.Metrics.log_histogram;
 }
 
 let new_reply () =
@@ -100,7 +113,13 @@ let unregister s node r =
    Section II-A) requires. Client-perceived latency, which does include
    mailbox queueing, is measured separately by the clients. *)
 
+(* Flight-recorder emission points — all on the node's own domain (the
+   work body), so the single-writer contract holds. Span ends fire on
+   both the success and the crash-unwind path. *)
+let tele s node f = match s.tnodes.(node) with Some nd -> f nd | None -> ()
+
 let run_update s ~node v r () =
+  tele s node Telem.update_begin;
   Mutex.lock s.lock;
   let op = History.begin_update s.history ~now:(Net.now s.net) ~node ~value:v in
   Mutex.unlock s.lock;
@@ -110,15 +129,18 @@ let run_update s ~node v r () =
       History.finish_update s.history ~now:(Net.now s.net) op;
       unregister s node r;
       Mutex.unlock s.lock;
+      tele s node Telem.update_end;
       resolve r `Done
   | exception Node.Crashed ->
       (* The op stays pending in the history (the node crashed mid-op,
          exactly the model's pending operation); re-raise so the node's
          run loop unwinds. *)
+      tele s node Telem.update_end;
       resolve r `Aborted;
       raise Node.Crashed
 
 let run_scan s ~node r () =
+  tele s node Telem.scan_begin;
   Mutex.lock s.lock;
   let op = History.begin_scan s.history ~now:(Net.now s.net) ~node in
   Mutex.unlock s.lock;
@@ -129,8 +151,10 @@ let run_scan s ~node r () =
       unregister s node r;
       Mutex.unlock s.lock;
       r.snap <- Some snap;
+      tele s node Telem.scan_end;
       resolve r `Done
   | exception Node.Crashed ->
+      tele s node Telem.scan_end;
       resolve r `Aborted;
       raise Node.Crashed
 
@@ -157,15 +181,20 @@ let rec drain_batch s node () =
         History.begin_update s.history ~now:(Net.now s.net) ~node ~value:v
       in
       Mutex.unlock s.lock;
+      tele s node (fun nd ->
+          Telem.fuse nd ~n:(List.length items);
+          Telem.update_begin nd);
       match s.ops.op_update ~node v with
       | () ->
           Mutex.lock s.lock;
           History.finish_update s.history ~now:(Net.now s.net) op;
           List.iter (fun (_, r) -> unregister s node r) items;
           Mutex.unlock s.lock;
+          tele s node Telem.update_end;
           List.iter (fun (_, r) -> resolve r `Done) items;
           drain_batch s node ()
       | exception Node.Crashed ->
+          tele s node Telem.update_end;
           List.iter (fun (_, r) -> resolve r `Aborted) items;
           raise Node.Crashed)
 
@@ -263,11 +292,21 @@ let restart_node s i =
      order as the simulator restart — no message may reach a half-reset
      node), then run the blocking rejoin as the first work item of the
      fresh domain. *)
+  let t_replay0 = Net.now s.net in
   s.ops.op_begin_recovery ~node:i;
+  let t_replay1 = Net.now s.net in
   Net.restart s.net i;
   let posted =
     Net.post_work s.net i (fun () ->
+        (* The replay ran on the restarter thread while the node's domain
+           was provably dead; the fresh incarnation stamps it into its
+           own ring retroactively (explicit timestamps), so the ring
+           still has a single writer. *)
+        tele s i (fun nd ->
+            Telem.replay nd ~t0:t_replay0 ~t1:t_replay1;
+            Telem.rejoin_begin nd);
         s.ops.op_recover ~node:i;
+        tele s i Telem.rejoin_end;
         let ready = Net.now s.net -. t_restart in
         (* Probe SCAN: the recovered node's first served operation,
            stamped into the checked history like any client request. *)
@@ -297,11 +336,12 @@ let attach_stores core stores =
     (fun i store -> LC.set_store (LC.node core i) store)
     stores
 
-let ops_of algo b ~f ~stores =
+let ops_of algo b ~f ~stores ~mutation =
   match algo with
   | Eq_aso ->
       let t = Aso_core.Eq_aso.create_on b ~f in
       attach_stores (Aso_core.Eq_aso.core t) stores;
+      LC.set_mutation (Aso_core.Eq_aso.core t) mutation;
       {
         op_update = (fun ~node v -> Aso_core.Eq_aso.update t ~node v);
         op_scan = (fun ~node -> Aso_core.Eq_aso.scan t ~node);
@@ -312,6 +352,7 @@ let ops_of algo b ~f ~stores =
   | Sso_fast_scan ->
       let t = Aso_core.Sso.create_on b ~f in
       attach_stores (Aso_core.Sso.core t) stores;
+      LC.set_mutation (Aso_core.Sso.core t) mutation;
       {
         op_update = (fun ~node v -> Aso_core.Sso.update t ~node v);
         op_scan = (fun ~node -> Aso_core.Sso.scan t ~node);
@@ -319,8 +360,9 @@ let ops_of algo b ~f ~stores =
         op_recover = (fun ~node -> Aso_core.Sso.recover t ~node);
       }
 
-let create ?(batch = false) ?wal_dir ~algo ~n ~f () =
-  let net = Net.create ~n in
+let create ?(batch = false) ?(recorder = true) ?mutation ?wal_dir ~algo ~n ~f
+    () =
+  let net = Net.create ~recorder ~n () in
   (* Every node gets a durable store: file-backed WALs under [wal_dir]
      when given (the real crash-recovery path — survives the process),
      in-memory otherwise (models durable memory; survives [crash_node],
@@ -333,7 +375,8 @@ let create ?(batch = false) ?wal_dir ~algo ~n ~f () =
               (Filename.concat dir (Printf.sprintf "node-%d.wal" i))
         | None -> Persist.Store.mem_store (Persist.Store.mem ()))
   in
-  let ops = ops_of algo (Net.backend net) ~f ~stores in
+  let ops = ops_of algo (Net.backend net) ~f ~stores ~mutation in
+  let m = Net.metrics net in
   {
     net;
     n;
@@ -350,23 +393,27 @@ let create ?(batch = false) ?wal_dir ~algo ~n ~f () =
     recoveries = [];
     fused_away = 0;
     next_value = Atomic.make 1;
+    tnodes =
+      (match Net.telem net with
+      | Some tl -> Array.init n (fun i -> Some (Telem.node tl i))
+      | None -> Array.make n None);
+    c_updates_ok = Obs.Metrics.counter m "svc.updates_ok";
+    c_scans_ok = Obs.Metrics.counter m "svc.scans_ok";
+    c_rejected = Obs.Metrics.counter m "svc.rejected";
+    c_aborted = Obs.Metrics.counter m "svc.aborted";
+    h_update_lat = Obs.Metrics.log_histogram m "svc.update_latency_s";
+    h_scan_lat = Obs.Metrics.log_histogram m "svc.scan_latency_s";
   }
 
 let start s = Net.start s.net
 let stop s = Net.stop s.net
 let history s = s.history
 let net s = s.net
+let metrics s = Net.metrics s.net
+let recorder s = Net.recorder s.net
+let stats_snapshot s = Obs.Metrics.snapshot (Net.metrics s.net)
 
 (* {2 The closed-loop load service} *)
-
-type client_stats = {
-  mutable ok_updates : int;
-  mutable ok_scans : int;
-  mutable rejected : int;
-  mutable aborted : int;
-  mutable u_lat : float list;
-  mutable s_lat : float list;
-}
 
 type report = {
   algorithm : string;
@@ -382,11 +429,12 @@ type report = {
   aborted : int;
   fused_updates : int;
   ops_per_sec : float;
-  update_latencies : float list;  (** client-observed, seconds *)
-  scan_latencies : float list;
+  update_lat : Obs.Hdr.dist;  (** client-observed, seconds *)
+  scan_lat : Obs.Hdr.dist;
   crashed_nodes : int list;
   recoveries : recovery list;
   messages_sent : int;
+  final_metrics : Obs.Metrics.snapshot;
   history : History.t;
 }
 
@@ -397,7 +445,11 @@ let rec pick_node s home j =
     if Net.is_crashed s.net c || s.recovering.(c) then pick_node s home (j + 1)
     else Some c
 
-let client_loop s ~deadline ~scan_fraction rng home stats =
+(* Clients record straight into the deployment's registry: the counters
+   and log-histograms are atomic, so concurrent client threads need no
+   per-client state, and the live telemetry endpoint sees every
+   completion as it happens. *)
+let client_loop s ~deadline ~scan_fraction rng home =
   let live = ref true in
   while !live && Net.now s.net < deadline do
     match pick_node s home 0 with
@@ -407,21 +459,22 @@ let client_loop s ~deadline ~scan_fraction rng home stats =
         if Random.State.float rng 1.0 < scan_fraction then (
           match scan s ~node with
           | `Snap _ ->
-              stats.ok_scans <- stats.ok_scans + 1;
-              stats.s_lat <- (Net.now s.net -. t0) :: stats.s_lat
-          | `Rejected -> stats.rejected <- stats.rejected + 1
-          | `Aborted -> stats.aborted <- stats.aborted + 1)
+              Obs.Metrics.incr s.c_scans_ok;
+              Obs.Metrics.record s.h_scan_lat (Net.now s.net -. t0)
+          | `Rejected -> Obs.Metrics.incr s.c_rejected
+          | `Aborted -> Obs.Metrics.incr s.c_aborted)
         else
           match update s ~node (fresh_value s) with
           | `Done ->
-              stats.ok_updates <- stats.ok_updates + 1;
-              stats.u_lat <- (Net.now s.net -. t0) :: stats.u_lat
-          | `Rejected -> stats.rejected <- stats.rejected + 1
-          | `Aborted -> stats.aborted <- stats.aborted + 1
+              Obs.Metrics.incr s.c_updates_ok;
+              Obs.Metrics.record s.h_update_lat (Net.now s.net -. t0)
+          | `Rejected -> Obs.Metrics.incr s.c_rejected
+          | `Aborted -> Obs.Metrics.incr s.c_aborted
   done
 
-let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
-    ?crash_after ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs () =
+let run ?(batch = false) ?(recorder = true) ?mutation ?on_start
+    ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = []) ?crash_after
+    ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs () =
   if clients <= 0 then invalid_arg "Rt.Service.run: clients must be positive";
   if secs <= 0. then invalid_arg "Rt.Service.run: secs must be positive";
   let crash = List.sort_uniq compare crash in
@@ -436,8 +489,9 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
   | Some r when r <= crash_delay ->
       invalid_arg "Rt.Service.run: restart_after must be after the crash"
   | _ -> ());
-  let s = create ~batch ?wal_dir ~algo ~n ~f () in
+  let s = create ~batch ~recorder ?mutation ?wal_dir ~algo ~n ~f () in
   start s;
+  Option.iter (fun f -> f s) on_start;
   let t_start = Net.now s.net in
   let deadline = t_start +. secs in
   let crasher =
@@ -459,23 +513,11 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
                      nodes)
              ())
   in
-  let stats =
-    Array.init clients (fun _ ->
-        {
-          ok_updates = 0;
-          ok_scans = 0;
-          rejected = 0;
-          aborted = 0;
-          u_lat = [];
-          s_lat = [];
-        })
-  in
   let threads =
     Array.init clients (fun i ->
         let rng = Random.State.make [| seed; i |] in
         Thread.create
-          (fun () ->
-            client_loop s ~deadline ~scan_fraction rng (i mod n) stats.(i))
+          (fun () -> client_loop s ~deadline ~scan_fraction rng (i mod n))
           ())
   in
   Array.iter Thread.join threads;
@@ -483,12 +525,8 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
   let duration = Net.now s.net -. t_start in
   stop s;
   let snapshot = Obs.Metrics.snapshot (Net.metrics s.net) in
-  let sum g = Array.fold_left (fun acc c -> acc + g c) 0 stats in
-  let gather g =
-    Array.fold_left (fun acc c -> List.rev_append (g c) acc) [] stats
-  in
-  let completed_updates = sum (fun c -> c.ok_updates) in
-  let completed_scans = sum (fun c -> c.ok_scans) in
+  let completed_updates = Obs.Metrics.count s.c_updates_ok in
+  let completed_scans = Obs.Metrics.count s.c_scans_ok in
   let total = completed_updates + completed_scans in
   {
     algorithm = algo_name algo;
@@ -500,16 +538,17 @@ let run ?(batch = false) ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = [])
     duration;
     completed_updates;
     completed_scans;
-    rejected = sum (fun c -> c.rejected);
-    aborted = sum (fun c -> c.aborted);
+    rejected = Obs.Metrics.count s.c_rejected;
+    aborted = Obs.Metrics.count s.c_aborted;
     fused_updates = s.fused_away;
     ops_per_sec = (if duration > 0. then float_of_int total /. duration else 0.);
-    update_latencies = gather (fun c -> c.u_lat);
-    scan_latencies = gather (fun c -> c.s_lat);
+    update_lat = Obs.Hdr.snapshot (Obs.Metrics.hdr s.h_update_lat);
+    scan_lat = Obs.Hdr.snapshot (Obs.Metrics.hdr s.h_scan_lat);
     crashed_nodes = crash;
     recoveries = List.rev s.recoveries;
     messages_sent =
       Option.value (Obs.Metrics.find_count snapshot "net.sent") ~default:0;
+    final_metrics = snapshot;
     history = s.history;
   }
 

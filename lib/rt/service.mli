@@ -54,12 +54,25 @@ type recovery = {
           (the probe SCAN the service runs as soon as rejoin ends) *)
 }
 
-val create : ?batch:bool -> ?wal_dir:string -> algo:algo -> n:int -> f:int -> unit -> t
+val create :
+  ?batch:bool ->
+  ?recorder:bool ->
+  ?mutation:Aso_core.Lattice_core.mutation ->
+  ?wal_dir:string ->
+  algo:algo ->
+  n:int ->
+  f:int ->
+  unit ->
+  t
 (** Build the deployment (network, protocol wiring, history); domains
     are not running until {!start}. Requires [n > 2f]. With [~wal_dir],
     node [i] writes its mints to [wal_dir/node-i.wal] (created or
     appended); without it, each node gets an in-memory durable store, so
-    {!restart_node} works either way. *)
+    {!restart_node} works either way. [recorder] (default [true])
+    attaches the per-node flight-recorder rings; [mutation] arms a
+    seeded protocol bug ({!Aso_core.Lattice_core.mutation}) so the
+    checker/forensics pipeline can be demonstrated on a run that is
+    {e guaranteed} to violate. *)
 
 val start : t -> unit
 val stop : t -> unit
@@ -96,6 +109,20 @@ val restart_node : t -> int -> unit
 val history : t -> History.t
 val net : t -> int Aso_core.Lattice_core.Msg.t Net.t
 
+val metrics : t -> Obs.Metrics.t
+(** The deployment's registry: [net.*] counters plus the service-level
+    [svc.updates_ok], [svc.scans_ok], [svc.rejected], [svc.aborted]
+    counters and [svc.update_latency_s] / [svc.scan_latency_s]
+    log-histograms. Safe to snapshot from any thread while the
+    deployment runs — this is what the live telemetry endpoint serves. *)
+
+val recorder : t -> Obs.Recorder.t option
+(** The flight recorder (when enabled): drain/merge any time, including
+    after {!stop}, for the forensics dump. *)
+
+val stats_snapshot : t -> Obs.Metrics.snapshot
+(** [Obs.Metrics.snapshot (metrics t)]. *)
+
 (** {2 Closed-loop load runs} *)
 
 type report = {
@@ -112,16 +139,22 @@ type report = {
   aborted : int;  (** requests in flight when their node crashed *)
   fused_updates : int;  (** protocol writes saved by batching *)
   ops_per_sec : float;
-  update_latencies : float list;  (** client-observed, seconds *)
-  scan_latencies : float list;
+  update_lat : Obs.Hdr.dist;
+      (** client-observed seconds, log-bucketed (~3.1% relative error) —
+          query with [Obs.Hdr.dist_quantile] *)
+  scan_lat : Obs.Hdr.dist;
   crashed_nodes : int list;
   recoveries : recovery list;  (** one entry per completed rejoin *)
   messages_sent : int;
+  final_metrics : Obs.Metrics.snapshot;  (** registry at shutdown *)
   history : History.t;
 }
 
 val run :
   ?batch:bool ->
+  ?recorder:bool ->
+  ?mutation:Aso_core.Lattice_core.mutation ->
+  ?on_start:(t -> unit) ->
   ?scan_fraction:float ->
   ?seed:int ->
   ?crash:int list ->
@@ -143,7 +176,13 @@ val run :
     revived at that offset — log replay, rejoin, probe SCAN — while
     client traffic continues, and the report's [recoveries] list carries
     the measured recovery times. The returned history is finished and
-    ready for the batch checker. *)
+    ready for the batch checker.
+
+    [on_start] is called with the live deployment right after the node
+    domains start and before clients are spawned — the hook the serve
+    command uses to wire its sampler thread and telemetry endpoint to
+    {!metrics}/{!recorder} while the run is in flight. The handle stays
+    valid (for post-mortem drains) after [run] returns. *)
 
 val volatile_metrics : report -> (string * float) list
 (** The report's timing-dependent numbers, for the bench JSON's volatile

@@ -85,9 +85,12 @@ let test_stats_summary () =
       Alcotest.(check (float 0.001)) "mean" 50.5 s.mean;
       Alcotest.(check (float 0.001)) "min" 1.0 s.min;
       Alcotest.(check (float 0.001)) "max" 100.0 s.max;
-      Alcotest.(check (float 0.001)) "p50" 50.0 s.p50;
-      Alcotest.(check (float 0.001)) "p90" 90.0 s.p90;
-      Alcotest.(check (float 0.001)) "p99" 99.0 s.p99
+      (* Interpolated ranks: q*(n-1) for 1..100 gives 50.5, 90.1, … —
+         between the two straddling order statistics, not snapped. *)
+      Alcotest.(check (float 0.001)) "p50" 50.5 s.p50;
+      Alcotest.(check (float 0.001)) "p90" 90.1 s.p90;
+      Alcotest.(check (float 0.001)) "p99" 99.01 s.p99;
+      Alcotest.(check (float 0.001)) "p999" 99.901 s.p999
 
 let test_stats_empty () =
   Alcotest.(check bool) "empty sample" true
@@ -101,14 +104,15 @@ let test_stats_singleton () =
   | None -> Alcotest.fail "singleton"
 
 let test_stats_two () =
-  (* nearest rank, n=2: rank(0.5) = ceil(1.0) = 1 (the lower value),
-     rank(0.9) = ceil(1.8) = 2. *)
+  (* interpolation, n=2: rank q*(n-1) = q, a straight line between the
+     two values — p50 is their midpoint, p90 is 90% of the way up. *)
   match Harness.Stats.summarize [ 20.0; 10.0 ] with
   | Some s ->
       Alcotest.(check (float 0.001)) "mean" 15.0 s.mean;
-      Alcotest.(check (float 0.001)) "p50 is the lower value" 10.0 s.p50;
-      Alcotest.(check (float 0.001)) "p90 is the upper value" 20.0 s.p90;
-      Alcotest.(check (float 0.001)) "p99 is the upper value" 20.0 s.p99;
+      Alcotest.(check (float 0.001)) "p50 is the midpoint" 15.0 s.p50;
+      Alcotest.(check (float 0.001)) "p90 interpolates" 19.0 s.p90;
+      Alcotest.(check (float 0.001)) "p99 interpolates" 19.9 s.p99;
+      Alcotest.(check (float 0.001)) "p999 interpolates" 19.99 s.p999;
       Alcotest.(check (float 0.001)) "min" 10.0 s.min;
       Alcotest.(check (float 0.001)) "max" 20.0 s.max
   | None -> Alcotest.fail "two-element sample"
@@ -120,7 +124,7 @@ let test_stats_all_equal () =
       List.iter
         (fun (label, v) -> Alcotest.(check (float 0.001)) label 4.0 v)
         [ ("mean", s.mean); ("min", s.min); ("max", s.max); ("p50", s.p50);
-          ("p90", s.p90); ("p99", s.p99) ]
+          ("p90", s.p90); ("p99", s.p99); ("p999", s.p999) ]
   | None -> Alcotest.fail "all-equal sample"
 
 let test_csv_output () =

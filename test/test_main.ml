@@ -21,6 +21,7 @@ let () =
          Test_sso.suites;
          Test_stress.suites;
          Test_obs.suites;
+         Test_recorder.suites;
          Test_causal.suites;
          Test_mc.suites;
          Test_rt.suites;

@@ -364,11 +364,12 @@ let gate_report ~ops_per_sec ~updates =
     aborted = 0;
     fused_updates = 0;
     ops_per_sec;
-    update_latencies = [];
-    scan_latencies = [];
+    update_lat = Obs.Hdr.empty_dist;
+    scan_lat = Obs.Hdr.empty_dist;
     crashed_nodes = [];
     recoveries = [];
     messages_sent = updates * 50;
+    final_metrics = [];
     history = History.create ();
   }
 
