@@ -645,18 +645,23 @@ let table_mc_throughput () =
 let rt_algos = [ Rt.Service.Eq_aso; Rt.Service.Sso_fast_scan ]
 
 let rt_check algo ~n (report : Rt.Service.report) =
+  let fail e =
+    (* The verdict lands in a pass/FAIL table cell; keep the why. *)
+    Printf.eprintf "checker (%s): %s\n%!" (Rt.Service.algo_name algo) e;
+    false
+  in
   match algo with
   | Rt.Service.Eq_aso -> (
       match Checker.Feed.check ~n report.Rt.Service.history with
       | Ok () -> true
-      | Error _ -> false)
+      | Error v -> fail (Format.asprintf "%a" Obs.Monitor.pp_violation v))
   | Rt.Service.Sso_fast_scan -> (
       match
         Checker.Batch.check ~n Checker.Batch.Sequential
           report.Rt.Service.history
       with
       | Ok () -> true
-      | Error _ -> false)
+      | Error e -> fail e)
 
 let rt_run algo =
   let n = 4 and f = 1 in
@@ -848,6 +853,120 @@ let table_recorder_overhead () =
        clients, wall-clock)"
     ~header:
       [ "algorithm"; "ops/s (off)"; "ops/s (on)"; "on/off"; "events" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Lock-free hot path: raw throughput of the two queues under the
+   runtime (the Vyukov MPSC mailbox and the Michael-Scott MPMC batch
+   queue), and the serve path under both park implementations (the old
+   mutex/condvar mailbox vs the eventcount). Everything here is
+   wall-clock → all of it goes to the JSON rows' "volatile" section;
+   the committed baseline holds deliberately conservative floors, so
+   the gate only fires on a collapse (~5x under the floor), not on
+   host noise. Latencies are expressed as rates (1/seconds) so the
+   gate's bigger-is-better floor semantics apply. *)
+
+let wall () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* 3 producers, consumer on this domain (the queue is single-consumer).
+   One op = one push or one pop. *)
+let mpsc_ops_per_s () =
+  let q = Rt.Queue.create () in
+  let producers = 3 and per = 50_000 in
+  let total = producers * per in
+  let t0 = wall () in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Rt.Queue.push q ((p * per) + i)
+            done))
+  in
+  let got = ref 0 in
+  while !got < total do
+    match Rt.Queue.pop_opt q with
+    | Some _ -> incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  List.iter Domain.join doms;
+  float_of_int (2 * total) /. Float.max (wall () -. t0) 1e-9
+
+(* 2 producers, 2 consumers — the group-commit submission shape. *)
+let mpmc_ops_per_s () =
+  let q = Rt.Mpmc.create () in
+  let producers = 2 and consumers = 2 and per = 50_000 in
+  let total = producers * per in
+  let got = Atomic.make 0 in
+  let t0 = wall () in
+  let ps =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Rt.Mpmc.push q ((p * per) + i)
+            done))
+  in
+  let cs =
+    List.init consumers (fun _ ->
+        Domain.spawn (fun () ->
+            while Atomic.get got < total do
+              match Rt.Mpmc.pop_opt q with
+              | Some _ -> Atomic.incr got
+              | None -> Domain.cpu_relax ()
+            done))
+  in
+  List.iter Domain.join ps;
+  List.iter Domain.join cs;
+  float_of_int (2 * total) /. Float.max (wall () -. t0) 1e-9
+
+let rt_parking_run parking =
+  let n = 4 and f = 1 in
+  let report =
+    Rt.Service.run ~parking ~algo:Rt.Service.Eq_aso ~n ~f ~clients:4 ~secs:0.3
+      ~seed:(Int64.to_int seed) ()
+  in
+  (report, rt_check Rt.Service.Eq_aso ~n report)
+
+let parking_name = function `Mutex -> "mutex-park" | `Eventcount -> "eventcount"
+
+let lockfree_serve_rows () =
+  List.map
+    (fun parking ->
+      let r, ok = rt_parking_run parking in
+      (parking, r, ok))
+    [ `Mutex; `Eventcount ]
+
+let table_lockfree () =
+  let pct q d =
+    match Obs.Hdr.dist_quantile d q with
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.2f" (v *. 1e3)
+  in
+  let serve =
+    List.map
+      (fun (parking, (r : Rt.Service.report), ok) ->
+        [
+          "serve/" ^ parking_name parking;
+          Printf.sprintf "%.0f" r.ops_per_sec;
+          pct 0.5 r.update_lat;
+          pct 0.99 r.update_lat;
+          (if ok then "pass" else "FAIL");
+        ])
+      (lockfree_serve_rows ())
+  in
+  let rows =
+    [
+      [ "mpsc mailbox (3 prod)";
+        Printf.sprintf "%.2e" (mpsc_ops_per_s ()); "-"; "-"; "-" ];
+      [ "mpmc batch (2p/2c)";
+        Printf.sprintf "%.2e" (mpmc_ops_per_s ()); "-"; "-"; "-" ];
+    ]
+    @ serve
+  in
+  Harness.Table.print
+    ~title:
+      "Lock-free hot path — queue ops/s and serve path by park \
+       implementation (wall-clock)"
+    ~header:[ "structure"; "ops/s"; "upd p50 ms"; "upd p99 ms"; "checker" ]
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -1142,6 +1261,44 @@ let json_recorder_overhead () =
   in
   ("recorder_overhead", rows)
 
+(* Lock-free hot-path rows: queue throughput and the serve path under
+   each park implementation. All wall-clock → "volatile"; latencies as
+   rates so the gate's floor semantics (bigger is better) apply. The
+   gated metrics are the run shape and the checker verdict. *)
+let json_lockfree () =
+  let lat_rate d q =
+    match Obs.Hdr.dist_quantile d q with
+    | None -> J_null
+    | Some v -> jnum (1. /. Float.max v 1e-9)
+  in
+  let serve =
+    List.map
+      (fun (parking, (r : Rt.Service.report), ok) ->
+        jrow
+          ("serve/" ^ parking_name parking)
+          ~volatile:
+            [
+              ("ops_per_sec", jnum r.ops_per_sec);
+              ("upd_p50_per_s", lat_rate r.update_lat 0.5);
+              ("upd_p99_per_s", lat_rate r.update_lat 0.99);
+            ]
+          [
+            ("history_ok", J_bool ok);
+            ("n", J_int r.rep_n);
+            ("f", J_int r.rep_f);
+            ("clients", J_int r.clients);
+          ])
+      (lockfree_serve_rows ())
+  in
+  let rows =
+    [
+      jrow "mpsc-queue" ~volatile:[ ("ops_per_s", jnum (mpsc_ops_per_s ())) ] [];
+      jrow "mpmc-queue" ~volatile:[ ("ops_per_s", jnum (mpmc_ops_per_s ())) ] [];
+    ]
+    @ serve
+  in
+  ("lockfree_hot_path", rows)
+
 (* One representative instrumented run, its full metrics registry
    exported in [Obs.Metrics.sorted] order — identically-seeded runs
    produce byte-identical rows, so this section doubles as the
@@ -1202,6 +1359,7 @@ let emit_json file =
       json_runtime_throughput ();
       json_recovery ();
       json_recorder_overhead ();
+      json_lockfree ();
       json_run_metrics ();
     ]
   in
@@ -1258,6 +1416,7 @@ let run_all_tables () =
   table_runtime_throughput ();
   table_recovery ();
   table_recorder_overhead ();
+  table_lockfree ();
   print_endline "== Simulator throughput (bechamel, OLS ns/run) ==";
   bechamel_suite ();
   Printf.printf "\nTotal bench CPU time: %.1f s\n" (Sys.time () -. t0)

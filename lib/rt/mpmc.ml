@@ -1,0 +1,76 @@
+(* Michael–Scott two-lock-free MPMC queue: the batched-submission path
+   in {!Service} lets every client domain push and lets whichever domain
+   wins the draining flag pop, so the mailbox MPSC is not enough there.
+
+   Standard MS shape: a dummy node; [pop] CASes [head] forward; [push]
+   CASes the last node's [next] then swings [tail] (and helps a stalled
+   pusher swing it). OCaml's GC makes the classic ABA hazard moot — a
+   node's address cannot be recycled while anyone still holds it — so no
+   counted pointers are needed; popped values are cleared so the queue
+   does not pin them.
+
+   Functorized over {!Verif.Atomic_intf.S} like {!Queue}: [test_verif]
+   runs this code under the traced atomics (exhaustive interleavings of
+   the CAS helping dance) and under STM linearizability at 2–4 domains
+   against a strict FIFO model — unlike the MPSC, this queue has no
+   transient-empty window: [pop_opt = None] is linearizable exactly at
+   the [head.next] read. *)
+
+module type S = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop_opt : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+end
+
+module Make (A : Verif.Atomic_intf.S) = struct
+  type 'a node = { mutable value : 'a option; next : 'a node option A.t }
+
+  type 'a t = { head : 'a node A.t; tail : 'a node A.t }
+
+  let create () =
+    let stub = { value = None; next = A.make None } in
+    (* Poppers hammer [head], pushers hammer [tail]: separate lines. *)
+    { head = A.make_padded stub; tail = A.make_padded stub }
+
+  let rec push_node t n =
+    let last = A.get t.tail in
+    match A.get last.next with
+    | None ->
+        if A.compare_and_set last.next None (Some n) then
+          (* Swing [tail]; losing means someone helped us — fine. *)
+          ignore (A.compare_and_set t.tail last n)
+        else push_node t n
+    | Some nx ->
+        (* Tail lagging: help the in-flight pusher before retrying. *)
+        ignore (A.compare_and_set t.tail last nx);
+        push_node t n
+
+  let push t v = push_node t { value = Some v; next = A.make None }
+
+  (* GC-simplified MS pop: [head] may only move past a node whose
+     [next] is linked, so reading [first.next = None] proves [first]
+     was still the dummy and the queue empty at that read — the
+     linearization point for the empty answer. [tail] is left to the
+     pushers' helping; it may lag behind [head], which is harmless
+     because dequeued dummies keep their [next] chain intact. *)
+  let rec pop_opt t =
+    let first = A.get t.head in
+    match A.get first.next with
+    | None -> None
+    | Some nx ->
+        if A.compare_and_set t.head first nx then begin
+          (* We own [nx] as the new dummy; only the winner touches its
+             value. *)
+          let v = nx.value in
+          nx.value <- None;
+          v
+        end
+        else pop_opt t
+
+  let is_empty t = A.get (A.get t.head).next = None
+end
+
+include Make (Verif.Atomic_intf.Plain)

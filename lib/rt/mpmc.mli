@@ -1,0 +1,32 @@
+(** Lock-free multi-producer multi-consumer FIFO queue (Michael–Scott).
+
+    Any domain may {!push}; any domain may {!pop_opt}. Strictly
+    linearizable against a sequential FIFO — no transient-empty caveat
+    (contrast {!Queue}): an empty answer linearizes at the [head.next]
+    read. Certified by [test_verif]: STM linearizability at 2, 3 and 4
+    domains plus exhaustive interleaving of the CAS helping protocol
+    under the traced atomics.
+
+    Used by {!Service} for batched client submission, where many client
+    domains feed one per-node batch and whichever domain wins the drain
+    flag consumes it — possibly racing a crash sweep consuming the same
+    queue. *)
+
+module type S = sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  (** Lock-free; safe from any domain. *)
+
+  val pop_opt : 'a t -> 'a option
+  (** Lock-free; safe from any domain. *)
+
+  val is_empty : 'a t -> bool
+  (** Racy snapshot, for telemetry only. *)
+end
+
+module Make (A : Verif.Atomic_intf.S) : S
+
+include S

@@ -9,13 +9,13 @@ type 'm t = {
   telem : Telem.t option;
 }
 
-let create ?(recorder = true) ~n () =
+let create ?(recorder = true) ?parking ~n () =
   if n <= 0 then invalid_arg "Rt.Net.create: n must be positive";
   let metrics = Obs.Metrics.create () in
   let t0 = Monotonic_clock.now () in
   let now () = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9 in
   let telem = if recorder then Some (Telem.create ~n ~now ()) else None in
-  let nodes = Array.init n Node.create in
+  let nodes = Array.init n (Node.create ?parking) in
   (match telem with
   | Some tl ->
       Array.iteri (fun i nd -> Node.set_telem nd (Some (Telem.node tl i))) nodes

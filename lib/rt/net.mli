@@ -17,13 +17,14 @@
 
 type 'm t
 
-val create : ?recorder:bool -> n:int -> unit -> 'm t
+val create : ?recorder:bool -> ?parking:Node.parking -> n:int -> unit -> 'm t
 (** Allocate nodes and register the network counters ([net.sent] etc. —
     the simulator's names). Domains are not yet running: install
     handlers (via {!backend} and the protocol constructor), then
     {!start}. [recorder] (default [true]) attaches a flight-recorder
     ring to every node ({!Telem}); pass [false] to measure its absence
-    (the bench overhead rows). *)
+    (the bench overhead rows). [parking] selects the mailbox park
+    implementation (default [`Eventcount]; see {!Node.parking}). *)
 
 val size : _ t -> int
 val metrics : _ t -> Obs.Metrics.t

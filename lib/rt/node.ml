@@ -5,16 +5,30 @@ type 'm item =
   | Work of (unit -> unit)
   | Stop
 
+type parking = [ `Mutex | `Eventcount ]
+
+(* Two park implementations. [PEvent] (default) is the lock-free
+   eventcount: producers pay one atomic read on post; the consumer
+   spins briefly, then registers and sleeps on the eventcount's
+   terminal condvar. [PMutex] is the original mutex+condition park,
+   kept alive so the bench table can report before/after on the same
+   binary. *)
+type park_impl =
+  | PMutex of {
+      lock : Mutex.t;
+      nonempty : Condition.t;
+      (* True while the node domain sleeps in [next]; producers only
+         pay for the lock/signal when someone is actually parked. Set
+         under [lock] (so a parked flag implies the consumer holds or
+         is inside the wait), read without it. *)
+      parked : bool Atomic.t;
+    }
+  | PEvent of Park.t
+
 type 'm t = {
   id : int;
   mbox : 'm item Queue.t;
-  lock : Mutex.t;
-  nonempty : Condition.t;
-  (* True while the node domain sleeps in [next]; producers only pay for
-     the lock/signal when someone is actually parked. Set under [lock]
-     (so a parked flag implies the consumer holds or is inside the
-     wait), read without it. *)
-  parked : bool Atomic.t;
+  park : park_impl;
   poisoned : bool Atomic.t;
   mutable handler : src:int -> 'm -> unit;
   (* Work items that arrived while an operation was blocked in [await]:
@@ -30,13 +44,26 @@ type 'm t = {
   mutable telem : Telem.node option;
 }
 
-let create id =
+(* How long the consumer spins (polling the mailbox, [cpu_relax]ing)
+   before it registers as an eventcount waiter. Small: under load an
+   item arrives within the spin and the park machinery is never
+   touched; idle, 64 relaxes cost ~100ns before the real sleep. *)
+let spin_budget = 64
+
+let create ?(parking = `Eventcount) id =
   {
     id;
     mbox = Queue.create ();
-    lock = Mutex.create ();
-    nonempty = Condition.create ();
-    parked = Atomic.make false;
+    park =
+      (match parking with
+      | `Mutex ->
+          PMutex
+            {
+              lock = Mutex.create ();
+              nonempty = Condition.create ();
+              parked = Atomic.make false;
+            }
+      | `Eventcount -> PEvent (Park.create ()));
     poisoned = Atomic.make false;
     handler = (fun ~src:_ _ -> ());
     deferred_rev = [];
@@ -54,28 +81,43 @@ let post t item =
   if Atomic.get t.poisoned then false
   else begin
     Queue.push t.mbox item;
-    (* The push above is linked before this read, so either the consumer
-       already parked (we signal it) or its next pop attempt finds the
-       item — no lost wakeup; see the note in [Queue]. *)
-    if Atomic.get t.parked then begin
-      Mutex.lock t.lock;
-      Condition.broadcast t.nonempty;
-      Mutex.unlock t.lock
-    end;
+    (* The push above is linked before this signal, so either the
+       consumer already registered (we wake it) or its re-check after
+       registering finds the item — no lost wakeup; see [Park] for the
+       eventcount argument and [Queue] for why the signal must come
+       after [push] returns. *)
+    (match t.park with
+    | PMutex p ->
+        if Atomic.get p.parked then begin
+          Mutex.lock p.lock;
+          Condition.broadcast p.nonempty;
+          Mutex.unlock p.lock
+        end
+    | PEvent ec -> Park.signal ec);
     true
   end
 
+let wake t =
+  match t.park with
+  | PMutex p ->
+      Mutex.lock p.lock;
+      Condition.broadcast p.nonempty;
+      Mutex.unlock p.lock
+  | PEvent ec -> Park.wake_all ec
+
 let crash t =
   Atomic.set t.poisoned true;
-  Mutex.lock t.lock;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.lock
+  wake t
 
 (* Blocking receive, node domain only. Fast path is a plain lock-free
-   pop; the slow path parks under the mailbox lock. Telemetry rides the
-   receive side: after every pop we sample the remaining mailbox depth,
-   and a slow-path pop additionally records how long the domain slept —
-   both written to this node's own ring (we are its single writer). *)
+   pop. The eventcount slow path spins briefly, then runs the
+   prepare/re-check/wait dance from [Park]; the poisoned flag is
+   re-checked after every registration so a crash (which bumps the
+   eventcount unconditionally) unwinds a sleeping node. Telemetry rides
+   the receive side: after every pop we sample the remaining mailbox
+   depth, and a slow-path pop additionally records how long the domain
+   was parked — both written to this node's own ring (we are its single
+   writer). *)
 let next t =
   if Atomic.get t.poisoned then raise Crashed;
   match Queue.pop_opt t.mbox with
@@ -86,23 +128,56 @@ let next t =
       item
   | None ->
       let t_park = match t.telem with Some nd -> Telem.now nd | None -> 0. in
-      Mutex.lock t.lock;
-      Atomic.set t.parked true;
       let item =
-        Fun.protect
-          ~finally:(fun () ->
-            Atomic.set t.parked false;
-            Mutex.unlock t.lock)
-          (fun () ->
-            let rec wait () =
+        match t.park with
+        | PMutex p ->
+            Mutex.lock p.lock;
+            Atomic.set p.parked true;
+            Fun.protect
+              ~finally:(fun () ->
+                Atomic.set p.parked false;
+                Mutex.unlock p.lock)
+              (fun () ->
+                let rec wait () =
+                  match Queue.pop_opt t.mbox with
+                  | Some item -> item
+                  | None ->
+                      if Atomic.get t.poisoned then raise Crashed;
+                      Condition.wait p.nonempty p.lock;
+                      wait ()
+                in
+                wait ())
+        | PEvent ec ->
+            let rec slow spins =
+              if Atomic.get t.poisoned then raise Crashed;
               match Queue.pop_opt t.mbox with
               | Some item -> item
               | None ->
-                  if Atomic.get t.poisoned then raise Crashed;
-                  Condition.wait t.nonempty t.lock;
-                  wait ()
+                  if spins > 0 then begin
+                    Domain.cpu_relax ();
+                    slow (spins - 1)
+                  end
+                  else begin
+                    let ticket = Park.prepare ec in
+                    if Atomic.get t.poisoned then begin
+                      Park.cancel ec;
+                      raise Crashed
+                    end;
+                    (* Mandatory re-check between registering and
+                       sleeping: a push that raced our registration
+                       either is visible here or saw our waiter count
+                       and will bump the sequence. *)
+                    match Queue.pop_opt t.mbox with
+                    | Some item ->
+                        Park.cancel ec;
+                        item
+                    | None ->
+                        Park.wait ec ticket;
+                        Park.finish ec;
+                        slow spin_budget
+                  end
             in
-            wait ())
+            slow spin_budget
       in
       (match t.telem with
       | Some nd ->
@@ -168,6 +243,8 @@ let restart t =
   drain ();
   t.deferred_rev <- [];
   t.stop <- false;
-  Atomic.set t.parked false;
+  (match t.park with
+  | PMutex p -> Atomic.set p.parked false
+  | PEvent _ -> ());
   Atomic.set t.poisoned false;
   start t

@@ -1,0 +1,49 @@
+(** Eventcount parking for lock-free consumers.
+
+    A consumer that finds its queue empty registers ({!prepare}:
+    waiter count up, sequence ticket out), re-checks the queue, and
+    only then blocks ({!wait}) until the sequence moves past its
+    ticket; producers {!signal} after publishing work, paying one
+    atomic read when nobody is parked. See [park.ml] for the
+    no-lost-wakeup argument; [test_verif] machine-checks it by
+    exhaustive interleaving, including detecting the {!Lost_signal}
+    seeded mutant. *)
+
+type mutation = Lost_signal  (** [signal] forgets the sequence bump. *)
+
+module type S = sig
+  type t
+
+  val create : ?mutation:mutation -> unit -> t
+
+  val prepare : t -> int
+  (** Register as a waiter and take a ticket. Must be followed by a
+      queue re-check, then either {!cancel} (work appeared) or
+      {!wait}+{!finish}. *)
+
+  val cancel : t -> unit
+  (** Deregister without sleeping. *)
+
+  val poll : t -> int -> bool
+  (** [poll t ticket] — has the sequence moved past [ticket]? *)
+
+  val poll_spy : t -> int -> bool
+  (** Untraced {!poll}, for explorer [until] predicates only. *)
+
+  val wait : t -> int -> unit
+  (** Block until [poll t ticket]; caller then calls {!finish}. *)
+
+  val finish : t -> unit
+  (** Deregister after a {!wait}. *)
+
+  val signal : t -> unit
+  (** Post-publication wake: if any consumer is registered, bump the
+      sequence and broadcast. One atomic read when none is. *)
+
+  val wake_all : t -> unit
+  (** Unconditional bump+broadcast (crash/stop paths). *)
+end
+
+module Make (A : Verif.Atomic_intf.S) : S
+
+include S

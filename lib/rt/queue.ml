@@ -2,51 +2,101 @@
    single-consumer queues): producers contend on one atomic [tail]
    exchange; the consumer owns [head] outright and never synchronizes
    with other consumers, because there are none — each mailbox belongs
-   to exactly one node domain. *)
+   to exactly one node domain.
 
-type 'a node = {
-  (* [None] only on a consumed node (or the initial stub); cleared on
-     pop so the queue does not pin popped payloads for the GC. *)
-  mutable value : 'a option;
-  next : 'a node option Atomic.t;
-}
+   The implementation is a functor over {!Verif.Atomic_intf.S} so the
+   same code runs on [Stdlib.Atomic] in production (the [include] at
+   the bottom — zero cost, no indirection survives inlining) and on
+   {!Verif.Tatomic} under the interleaving explorer, which preempts at
+   every atomic step. [create]'s [mutation] knob plants the seeded bugs
+   the explorer's self-test must catch (precedent:
+   [Lattice_core.set_mutation]). *)
 
-type 'a t = {
-  tail : 'a node Atomic.t;  (* producers swap here, then link *)
-  mutable head : 'a node;  (* consumer-only: current stub *)
-  (* Approximate occupancy for telemetry: bumped after the push's
-     exchange, dropped after a successful pop. Racy by design — a reader
-     can observe the count before the element is linked or after it was
-     popped — but never drifts (every push is matched by one pop), which
-     is all a mailbox-depth gauge needs. *)
-  depth : int Atomic.t;
-}
+type mutation =
+  | Skip_link  (** [push] omits the [prev.next] publication. *)
+  | No_advance  (** [pop_opt] returns the element but keeps [head]. *)
 
-let create () =
-  let stub = { value = None; next = Atomic.make None } in
-  { tail = Atomic.make stub; head = stub; depth = Atomic.make 0 }
+module type S = sig
+  type 'a t
 
-let push t v =
-  let n = { value = Some v; next = Atomic.make None } in
-  let prev = Atomic.exchange t.tail n in
-  (* Between the exchange above and the link below, [n] (and anything
-     enqueued after it) is unreachable from [head]: a concurrent pop
-     reads the queue as empty. That transient is why mailbox consumers
-     must park under a lock and producers signal after [push] returns —
-     the linking producer's signal is what makes the suffix visible. *)
-  Atomic.set prev.next (Some n);
-  Atomic.incr t.depth
+  val create : ?mutation:mutation -> unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop_opt : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+  val nonempty_spy : 'a t -> bool
+  val length : 'a t -> int
+end
 
-let pop_opt t =
-  match Atomic.get t.head.next with
-  | None -> None
-  | Some n ->
-      let v = n.value in
-      n.value <- None;
-      t.head <- n;
-      Atomic.decr t.depth;
-      v
+module Make (A : Verif.Atomic_intf.S) = struct
+  type 'a node = {
+    (* [None] only on a consumed node (or the initial stub); cleared on
+       pop so the queue does not pin popped payloads for the GC. *)
+    mutable value : 'a option;
+    next : 'a node option A.t;
+  }
 
-let is_empty t = Atomic.get t.head.next = None
+  type 'a t = {
+    tail : 'a node A.t;  (* producers swap here, then link *)
+    mutable head : 'a node;  (* consumer-only: current stub *)
+    (* Approximate occupancy for telemetry: bumped after the push's
+       exchange, dropped after a successful pop. Racy by design — a
+       reader can observe the count before the element is linked or
+       after it was popped, so at any instant it is off by at most the
+       number of in-flight pushes plus in-flight pops — but never
+       drifts (every push is matched by one pop), which is all a
+       mailbox-depth gauge needs. *)
+    depth : int A.t;
+    mutation : mutation option;
+  }
 
-let length t = max 0 (Atomic.get t.depth)
+  let create ?mutation () =
+    let stub = { value = None; next = A.make None } in
+    {
+      (* [tail] and [depth] are written from every producing domain;
+         padding gives each its own cache lines so producer traffic on
+         one does not invalidate the other (or the record block holding
+         the consumer's [head]). *)
+      tail = A.make_padded stub;
+      head = stub;
+      depth = A.make_padded 0;
+      mutation;
+    }
+
+  let push t v =
+    let n = { value = Some v; next = A.make None } in
+    let prev = A.exchange t.tail n in
+    (* Between the exchange above and the link below, [n] (and anything
+       enqueued after it) is unreachable from [head]: a concurrent pop
+       reads the queue as empty. That transient is why mailbox consumers
+       must park under the eventcount and producers signal after [push]
+       returns — the linking producer's signal is what makes the suffix
+       visible. *)
+    (match t.mutation with
+    | Some Skip_link -> ()
+    | _ -> A.set prev.next (Some n));
+    A.incr t.depth
+
+  let pop_opt t =
+    match A.get t.head.next with
+    | None -> None
+    | Some n ->
+        let v = n.value in
+        (match t.mutation with
+        | Some No_advance -> ()
+        | _ ->
+            n.value <- None;
+            t.head <- n);
+        A.decr t.depth;
+        v
+
+  let is_empty t = A.get t.head.next = None
+
+  (* Untraced emptiness probe for park predicates under the explorer
+     (a [Tatomic.until] predicate must not perform effects); in
+     production [A.spy = A.get], so this is exactly [not is_empty]. *)
+  let nonempty_spy t = A.spy t.head.next <> None
+
+  let length t = max 0 (A.spy t.depth)
+end
+
+include Make (Verif.Atomic_intf.Plain)

@@ -3,7 +3,8 @@
     The rt backend's mailbox primitive: any domain may {!push}
     concurrently; exactly one domain (the owning node) may call
     {!pop_opt}/{!is_empty}. Laws, checked by the qcheck suite in
-    [test_rt]:
+    [test_rt] and the STM + exhaustive-interleaving suites in
+    [test_verif]:
 
     - {b per-producer FIFO}: two pushes by the same domain are popped in
       push order (this is what carries the simulator's reliable-FIFO
@@ -17,26 +18,57 @@
     {b Caveat} (inherent to the Vyukov construction): a [push] swaps the
     shared tail {e then} links the new node, so a concurrent {!pop_opt}
     in that window can report the queue empty while elements sit
-    unlinked. Consumers that intend to sleep on empty must park under a
-    lock and rely on a producer-side signal {e after} [push] returns,
-    which is exactly what {!Node}'s mailbox does. *)
+    unlinked. Consumers that intend to sleep on empty must park under an
+    eventcount ({!Park}) and rely on a producer-side signal {e after}
+    [push] returns, which is exactly what {!Node}'s mailbox does. The
+    explorer program in [test_verif] pins this contract: pop may
+    stutter [None] mid-push, and parking on the signal protocol never
+    loses the element.
 
-type 'a t
+    The implementation is functorized over {!Verif.Atomic_intf.S};
+    production code uses the [include]d plain instantiation below. *)
 
-val create : unit -> 'a t
+type mutation =
+  | Skip_link
+      (** [push] omits the [prev.next] publication — the pushed element
+          is reachable from [tail] but never from [head]: a lost
+          element, and a parked consumer that never wakes. *)
+  | No_advance
+      (** [pop_opt] returns the front element but does not advance
+          [head]: duplication. *)
 
-val push : 'a t -> 'a -> unit
-(** Wait-free apart from one [Atomic.exchange]; safe from any domain. *)
+module type S = sig
+  type 'a t
 
-val pop_opt : 'a t -> 'a option
-(** Consumer only. [None] when the (linked part of the) queue is
-    empty. *)
+  val create : ?mutation:mutation -> unit -> 'a t
+  (** [mutation] plants a seeded bug for the explorer's self-test; omit
+      it (all production callers do) for the correct queue. *)
 
-val is_empty : 'a t -> bool
-(** Consumer only; same transient-emptiness caveat as {!pop_opt}. *)
+  val push : 'a t -> 'a -> unit
+  (** Wait-free apart from one [Atomic.exchange]; safe from any
+      domain. *)
 
-val length : 'a t -> int
-(** Approximate occupancy, safe from any domain. Exact whenever no push
-    or pop is in flight; momentarily off by the number of in-flight
-    operations otherwise. Telemetry-grade — never use it to decide
-    emptiness (see {!is_empty}'s caveat). *)
+  val pop_opt : 'a t -> 'a option
+  (** Consumer only. [None] when the (linked part of the) queue is
+      empty. *)
+
+  val is_empty : 'a t -> bool
+  (** Consumer only; same transient-emptiness caveat as {!pop_opt}. *)
+
+  val nonempty_spy : 'a t -> bool
+  (** Untraced (never a scheduling point under the explorer) probe:
+      [true] iff a linked element is visible. For park predicates and
+      telemetry only. *)
+
+  val length : 'a t -> int
+  (** Approximate occupancy, safe from any domain. Exact whenever no
+      push or pop is in flight; at any instant off by at most the
+      number of in-flight operations (bounded by the producer count +
+      1), because each push/pop moves it by exactly one after its
+      linearization. Telemetry-grade — never use it to decide emptiness
+      (see {!is_empty}'s caveat). *)
+end
+
+module Make (A : Verif.Atomic_intf.S) : S
+
+include S

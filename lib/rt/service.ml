@@ -46,15 +46,24 @@ type t = {
   ops : ops;
   stores : int Persist.Store.t array;
   batch : bool;
-  (* One service lock guards the history, the in-flight registries and
-     the batch queues. Protocol execution never holds it across a
-     blocking point — work bodies take it only to stamp history events
-     at operation boundaries. *)
+  (* One service lock guards the history and the in-flight registries.
+     Protocol execution never holds it across a blocking point — work
+     bodies take it only to stamp history events at operation
+     boundaries. The batched path below does NOT use it: submission
+     rides a lock-free MPMC queue per node. *)
   lock : Mutex.t;
   history : History.t;
   in_flight : reply list array;
-  batch_q : (int * reply) list array;  (* newest first *)
-  batch_draining : bool array;
+  (* Per-node group-commit sub-queue. Producers: every client domain.
+     Consumers: the node's drain work item — and, concurrently, the
+     crash sweep in [crash_node]/[restart_node], which is why this must
+     be MPMC and not the mailbox MPSC. *)
+  batch_q : (int * reply) Mpmc.t array;
+  (* True while a drain work item is queued or running on the node.
+     CAS-claimed by the first submitter after an empty drain; reset by
+     the drainer (followed by a missed-wakeup re-check) and by the
+     crash path. *)
+  batch_draining : bool Atomic.t array;
   (* Service-level flag: true from [restart_node] until the node's
      rejoin completes. [pick_node] skips recovering nodes; a racy read
      only costs a request that waits behind the recovery work. *)
@@ -165,17 +174,29 @@ let run_scan s ~node r () =
    coalesced earlier value — linearize the skipped updates immediately
    before the fused one. Only the fused write enters the checked
    history; the coalesced requests are acknowledged as front-end
-   write-backs once it completes. *)
+   write-backs once it completes.
+
+   Submission is lock-free: clients push into the node's MPMC
+   sub-queue, and the first pusher after an empty drain CAS-claims
+   [batch_draining] and posts this work item. The drainer resets the
+   flag only after seeing the queue empty, then re-checks — a producer
+   that pushed between the empty pop and the reset saw the flag still
+   true and scheduled nothing, so the drainer must reschedule itself
+   (flag handoff, same shape as the eventcount's re-check). *)
 let rec drain_batch s node () =
-  Mutex.lock s.lock;
-  let items = List.rev s.batch_q.(node) in
-  s.batch_q.(node) <- [];
-  match items with
+  let rec take acc =
+    match Mpmc.pop_opt s.batch_q.(node) with
+    | Some it -> take (it :: acc)
+    | None -> List.rev acc
+  in
+  match take [] with
   | [] ->
-      s.batch_draining.(node) <- false;
-      Mutex.unlock s.lock
+      Atomic.set s.batch_draining.(node) false;
+      if not (Mpmc.is_empty s.batch_q.(node)) then reschedule s node
   | items -> (
-      let v = fst (List.hd (List.rev items)) in
+      (* [take] pops oldest-first, so the fused value is the last. *)
+      let v = fst (List.nth items (List.length items - 1)) in
+      Mutex.lock s.lock;
       s.fused_away <- s.fused_away + List.length items - 1;
       let op =
         History.begin_update s.history ~now:(Net.now s.net) ~node ~value:v
@@ -188,15 +209,23 @@ let rec drain_batch s node () =
       | () ->
           Mutex.lock s.lock;
           History.finish_update s.history ~now:(Net.now s.net) op;
-          List.iter (fun (_, r) -> unregister s node r) items;
           Mutex.unlock s.lock;
           tele s node Telem.update_end;
           List.iter (fun (_, r) -> resolve r `Done) items;
           drain_batch s node ()
       | exception Node.Crashed ->
           tele s node Telem.update_end;
+          (* Popped but unfinished: abort them ourselves — the crash
+             sweep can no longer see them. [resolve] is idempotent, so
+             racing the sweep over not-yet-popped items is safe. *)
           List.iter (fun (_, r) -> resolve r `Aborted) items;
           raise Node.Crashed)
+
+and reschedule s node =
+  if Atomic.compare_and_set s.batch_draining.(node) false true then
+    if not (Net.post_work s.net node (drain_batch s node)) then
+      (* Crashed: the sweep owns the queue now. *)
+      Atomic.set s.batch_draining.(node) false
 
 let submit_direct s ~node work =
   let r = new_reply () in
@@ -217,30 +246,21 @@ let submit_direct s ~node work =
   if accepted then ((await_reply r :> [ `Done | `Aborted | `Rejected ]), r)
   else (`Rejected, r)
 
+(* Lock-free batched submission: push, make sure a drainer is (or will
+   be) running, then handle the one race the queue cannot: a crash
+   sweep that drained *before* our push landed would strand the reply
+   forever, so after the push we re-check the crash flag and abort our
+   own request — idempotently, so losing the race to the sweep, the
+   restart drain, or even a completing drainer is harmless. *)
 let submit_batched_update s ~node v =
-  let r = new_reply () in
-  Mutex.lock s.lock;
-  let accepted =
-    if Net.is_crashed s.net node then false
-    else begin
-      s.batch_q.(node) <- (v, r) :: s.batch_q.(node);
-      s.in_flight.(node) <- r :: s.in_flight.(node);
-      if s.batch_draining.(node) then true
-      else if Net.post_work s.net node (drain_batch s node) then begin
-        s.batch_draining.(node) <- true;
-        true
-      end
-      else begin
-        s.batch_q.(node) <-
-          List.filter (fun (_, r') -> r' != r) s.batch_q.(node);
-        unregister s node r;
-        false
-      end
-    end
-  in
-  Mutex.unlock s.lock;
-  if accepted then (await_reply r :> [ `Done | `Aborted | `Rejected ])
-  else `Rejected
+  if Net.is_crashed s.net node then `Rejected
+  else begin
+    let r = new_reply () in
+    Mpmc.push s.batch_q.(node) (v, r);
+    if not (Atomic.get s.batch_draining.(node)) then reschedule s node;
+    if Net.is_crashed s.net node then resolve r `Aborted;
+    (await_reply r :> [ `Done | `Aborted | `Rejected ])
+  end
 
 let fresh_value s = Atomic.fetch_and_add s.next_value 1
 
@@ -255,18 +275,32 @@ let scan s ~node =
   | `Aborted, _ -> `Aborted
   | `Rejected, _ -> `Rejected
 
+(* Abort everything queued for node [i]'s group commit. Runs as a
+   concurrent MPMC consumer: racing the dying drainer (it aborts what
+   it already popped) and late pushers (they self-abort after their
+   post-push re-check) is safe because [resolve] is idempotent. *)
+let sweep_batch s i =
+  let rec sweep () =
+    match Mpmc.pop_opt s.batch_q.(i) with
+    | Some (_, r) ->
+        resolve r `Aborted;
+        sweep ()
+    | None -> ()
+  in
+  sweep ();
+  (* The drain flag belongs to the dead incarnation: without this reset,
+     a post-restart batched update would see [batch_draining] still true,
+     queue itself, and wait forever for a drain work item that died with
+     the old domain. *)
+  Atomic.set s.batch_draining.(i) false
+
 let crash_node s i =
   Net.crash s.net i;
   Mutex.lock s.lock;
   let victims = s.in_flight.(i) in
   s.in_flight.(i) <- [];
-  s.batch_q.(i) <- [];
-  (* The drain flag belongs to the dead incarnation: without this reset,
-     a post-restart batched update would see [batch_draining] still true,
-     queue itself, and wait forever for a drain work item that died with
-     the old domain. *)
-  s.batch_draining.(i) <- false;
   Mutex.unlock s.lock;
+  sweep_batch s i;
   (* Items popped from the mailbox but not yet finished unwind through
      [Node.Crashed] and resolve themselves; everything else is resolved
      here. Either way [resolve] fires exactly once per reply. *)
@@ -286,6 +320,10 @@ let restart_node s i =
       if op.node = i then History.abort s.history ~now:t_restart op)
     (History.pending s.history);
   Mutex.unlock s.lock;
+  (* Stragglers that pushed between the crash sweep and now have
+     already self-aborted their replies; drop their queue entries and
+     re-arm the drain flag before the node serves again. *)
+  sweep_batch s i;
   let replayed = Persist.Store.size s.stores.(i) in
   (* The dead domain has exited, so this thread owns the node: reset the
      protocol's volatile state BEFORE reviving the network (the same
@@ -360,9 +398,9 @@ let ops_of algo b ~f ~stores ~mutation =
         op_recover = (fun ~node -> Aso_core.Sso.recover t ~node);
       }
 
-let create ?(batch = false) ?(recorder = true) ?mutation ?wal_dir ~algo ~n ~f
-    () =
-  let net = Net.create ~recorder ~n () in
+let create ?(batch = false) ?(recorder = true) ?parking ?mutation ?wal_dir
+    ~algo ~n ~f () =
+  let net = Net.create ~recorder ?parking ~n () in
   (* Every node gets a durable store: file-backed WALs under [wal_dir]
      when given (the real crash-recovery path — survives the process),
      in-memory otherwise (models durable memory; survives [crash_node],
@@ -387,8 +425,8 @@ let create ?(batch = false) ?(recorder = true) ?mutation ?wal_dir ~algo ~n ~f
     lock = Mutex.create ();
     history = History.create ();
     in_flight = Array.make n [];
-    batch_q = Array.make n [];
-    batch_draining = Array.make n false;
+    batch_q = Array.init n (fun _ -> Mpmc.create ());
+    batch_draining = Array.init n (fun _ -> Atomic.make false);
     recovering = Array.make n false;
     recoveries = [];
     fused_away = 0;
@@ -472,7 +510,7 @@ let client_loop s ~deadline ~scan_fraction rng home =
           | `Aborted -> Obs.Metrics.incr s.c_aborted
   done
 
-let run ?(batch = false) ?(recorder = true) ?mutation ?on_start
+let run ?(batch = false) ?(recorder = true) ?parking ?mutation ?on_start
     ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = []) ?crash_after
     ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs () =
   if clients <= 0 then invalid_arg "Rt.Service.run: clients must be positive";
@@ -489,7 +527,7 @@ let run ?(batch = false) ?(recorder = true) ?mutation ?on_start
   | Some r when r <= crash_delay ->
       invalid_arg "Rt.Service.run: restart_after must be after the crash"
   | _ -> ());
-  let s = create ~batch ~recorder ?mutation ?wal_dir ~algo ~n ~f () in
+  let s = create ~batch ~recorder ?parking ?mutation ?wal_dir ~algo ~n ~f () in
   start s;
   Option.iter (fun f -> f s) on_start;
   let t_start = Net.now s.net in

@@ -17,7 +17,10 @@
     only that fused write enters the checked history, and the coalesced
     requests are acknowledged when it completes (linearize them
     immediately before the fused write — sound because checker bases
-    are prefix-closed in per-node program order).
+    are prefix-closed in per-node program order). Submission is
+    lock-free: each node has an {!Mpmc} sub-queue fed by every client
+    domain, and a CAS-claimed drain flag decides which submitter posts
+    the drain work item — the service lock is not taken on this path.
 
     {b Crashes}: {!run}'s [~crash] list poisons those nodes mid-run
     (k ≤ f enforced); their in-flight requests resolve as [`Aborted] and
@@ -57,6 +60,7 @@ type recovery = {
 val create :
   ?batch:bool ->
   ?recorder:bool ->
+  ?parking:Node.parking ->
   ?mutation:Aso_core.Lattice_core.mutation ->
   ?wal_dir:string ->
   algo:algo ->
@@ -153,6 +157,7 @@ type report = {
 val run :
   ?batch:bool ->
   ?recorder:bool ->
+  ?parking:Node.parking ->
   ?mutation:Aso_core.Lattice_core.mutation ->
   ?on_start:(t -> unit) ->
   ?scan_fraction:float ->

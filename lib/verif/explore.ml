@@ -1,0 +1,234 @@
+(* Exhaustive interleaving exploration over {!Tatomic} programs — the
+   dscheck recipe, self-contained.
+
+   A program is a thunk producing fresh thread bodies plus a final-state
+   observation. Each thread runs under an effect handler; every traced
+   atomic op suspends the thread just before executing, so the
+   scheduler sees, at every step, each live thread's *next* operation.
+   The driver enumerates the interleaving tree by re-execution DFS: a
+   work item is a schedule prefix (thread ids) plus the sleep set at the
+   end of that prefix; replaying is just running the program again and
+   following the prefix. Beyond the prefix the scheduler always picks
+   the lowest-id awake enabled thread and pushes every awake sibling as
+   a new work item, so each maximal schedule is executed exactly once.
+
+   Pruning is by sleep sets (Godefroid) — the simplest member of the
+   persistent-set/DPOR family: after exploring thread [t] from a node,
+   [t] goes to sleep in the sibling subtrees and stays asleep until some
+   dependent operation executes ({!Tatomic.independent}). Sleep-set
+   pruning only skips executions whose every continuation revisits
+   already-covered states, so all reachable states — in particular all
+   deadlocks, all final states, and all per-thread result tuples — are
+   still visited. Executions cut short by pruning are reported in
+   [pruned], not [schedules].
+
+   Blocking ([Tatomic.until]) appears as a [Wait] transition: the thread
+   is enabled only when its predicate holds. A state where every
+   remaining thread is blocked on a false predicate is a deadlock — the
+   lost-wakeup detector. *)
+
+exception Abandon
+
+type status =
+  | Running
+  | Ready of Tatomic.op * (unit, unit) Effect.Deep.continuation
+  | Waiting of (unit -> bool) * (unit, unit) Effect.Deep.continuation
+  | Done of string
+
+type thread = { tid : int; st : status ref }
+
+let spawn tid (body : unit -> string) : thread =
+  let st = ref Running in
+  Effect.Deep.match_with
+    (fun () -> st := Done (body ()))
+    ()
+    {
+      retc = Fun.id;
+      exnc = (function Abandon -> () | e -> raise e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Tatomic.Step op ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                  st := Ready (op, k))
+          | Tatomic.Blocked pred ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                  st := Waiting (pred, k))
+          | _ -> None);
+    };
+  { tid; st }
+
+let wait_op = { Tatomic.cell = -1; kind = Tatomic.Wait }
+
+let pending_op th =
+  match !(th.st) with
+  | Ready (op, _) -> op
+  | Waiting _ -> wait_op
+  | Running | Done _ -> assert false
+
+let is_enabled th =
+  match !(th.st) with
+  | Ready _ -> true
+  | Waiting (pred, _) -> pred ()
+  | Running | Done _ -> false
+
+let resume th =
+  match !(th.st) with
+  | Ready (_, k) | Waiting (_, k) ->
+      th.st := Running;
+      Effect.Deep.continue k ()
+  | Running | Done _ -> assert false
+
+let abandon th =
+  match !(th.st) with
+  | Ready (_, k) | Waiting (_, k) ->
+      th.st := Running;
+      Effect.Deep.discontinue k Abandon
+  | Running | Done _ -> ()
+
+(* Run a thunk with traced ops executed inline (no scheduling): used for
+   the final-state observation after the threads have run. *)
+let run_inline (f : unit -> string) : string =
+  Effect.Deep.match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Tatomic.Step _ ->
+              Some
+                (fun (k : (b, string) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k ())
+          | Tatomic.Blocked pred ->
+              Some
+                (fun (k : (b, string) Effect.Deep.continuation) ->
+                  if pred () then Effect.Deep.continue k ()
+                  else failwith "Verif.Explore: final observation blocked")
+          | _ -> None);
+    }
+
+type program = unit -> (unit -> string) array * (unit -> string)
+
+type report = {
+  schedules : int;  (* maximal executions, each counted exactly once *)
+  pruned : int;  (* executions cut short by sleep-set pruning *)
+  deadlocks : int;  (* schedules ending with every live thread blocked *)
+  outcomes : (string * int list) list;
+      (* distinct outcome -> an example schedule (thread id per step),
+         sorted by outcome string. Outcome format:
+         "r0,r1,…/final" with " DEADLOCK" appended when blocked threads
+         remain ("⟂" marks each blocked thread's slot). *)
+  capped : bool;  (* hit max_schedules: exploration incomplete *)
+}
+
+let run ?(max_schedules = 200_000) (prog : program) : report =
+  let work = Stack.create () in
+  Stack.push ([], []) work;
+  let schedules = ref 0 and pruned = ref 0 and deadlocks = ref 0 in
+  let capped = ref false in
+  let outcomes : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+  while not (Stack.is_empty work) do
+    if !schedules >= max_schedules then begin
+      capped := true;
+      Stack.clear work
+    end
+    else begin
+      let prefix0, sleep0 = Stack.pop work in
+      Tatomic.reset_ids ();
+      let bodies, final = prog () in
+      let threads = Array.mapi spawn bodies in
+      let n = Array.length threads in
+      let all_tids = List.init n Fun.id in
+      let prefix = ref prefix0 in
+      let sleep = ref sleep0 in
+      let chosen_rev = ref [] in
+      let running = ref true and was_pruned = ref false in
+      while !running do
+        let enabled = List.filter (fun t -> is_enabled threads.(t)) all_tids in
+        match enabled with
+        | [] -> running := false
+        | _ -> (
+            match !prefix with
+            | c :: rest ->
+                (* Replaying: the branch points below this node were
+                   pushed when the parent run passed through it. *)
+                prefix := rest;
+                chosen_rev := c :: !chosen_rev;
+                resume threads.(c)
+            | [] -> (
+                let awake =
+                  List.filter (fun t -> not (List.mem t !sleep)) enabled
+                in
+                match awake with
+                | [] ->
+                    (* Every enabled thread sleeps: any continuation
+                       only reaches states covered elsewhere. *)
+                    was_pruned := true;
+                    running := false
+                | c :: alts ->
+                    let op_of t = pending_op threads.(t) in
+                    let here = List.rev !chosen_rev in
+                    (* Siblings in DFS order: the i-th alternative
+                       starts with everything explored before it
+                       asleep, filtered by independence with its own
+                       first transition. *)
+                    let explored = ref [ c ] in
+                    List.iter
+                      (fun alt ->
+                        let edge = op_of alt in
+                        let s =
+                          List.filter
+                            (fun u -> Tatomic.independent (op_of u) edge)
+                            (!sleep @ List.rev !explored)
+                        in
+                        Stack.push (here @ [ alt ], s) work;
+                        explored := alt :: !explored)
+                      alts;
+                    let edge = op_of c in
+                    sleep :=
+                      List.filter
+                        (fun u -> Tatomic.independent (op_of u) edge)
+                        !sleep;
+                    chosen_rev := c :: !chosen_rev;
+                    resume threads.(c)))
+      done;
+      if !was_pruned then incr pruned
+      else begin
+        incr schedules;
+        let deadlock =
+          Array.exists
+            (fun th -> match !(th.st) with Done _ -> false | _ -> true)
+            threads
+        in
+        let results =
+          Array.map
+            (fun th -> match !(th.st) with Done s -> s | _ -> "⟂")
+            threads
+        in
+        let final_s = run_inline final in
+        let outcome =
+          String.concat "," (Array.to_list results)
+          ^ "/" ^ final_s
+          ^ if deadlock then " DEADLOCK" else ""
+        in
+        if deadlock then incr deadlocks;
+        if not (Hashtbl.mem outcomes outcome) then
+          Hashtbl.add outcomes outcome (List.rev !chosen_rev)
+      end;
+      Array.iter abandon threads
+    end
+  done;
+  let outs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes []
+    |> List.sort compare
+  in
+  {
+    schedules = !schedules;
+    pruned = !pruned;
+    deadlocks = !deadlocks;
+    outcomes = outs;
+    capped = !capped;
+  }

@@ -1,0 +1,44 @@
+(* dejafu-style litmus runs: execute a tiny concurrent program on real
+   domains many times, collect the distinct result tuples actually
+   observed, and compare against the allowed set. Observation can only
+   under-approximate (a weak schedule may simply not occur on this
+   host), so the check is [observed ⊆ allowed] — the exhaustive
+   explorer is what provides the matching over-approximation. *)
+
+let run_once bodies =
+  let n = Array.length bodies in
+  let gate = Atomic.make 0 in
+  let doms =
+    Array.map
+      (fun body ->
+        Domain.spawn (fun () ->
+            Atomic.incr gate;
+            while Atomic.get gate < n do
+              Domain.cpu_relax ()
+            done;
+            body ()))
+      bodies
+  in
+  let rs = Array.map Domain.join doms in
+  String.concat "," (Array.to_list rs)
+
+(* Distinct outcome tuples over [rounds] fresh instances, sorted. *)
+let observe ?(rounds = 2000) (mk : unit -> (unit -> string) array) :
+    string list =
+  let seen = Hashtbl.create 8 in
+  for _ = 1 to rounds do
+    let o = run_once (mk ()) in
+    if not (Hashtbl.mem seen o) then Hashtbl.add seen o ()
+  done;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+(* [Ok observed] when every observed tuple is allowed; [Error] names
+   the forbidden ones. *)
+let check ?rounds ~name ~allowed mk =
+  let observed = observe ?rounds mk in
+  let bad = List.filter (fun o -> not (List.mem o allowed)) observed in
+  if bad = [] then Ok observed
+  else
+    Error
+      (Printf.sprintf "litmus %s: forbidden outcomes observed: %s" name
+         (String.concat " | " bad))

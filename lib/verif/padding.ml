@@ -1,0 +1,30 @@
+(* Cache-line padding without OCaml 5.2's [Atomic.make_contended]: copy
+   a heap block into a fresh block rounded up to two cache lines, so the
+   allocator cannot pack two hot atomics (or a hot atomic and its
+   neighbours) into one line. The multicore-magic technique: field 0
+   keeps its meaning, the trailing fields are dead ballast the GC scans
+   as unit. Immediates and no-scan blocks are returned as-is — padding
+   them is meaningless or unsafe. *)
+
+let cache_line_words = 8 (* 64-byte lines / 8-byte words *)
+
+let copy_as_padded : 'a. 'a -> 'a =
+ fun x ->
+  let r = Obj.repr x in
+  if Obj.is_int r then x
+  else
+    let tag = Obj.tag r in
+    if tag >= Obj.no_scan_tag || tag = Obj.double_array_tag then x
+    else
+      let sz = Obj.size r in
+      let target = 2 * cache_line_words in
+      if sz >= target then x
+      else begin
+        let b = Obj.new_block tag target in
+        for i = 0 to sz - 1 do
+          Obj.set_field b i (Obj.field r i)
+        done;
+        (* new_block initialises the tail to unit already; nothing to
+           scrub. *)
+        Obj.obj b
+      end

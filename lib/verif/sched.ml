@@ -1,0 +1,36 @@
+(* Failing-schedule artifacts, in the same one-line space-separated
+   text shape as the model checker's replay files ([lib/mc/trace.ml]
+   prints each entry as [choice=chosen/domain]): here each entry is
+   [s<i>=<tid>/<threads>] — step index, thread scheduled at that step,
+   thread count. CI's verif-smoke job uploads [verif-*.schedule] on
+   failure so a pruning or interleaving regression arrives with the
+   exact schedule that produced it. *)
+
+let version = 1
+
+let render ~nthreads (choices : int list) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "verif-schedule v%d" version);
+  List.iteri
+    (fun i tid -> Buffer.add_string buf (Printf.sprintf " s%d=%d/%d" i tid nthreads))
+    choices;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Write [verif-<name>.schedule] (sanitized name) in [dir]; one line of
+   header+entries, then a free-form comment line per extra note. *)
+let write ?(dir = ".") ~name ~nthreads ?(notes = []) choices =
+  let safe =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '-')
+      name
+  in
+  let path = Filename.concat dir (Printf.sprintf "verif-%s.schedule" safe) in
+  let oc = open_out path in
+  output_string oc (render ~nthreads choices);
+  List.iter (fun n -> output_string oc ("# " ^ n ^ "\n")) notes;
+  close_out oc;
+  path

@@ -1,0 +1,169 @@
+(* STM-style linearizability checking — the multicoretests recipe,
+   self-contained (no new opam deps).
+
+   A [Spec] gives commands, a sequential model, and a way to run a
+   command against the system under test. The harness generates a
+   sequential prefix, [domains] parallel suffixes, and a sequential
+   tail; executes them with real domains released through a spin
+   barrier; then searches for an interleaving of the parallel suffixes
+   that the model agrees with. No interleaving found = not linearizable
+   = counterexample.
+
+   The model is *nondeterministic*: [run_model] returns the set of
+   allowed (state, result) continuations. That is what lets the Vyukov
+   MPSC queue be specified honestly — its [pop_opt] may answer [None]
+   during a concurrent push's exchange→link window, so the model allows
+   a "stutter" pop on a nonempty queue while a push is in flight.
+   Structures that are linearizable in the strict sense (the MPMC
+   queue) use singleton allowed sets, which makes [run_model] exactly
+   the usual deterministic [next_state]/[postcond] pair.
+
+   The sequential tail (typically: drain the queue) runs after the
+   domains join and is checked against every model state the search can
+   reach — it is what catches lost or duplicated elements that a
+   stutter-tolerant parallel phase alone would let slide. *)
+
+module type Spec = sig
+  type cmd
+  type state
+  type sut
+
+  val init_state : state
+  val init_sut : unit -> sut
+  val cleanup : sut -> unit
+  val show_cmd : cmd -> string
+  val gen_cmd : Random.State.t -> cmd
+  val run : sut -> cmd -> string
+  (** Execute against the live structure; render the result. *)
+
+  val run_model : state -> cmd -> (state * string) list
+  (** All allowed (next state, rendered result) pairs. *)
+end
+
+module Make (S : Spec) = struct
+  type scenario = {
+    prefix : S.cmd list;
+    par : S.cmd list array;
+    tail : S.cmd list;
+  }
+
+  let gen_scenario rng ~seq_len ~par_len ~domains ~gen_par ~tail =
+    let gen n = List.init n (fun _ -> S.gen_cmd rng) in
+    let gen_for d =
+      match gen_par with
+      | None -> List.init par_len (fun _ -> S.gen_cmd rng)
+      | Some g -> List.init par_len (fun _ -> g d rng)
+    in
+    { prefix = gen seq_len; par = Array.init domains gen_for; tail = tail () }
+
+  (* Execute one scenario: prefix and tail on this domain, suffixes on
+     [domains] fresh domains released together by a spin barrier. *)
+  let execute sc =
+    let sut = S.init_sut () in
+    let obs cmds = List.map (fun c -> (c, S.run sut c)) cmds in
+    let pre = obs sc.prefix in
+    let n = Array.length sc.par in
+    let gate = Atomic.make 0 in
+    let doms =
+      Array.map
+        (fun cmds ->
+          Domain.spawn (fun () ->
+              Atomic.incr gate;
+              while Atomic.get gate < n do
+                Domain.cpu_relax ()
+              done;
+              obs cmds))
+        sc.par
+    in
+    let par = Array.map Domain.join doms in
+    let tl = obs sc.tail in
+    S.cleanup sut;
+    (pre, par, tl)
+
+  (* Is there a model explanation? Sequential phases thread a *set* of
+     states (the model is nondeterministic); the parallel phase is a
+     memoized search over (state, remaining-suffix positions). *)
+  let seq_step states (cmd, res) =
+    List.concat_map
+      (fun st ->
+        List.filter_map
+          (fun (st', r) -> if r = res then Some st' else None)
+          (S.run_model st cmd))
+      states
+    |> List.sort_uniq compare
+
+  let explains (pre, par, tl) =
+    let check_tail st = List.fold_left seq_step [ st ] tl <> [] in
+    let memo = Hashtbl.create 1024 in
+    let rec search st rem =
+      if Array.for_all (( = ) []) rem then check_tail st
+      else
+        let key = (st, Array.map List.length rem) in
+        match Hashtbl.find_opt memo key with
+        | Some b -> b
+        | None ->
+            let b =
+              Array.exists Fun.id
+                (Array.mapi
+                   (fun i seq ->
+                     match seq with
+                     | [] -> false
+                     | (cmd, res) :: rest ->
+                         List.exists
+                           (fun (st', r) ->
+                             r = res
+                             &&
+                             let saved = rem.(i) in
+                             rem.(i) <- rest;
+                             let ok = search st' rem in
+                             rem.(i) <- saved;
+                             ok)
+                           (S.run_model st cmd))
+                   rem)
+            in
+            Hashtbl.add memo key b;
+            b
+    in
+    List.exists
+      (fun st -> search st (Array.map (fun x -> x) par))
+      (List.fold_left seq_step [ S.init_state ] pre)
+
+  let pp_obs buf label obs =
+    Buffer.add_string buf label;
+    List.iter
+      (fun (c, r) ->
+        Buffer.add_string buf (Printf.sprintf " %s:%s" (S.show_cmd c) r))
+      obs;
+    Buffer.add_char buf '\n'
+
+  let render (pre, par, tl) =
+    let buf = Buffer.create 256 in
+    pp_obs buf "  prefix:" pre;
+    Array.iteri (fun i o -> pp_obs buf (Printf.sprintf "  dom%d:" i) o) par;
+    pp_obs buf "  tail:" tl;
+    Buffer.contents buf
+
+  (* Run [count] generated scenarios, [reps] times each (real domains
+     interleave differently every run). [gen_par] generates commands for
+     a specific parallel domain index — how a single-consumer structure
+     confines pops to one suffix. [Ok ()] or [Error trace]. *)
+  let check ?(seq_len = 2) ?(par_len = 3) ?(domains = 2) ?(count = 20)
+      ?(reps = 10) ?(seed = 0xC0FFEE) ?gen_par ~tail () =
+    let rng = Random.State.make [| seed; seq_len; par_len; domains |] in
+    let failure = ref None in
+    (try
+       for _ = 1 to count do
+         let sc = gen_scenario rng ~seq_len ~par_len ~domains ~gen_par ~tail in
+         for _ = 1 to reps do
+           let obs = execute sc in
+           if not (explains obs) then begin
+             failure := Some (render obs);
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    match !failure with
+    | None -> Ok ()
+    | Some tr -> Error ("no model interleaving explains:\n" ^ tr)
+end

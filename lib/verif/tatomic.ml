@@ -1,0 +1,87 @@
+(* Traced atomics: the explorer's instantiation of {!Atomic_intf.S}.
+
+   Every operation performs the [Step] effect *before* touching the
+   cell, handing control to the scheduler in {!Explore}; the cell itself
+   is a plain [ref], which is sound because the explorer runs exactly
+   one thread at a time on one domain. The effect carries the cell id
+   and operation kind so the scheduler can compute independence for
+   sleep-set pruning.
+
+   [until pred] models blocking (a parked consumer, an eventcount
+   sleeper): it performs [Wait pred] and the scheduler only reschedules
+   the thread once [pred ()] holds. Predicates must read shared cells
+   with {!spy} (untraced) — performing an effect from inside the
+   scheduler's own evaluation of the predicate would be meaningless. *)
+
+type op_kind = Get | Set | Exchange | Cas | Faa | Wait
+
+let op_kind_to_string = function
+  | Get -> "get"
+  | Set -> "set"
+  | Exchange -> "xchg"
+  | Cas -> "cas"
+  | Faa -> "faa"
+  | Wait -> "wait"
+
+type op = { cell : int; kind : op_kind }
+
+(* Two Wait transitions never commute with anything for our purposes
+   (enabledness depends on arbitrary spy reads); two reads of the same
+   cell commute; everything else on the same cell conflicts. *)
+let independent a b =
+  match (a.kind, b.kind) with
+  | Wait, _ | _, Wait -> false
+  | Get, Get -> true
+  | _ -> a.cell <> b.cell
+
+type _ Effect.t +=
+  | Step : op -> unit Effect.t
+  | Blocked : (unit -> bool) -> unit Effect.t
+
+type 'a t = { id : int; cell : 'a ref }
+
+(* Fresh ids per exploration run (reset by {!Explore}) so a cell's id is
+   deterministic across the re-executions of one program. *)
+let id_counter = ref 0
+let reset_ids () = id_counter := 0
+
+let make v =
+  incr id_counter;
+  { id = !id_counter; cell = ref v }
+
+let make_padded = make
+
+let step t kind = Effect.perform (Step { cell = t.id; kind })
+
+let get t =
+  step t Get;
+  !(t.cell)
+
+let set t v =
+  step t Set;
+  t.cell := v
+
+let exchange t v =
+  step t Exchange;
+  let old = !(t.cell) in
+  t.cell := v;
+  old
+
+let compare_and_set t expect v =
+  step t Cas;
+  if !(t.cell) == expect then begin
+    t.cell := v;
+    true
+  end
+  else false
+
+let fetch_and_add t d =
+  step t Faa;
+  let old = !(t.cell) in
+  t.cell := old + d;
+  old
+
+let incr t = ignore (fetch_and_add t 1)
+let decr t = ignore (fetch_and_add t (-1))
+let spy t = !(t.cell)
+let until pred = if not (pred ()) then Effect.perform (Blocked pred)
