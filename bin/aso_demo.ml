@@ -374,7 +374,7 @@ let causal_impl (algo : Harness.Algo.t) n k ops seed out trace_out mutation
   (match mutation with
   | Some m -> Format.printf "mutant armed: %s@." (Mc.Mutants.to_string m)
   | None -> ());
-  let causal = Obs.Vclock.recorder ~n in
+  let causal = Obs.Vclock.recorder ~n () in
   let monitor = Obs.Monitor.create ~n () in
   let tr = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
   let write_logs () =
@@ -963,7 +963,8 @@ let serve_check_history algo ~n (r : Rt.Service.report) =
         | Error e -> Error e)
 
 let serve_impl algo_name n clients secs batch scan_fraction seed crash
-    crash_restart wal_dir telemetry stats_every dump_dir mutation no_recorder =
+    crash_restart wal_dir telemetry stats_every dump_dir mutation no_recorder
+    no_online_check =
   let algo =
     match Rt.Service.algo_of_name algo_name with
     | Some a -> a
@@ -1039,20 +1040,30 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash
                            | None -> "-")
                        | None -> "-"
                      in
+                     (* Monitor health inline: a stalled monitor domain
+                        shows as growing lag and last-checked-op age. *)
+                     let mon =
+                       match Rt.Service.live_monitor svc with
+                       | Some lm ->
+                           Printf.sprintf "  mon lag %d (age %.0f ms)"
+                             (Rt.Live_monitor.lag lm)
+                             (Rt.Live_monitor.last_checked_age lm *. 1e3)
+                       | None -> ""
+                     in
                      Format.printf
                        "[%6.1fs] %7d ops  %8.0f ops/s  upd p50 %s ms  p99 \
-                        %s ms  aborted %d@."
+                        %s ms  aborted %d%s@."
                        (Unix.gettimeofday () -. t0)
-                       ok rate (q 0.5) (q 0.99) (count "svc.aborted")
+                       ok rate (q 0.5) (q 0.99) (count "svc.aborted") mon
                    end
                  done)
                ())
     | _ -> ()
   in
   let report =
-    Rt.Service.run ~batch ~recorder:(not no_recorder) ?mutation ~on_start
-      ~scan_fraction ~seed ~crash:crash_nodes ?restart_after ?wal_dir ~algo
-      ~n ~f ~clients ~secs ()
+    Rt.Service.run ~batch ~recorder:(not no_recorder)
+      ~online:(not no_online_check) ?mutation ~on_start ~scan_fraction ~seed
+      ~crash:crash_nodes ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs ()
   in
   Atomic.set sampler_stop true;
   Option.iter Thread.join !sampler;
@@ -1127,6 +1138,34 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash
         (r.rec_ready_after *. 1e3)
         (r.rec_first_op *. 1e3))
     report.recoveries;
+  (* The live monitor's verdict outranks everything else: it halted
+     intake mid-run, so the report below describes a truncated run. The
+     dump gains the causal-cone slice next to the Perfetto trace (whose
+     net.msg flow events carry the same cross-domain arrows). *)
+  (match report.live_verdict with
+  | Some v ->
+      Format.printf
+        "history     : LIVE VIOLATION — caught mid-run at %.2f s of the \
+         %.1f s budget@."
+        v.Rt.Live_monitor.at secs;
+      Format.printf "%a@." Rt.Live_monitor.pp_verdict v;
+      (try
+         if not (Sys.file_exists dump_dir) then Sys.mkdir dump_dir 0o755
+       with Sys_error _ -> ());
+      let slice_file = Filename.concat dump_dir "live-violation.txt" in
+      let oc = open_out slice_file in
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Rt.Live_monitor.pp_verdict v;
+      close_out oc;
+      Format.printf "forensics   : causal slice -> %s@." slice_file;
+      dump_forensics "the live monitor tripped mid-run";
+      exit 1
+  | None ->
+      if not no_online_check then
+        Format.printf
+          "monitor     : live — %d events checked, %d scans verified, no \
+           violation@."
+          report.monitor_events_checked report.monitor_scans_verified);
   (if crash_restart && report.recoveries = [] then (
      Format.printf "history     : VIOLATION — no node completed recovery@.";
      dump_forensics "no node completed recovery";
@@ -1230,7 +1269,15 @@ let serve_cmd =
           & info [ "no-recorder" ]
               ~doc:
                 "Disable the per-node flight-recorder rings (the bench's \
-                 recorder-overhead baseline)."))
+                 recorder-overhead baseline).")
+      $ Arg.(
+          value & flag
+          & info [ "no-online-check" ]
+              ~doc:
+                "Disable the live online monitor (on by default): no \
+                 monitor domain, no causal message stamping, and \
+                 violations surface only at the final batch check instead \
+                 of halting the run the moment they happen."))
 
 (* ---- recover: offline write-ahead-log replay ----------------------- *)
 

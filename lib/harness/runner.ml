@@ -176,7 +176,7 @@ let run ?workload_seed ?(substrate = Sim.Network.Ideal) ?watchdog ?trace
   let causal_rec =
     match (causal, monitor) with
     | Some r, _ -> Some r
-    | None, Some _ -> Some (Obs.Vclock.recorder ~n:config.n)
+    | None, Some _ -> Some (Obs.Vclock.recorder ~n:config.n ())
     | None, None -> None
   in
   Sim.Engine.set_causal engine causal_rec;

@@ -1,5 +1,3 @@
-module ISet = Set.Make (Int)
-
 type op = Update of int | Scan
 
 type event =
@@ -25,14 +23,54 @@ type op_state = {
   o_node : int;
   o_op : op;
   o_inv : float;
+  mutable o_seq : int;
+      (* 1-based position in the writer's program-order update chain;
+         0 for scans *)
   mutable o_resp : float option;
   mutable o_aborted : bool;
 }
 
+(* Every base is a union of per-node program-order update prefixes
+   (that is how [base_of_snap] constructs it, mirroring
+   [lib/checker/base.ml]), so a base is represented {e exactly} by the
+   vector of per-node prefix lengths: [b.(j)] = how many of node [j]'s
+   updates (in program order, aborted ones included — they were
+   invoked, and their values may have propagated) are in the base.
+   Membership, inclusion and equality become O(1)/O(n) instead of
+   O(|base| log |base|), which is what keeps the monitor's per-scan
+   cost constant in the history length — an rt load run feeds tens of
+   thousands of scans whose bases grow linearly, and materialising each
+   base as a set made the monitor quadratic overall. *)
+type base = int array
+
+(* Node j's updates in program order (uids, including aborted ops):
+   [b.(j)]-prefixes of these chains are the base members. A plain
+   growable array — the monitor is single-threaded. *)
+type chain = { mutable c_buf : int array; mutable c_len : int }
+
+let chain_create () = { c_buf = Array.make 8 0; c_len = 0 }
+
+let chain_push c uid =
+  if c.c_len = Array.length c.c_buf then begin
+    let buf = Array.make (2 * c.c_len) 0 in
+    Array.blit c.c_buf 0 buf 0 c.c_len;
+    c.c_buf <- buf
+  end;
+  c.c_buf.(c.c_len) <- uid;
+  c.c_len <- c.c_len + 1
+
+let base_le (a : base) (b : base) =
+  let rec go j = j < 0 || (a.(j) <= b.(j) && go (j - 1)) in
+  go (Array.length a - 1)
+
+let base_eq (a : base) (b : base) =
+  let rec go j = j < 0 || (a.(j) = b.(j) && go (j - 1)) in
+  go (Array.length a - 1)
+
 (* One link of the A1 inclusion chain: a base that some responded scan
    produced, keyed by cardinality. Comparable bases of equal size are
    equal, so each cardinality appears at most once. *)
-type chain_entry = { ch_card : int; ch_base : ISet.t; ch_scan : int }
+type chain_entry = { ch_card : int; ch_base : base; ch_scan : int }
 
 (* Responded scans, newest first. [rs_best]/[rs_best_card] are the
    running maximum-cardinality base over this entry and all earlier
@@ -41,25 +79,26 @@ type chain_entry = { ch_card : int; ch_base : ISet.t; ch_scan : int }
 type scan_entry = {
   rs_resp : float;
   rs_scan : int;
-  rs_best : ISet.t;
+  rs_best : base;
   rs_best_card : int;
 }
 
+type mode = Atomic | Sequential
+
 type t = {
   n : int;
+  mode : mode;
   budget : crashes:int -> float;
   ops : (int, op_state) Hashtbl.t;
   update_of_value : (int, int) Hashtbl.t;
-  prefix_of : (int, ISet.t) Hashtbl.t;
-      (* update id -> its writer's program-order prefix up to it *)
-  node_prefix : ISet.t array; (* current prefix per node *)
+  by_node : chain array; (* per-node program-order update chains *)
   outstanding : int option array;
   crashed : bool array;
-  mutable completed_updates : (float * float * int) list;
-      (* (resp, inv, id), newest first — resp-sorted because the stream
-         is time-ordered *)
-  mutable chain : chain_entry list; (* ascending cardinality *)
+  mutable chain : chain_entry list; (* descending cardinality *)
   mutable scans : scan_entry list; (* newest first *)
+  last_scan_base : (base * int) option array;
+      (* per node: base and id of its most recent responded scan (the
+         only witness S3 needs — inclusion is transitive) *)
   mutable k : int;
   mutable last_at : float;
   mutable seen : int;
@@ -69,20 +108,20 @@ type t = {
 
 let default_budget ~crashes = (2. *. sqrt (float_of_int crashes)) +. 4.
 
-let create ?(budget = default_budget) ~n () =
+let create ?(budget = default_budget) ?(mode = Atomic) ~n () =
   if n <= 0 then invalid_arg "Obs.Monitor.create: n must be positive";
   {
     n;
+    mode;
     budget;
     ops = Hashtbl.create 64;
     update_of_value = Hashtbl.create 64;
-    prefix_of = Hashtbl.create 64;
-    node_prefix = Array.make n ISet.empty;
+    by_node = Array.init n (fun _ -> chain_create ());
     outstanding = Array.make n None;
     crashed = Array.make n false;
-    completed_updates = [];
     chain = [];
     scans = [];
+    last_scan_base = Array.make n None;
     k = 0;
     last_at = neg_infinity;
     seen = 0;
@@ -132,9 +171,11 @@ let on_invoke t ~id ~node ~at ~op =
          sequential)"
         node id prev
   | None -> ());
-  Hashtbl.replace t.ops id
-    { o_id = id; o_node = node; o_op = op; o_inv = at; o_resp = None;
-      o_aborted = false };
+  let o =
+    { o_id = id; o_node = node; o_op = op; o_inv = at; o_seq = 0;
+      o_resp = None; o_aborted = false }
+  in
+  Hashtbl.replace t.ops id o;
   t.outstanding.(node) <- Some id;
   match op with
   | Scan -> ()
@@ -146,9 +187,169 @@ let on_invoke t ~id ~node ~at ~op =
             other id
       | None -> ());
       Hashtbl.replace t.update_of_value v id;
-      let p = ISet.add id t.node_prefix.(node) in
-      t.node_prefix.(node) <- p;
-      Hashtbl.replace t.prefix_of id p
+      chain_push t.by_node.(node) id;
+      o.o_seq <- t.by_node.(node).c_len
+
+(* ---- base construction (A0) ------------------------------------------ *)
+
+let base_of_snap t ~sc ~at snap =
+  if Array.length snap <> t.n then
+    fail t ~condition:"wf" ~op:sc.o_id ~node:sc.o_node ~at
+      "scan %d returned %d segments, expected %d" sc.o_id (Array.length snap)
+      t.n;
+  let base = Array.make t.n 0 in
+  let card = ref 0 and max_inv = ref neg_infinity in
+  Array.iteri
+    (fun j seg ->
+      match seg with
+      | None -> ()
+      | Some v -> (
+          match Hashtbl.find_opt t.update_of_value v with
+          | None ->
+              fail t ~condition:"A0" ~op:sc.o_id ~node:sc.o_node ~at
+                "scan %d segment %d holds value %d that no update has written"
+                sc.o_id j v
+          | Some uid ->
+              let u = Hashtbl.find t.ops uid in
+              if u.o_node <> j then
+                fail t ~condition:"A0" ~op:sc.o_id ~node:sc.o_node ~at
+                  "scan %d segment %d holds value %d written by n%d" sc.o_id j
+                  v u.o_node;
+              base.(j) <- u.o_seq;
+              card := !card + u.o_seq;
+              (* invocation times grow along a node's program order, so
+                 the prefix's last member carries its maximum *)
+              if u.o_inv > !max_inv then max_inv := u.o_inv))
+    snap;
+  (base, !card, !max_inv)
+
+(* ---- A1: inclusion-chain maintenance --------------------------------- *)
+
+(* The chain invariant — every pair of links ordered by inclusion,
+   descending cardinality — is maintained incrementally: since the
+   existing links are already pairwise ordered and [⊆] is transitive, a
+   new link only needs checking against its immediate neighbors at the
+   insertion point. Descending order puts the common case — bases grow
+   over the run, so each new base is the largest yet — at the head:
+   one neighbor comparison and an O(1) prepend per scan. *)
+let insert_chain t ~condition ~sc ~at base card =
+  let entry = { ch_card = card; ch_base = base; ch_scan = sc.o_id } in
+  let incomparable e =
+    fail t ~condition ~op:sc.o_id ~node:sc.o_node ~at
+      "base of scan %d (|%d|) is incomparable with base of scan %d (|%d|)"
+      sc.o_id card e.ch_scan e.ch_card
+  in
+  let rec go = function
+    | [] -> [ entry ]
+    | e :: rest when e.ch_card > card ->
+        (match rest with
+        | e' :: _ when e'.ch_card > card -> ()  (* not the neighbor yet *)
+        | _ -> if not (base_le base e.ch_base) then incomparable e);
+        e :: go rest
+    | e :: _ as chain when e.ch_card = card ->
+        if not (base_eq e.ch_base base) then
+          fail t ~condition ~op:sc.o_id ~node:sc.o_node ~at
+            "bases of scans %d and %d have equal size %d but differ" sc.o_id
+            e.ch_scan card;
+        chain (* same link already present *)
+    | e :: _ as chain ->
+        if not (base_le e.ch_base base) then incomparable e;
+        entry :: chain
+  in
+  t.chain <- go t.chain
+
+(* ---- A2 + A4 over completed updates ---------------------------------- *)
+
+(* Only the first completed update {e past} each node's base prefix can
+   witness an A2/A4 violation: response times grow along a node's
+   program order (sequential node, time-ordered stream), so if the
+   earliest completed non-member responded after both bounds, every
+   later one did too. O(n) per scan — this check is on the monitor
+   domain's hot path and used to walk every completed update in the
+   run. *)
+let check_completed t ~sc ~at base max_member_inv =
+  for j = 0 to t.n - 1 do
+    let ch = t.by_node.(j) in
+    let rec first_completed i =
+      if i < ch.c_len then begin
+        let u = Hashtbl.find t.ops ch.c_buf.(i) in
+        match u.o_resp with
+        | Some resp ->
+            if resp < sc.o_inv then
+              fail t ~condition:"A2" ~op:sc.o_id ~node:sc.o_node ~at
+                "update %d completed at t=%g before scan %d was invoked \
+                 (t=%g) yet is missing from its base"
+                u.o_id resp sc.o_id sc.o_inv;
+            if resp < max_member_inv then
+              fail t ~condition:"A4" ~op:sc.o_id ~node:sc.o_node ~at
+                "update %d (resp t=%g) precedes a member of scan %d's base \
+                 (invoked t=%g) yet is missing from it"
+                u.o_id resp sc.o_id max_member_inv
+        | None ->
+            (* aborted ops never respond — skip to the next link; a
+               pending op is the node's single outstanding one, so
+               nothing later has been invoked *)
+            if u.o_aborted then first_completed (i + 1)
+      end
+    in
+    first_completed base.(j)
+  done
+
+(* ---- A3 against real-time-preceding scans ---------------------------- *)
+
+let check_a3 t ~sc ~at base card =
+  let rec witness = function
+    | [] -> None
+    | e :: rest -> if e.rs_resp < sc.o_inv then Some e else witness rest
+  in
+  match witness t.scans with
+  | None -> ()
+  | Some e ->
+      if not (base_le e.rs_best base) then
+        fail t ~condition:"A3" ~op:sc.o_id ~node:sc.o_node ~at
+          "scan %d precedes scan %d but its base (|%d|) is not contained in \
+           the later base (|%d|)"
+          e.rs_scan sc.o_id e.rs_best_card card
+
+(* ---- S2 + S3: the sequential-consistency pass (SSO) ------------------ *)
+
+(* (S2) read-your-writes: the scanning node's own program-order update
+   prefix must be contained in the base. The node is sequential, so its
+   prefix cannot grow between the scan's invoke and its response — the
+   chain length at response time is the right witness. A later own
+   update cannot sneak in: it has not been invoked, so its value is not
+   in [update_of_value] and A0 would already have fired. *)
+let check_s2 t ~sc ~at base =
+  let ch = t.by_node.(sc.o_node) in
+  if base.(sc.o_node) < ch.c_len then
+    fail t ~condition:"S2" ~op:sc.o_id ~node:sc.o_node ~at
+      "n%d's own update %d precedes scan %d in program order yet is missing \
+       from its base"
+      sc.o_node ch.c_buf.(base.(sc.o_node)) sc.o_id
+
+(* (S3) per-node scan monotonicity: only the node's previous scan needs
+   checking — inclusion is transitive. *)
+let check_s3 t ~sc ~at base =
+  (match t.last_scan_base.(sc.o_node) with
+  | Some (prev, prev_id) ->
+      if not (base_le prev base) then
+        fail t ~condition:"S3" ~op:sc.o_id ~node:sc.o_node ~at
+          "n%d's scans %d and %d have non-monotone bases" sc.o_node prev_id
+          sc.o_id
+  | None -> ());
+  t.last_scan_base.(sc.o_node) <- Some (base, sc.o_id)
+
+let push_scan t ~sc ~resp base card =
+  let best, best_card =
+    match t.scans with
+    | prev :: _ when prev.rs_best_card >= card ->
+        (prev.rs_best, prev.rs_best_card)
+    | _ -> (base, card)
+  in
+  t.scans <-
+    { rs_resp = resp; rs_scan = sc.o_id; rs_best = best;
+      rs_best_card = best_card }
+    :: t.scans
 
 let on_respond t ~id ~at ~kind =
   check_time t ~op:id ~node:(-1) at;
@@ -172,137 +373,28 @@ let on_respond t ~id ~at ~kind =
   t.outstanding.(o.o_node) <- None;
   o
 
-(* ---- base construction (A0) ------------------------------------------ *)
-
-let base_of_snap t ~sc ~at snap =
-  if Array.length snap <> t.n then
-    fail t ~condition:"wf" ~op:sc.o_id ~node:sc.o_node ~at
-      "scan %d returned %d segments, expected %d" sc.o_id (Array.length snap)
-      t.n;
-  let base = ref ISet.empty and max_inv = ref neg_infinity in
-  Array.iteri
-    (fun j seg ->
-      match seg with
-      | None -> ()
-      | Some v -> (
-          match Hashtbl.find_opt t.update_of_value v with
-          | None ->
-              fail t ~condition:"A0" ~op:sc.o_id ~node:sc.o_node ~at
-                "scan %d segment %d holds value %d that no update has written"
-                sc.o_id j v
-          | Some uid ->
-              let u = Hashtbl.find t.ops uid in
-              if u.o_node <> j then
-                fail t ~condition:"A0" ~op:sc.o_id ~node:sc.o_node ~at
-                  "scan %d segment %d holds value %d written by n%d" sc.o_id j
-                  v u.o_node;
-              base := ISet.union !base (Hashtbl.find t.prefix_of uid)))
-    snap;
-  ISet.iter
-    (fun uid ->
-      let u = Hashtbl.find t.ops uid in
-      if u.o_inv > !max_inv then max_inv := u.o_inv)
-    !base;
-  (!base, !max_inv)
-
-(* ---- A1: inclusion-chain maintenance --------------------------------- *)
-
-(* The chain invariant — every pair of links ordered by inclusion,
-   ascending cardinality — is maintained incrementally: since the
-   existing links are already pairwise ordered and [⊆] is transitive, a
-   new link only needs checking against its immediate neighbors at the
-   insertion point. (Checking every smaller link, as a naive insert
-   would, is O(chain × |base|) per scan — quadratic-and-worse over an rt
-   load run's tens of thousands of monotonically growing bases.) *)
-let insert_chain t ~sc ~at base card =
-  let entry = { ch_card = card; ch_base = base; ch_scan = sc.o_id } in
-  let incomparable e =
-    fail t ~condition:"A1" ~op:sc.o_id ~node:sc.o_node ~at
-      "base of scan %d (|%d|) is incomparable with base of scan %d (|%d|)"
-      sc.o_id card e.ch_scan e.ch_card
-  in
-  let rec go = function
-    | [] -> [ entry ]
-    | e :: rest when e.ch_card < card ->
-        (match rest with
-        | e' :: _ when e'.ch_card < card -> ()  (* not the neighbor yet *)
-        | _ -> if not (ISet.subset e.ch_base base) then incomparable e);
-        e :: go rest
-    | e :: _ as chain when e.ch_card = card ->
-        if not (ISet.equal e.ch_base base) then
-          fail t ~condition:"A1" ~op:sc.o_id ~node:sc.o_node ~at
-            "bases of scans %d and %d have equal size %d but differ" sc.o_id
-            e.ch_scan card;
-        chain (* same link already present *)
-    | e :: _ as chain ->
-        if not (ISet.subset base e.ch_base) then incomparable e;
-        entry :: chain
-  in
-  t.chain <- go t.chain
-
-(* ---- A2 + A4 over completed updates ---------------------------------- *)
-
-let check_completed t ~sc ~at base max_member_inv =
-  List.iter
-    (fun (resp, _inv, uid) ->
-      if not (ISet.mem uid base) then begin
-        if resp < sc.o_inv then
-          fail t ~condition:"A2" ~op:sc.o_id ~node:sc.o_node ~at
-            "update %d completed at t=%g before scan %d was invoked (t=%g) \
-             yet is missing from its base"
-            uid resp sc.o_id sc.o_inv;
-        if resp < max_member_inv then
-          fail t ~condition:"A4" ~op:sc.o_id ~node:sc.o_node ~at
-            "update %d (resp t=%g) precedes a member of scan %d's base \
-             (invoked t=%g) yet is missing from it"
-            uid resp sc.o_id max_member_inv
-      end)
-    t.completed_updates
-
-(* ---- A3 against real-time-preceding scans ---------------------------- *)
-
-let check_a3 t ~sc ~at base =
-  let rec witness = function
-    | [] -> None
-    | e :: rest -> if e.rs_resp < sc.o_inv then Some e else witness rest
-  in
-  match witness t.scans with
-  | None -> ()
-  | Some e ->
-      if not (ISet.subset e.rs_best base) then
-        fail t ~condition:"A3" ~op:sc.o_id ~node:sc.o_node ~at
-          "scan %d precedes scan %d but its base (|%d|) is not contained in \
-           the later base (|%d|)"
-          e.rs_scan sc.o_id e.rs_best_card (ISet.cardinal base)
-
-let push_scan t ~sc ~resp base card =
-  let best, best_card =
-    match t.scans with
-    | prev :: _ when prev.rs_best_card >= card ->
-        (prev.rs_best, prev.rs_best_card)
-    | _ -> (base, card)
-  in
-  t.scans <-
-    { rs_resp = resp; rs_scan = sc.o_id; rs_best = best;
-      rs_best_card = best_card }
-    :: t.scans
-
 (* ---- event dispatch --------------------------------------------------- *)
 
 let process t ev =
   match ev with
   | Invoke { id; node; at; op } -> on_invoke t ~id ~node ~at ~op
-  | Respond_update { id; at } ->
-      let o = on_respond t ~id ~at ~kind:`Update in
-      t.completed_updates <- (at, o.o_inv, id) :: t.completed_updates
+  | Respond_update { id; at } -> ignore (on_respond t ~id ~at ~kind:`Update)
   | Respond_scan { id; at; snap } ->
       let sc = on_respond t ~id ~at ~kind:`Scan in
-      let base, max_member_inv = base_of_snap t ~sc ~at snap in
-      let card = ISet.cardinal base in
-      insert_chain t ~sc ~at base card;
-      check_completed t ~sc ~at base max_member_inv;
-      check_a3 t ~sc ~at base;
-      push_scan t ~sc ~resp:at base card;
+      let base, card, max_member_inv = base_of_snap t ~sc ~at snap in
+      (match t.mode with
+      | Atomic ->
+          insert_chain t ~condition:"A1" ~sc ~at base card;
+          check_completed t ~sc ~at base max_member_inv;
+          check_a3 t ~sc ~at base card;
+          push_scan t ~sc ~resp:at base card
+      | Sequential ->
+          (* SSO promises sequential consistency only: comparability
+             (S1, same inclusion chain as A1), read-your-writes (S2) and
+             per-node monotonicity (S3) — but not the real-time A2–A4. *)
+          insert_chain t ~condition:"S1" ~sc ~at base card;
+          check_s2 t ~sc ~at base;
+          check_s3 t ~sc ~at base);
       t.checked <- t.checked + 1
   | Crash { node; at } ->
       check_time t ~op:(-1) ~node at;

@@ -65,9 +65,19 @@ type event =
           (from the [aso.rounds_per_update] histogram); feed after the
           matching [Respond_update] *)
 
+type mode =
+  | Atomic  (** full A0–A4: the EQ-ASO linearizability conditions *)
+  | Sequential
+      (** the SSO sequential-consistency pass: A0 validity plus
+          comparability (S1 — the same inclusion chain as A1),
+          read-your-writes (S2: the scanning node's own program-order
+          update prefix is in the base) and per-node scan monotonicity
+          (S3) — the real-time conditions A2–A4 do not apply. *)
+
 type violation = {
   condition : string;
-      (** ["wf"], ["A0"], ["A1"], ["A2"], ["A3"], ["A4"] or ["budget"] *)
+      (** ["wf"], ["A0"], ["A1"], ["A2"], ["A3"], ["A4"], ["S1"],
+          ["S2"], ["S3"] or ["budget"] *)
   detail : string;
   op : int;  (** offending operation id; [-1] if none *)
   node : int;  (** node to whose timeline the violation attaches *)
@@ -85,9 +95,9 @@ val default_budget : crashes:int -> float
     enough to catch the borrowing ablation under crashes, loose enough
     to never fire on a correct run. *)
 
-val create : ?budget:(crashes:int -> float) -> n:int -> unit -> t
+val create : ?budget:(crashes:int -> float) -> ?mode:mode -> n:int -> unit -> t
 (** Fresh monitor for [n] nodes. [budget] defaults to
-    {!default_budget}. *)
+    {!default_budget}; [mode] to [Atomic]. *)
 
 val feed : t -> event -> (unit, violation) result
 (** Consume one event. After the first [Error v], the monitor is

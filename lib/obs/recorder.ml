@@ -24,25 +24,35 @@
    writes, this validation catches the in-progress overwrite the
    single-cursor scheme would miss. *)
 
-type kind = Span_begin | Span_end | Instant | Counter
+type kind =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Counter
+  | Flow_start
+  | Flow_end
 
 let kind_to_int = function
   | Span_begin -> 0
   | Span_end -> 1
   | Instant -> 2
   | Counter -> 3
+  | Flow_start -> 4
+  | Flow_end -> 5
 
 let kind_of_int = function
   | 0 -> Span_begin
   | 1 -> Span_end
   | 2 -> Instant
-  | _ -> Counter
+  | 3 -> Counter
+  | 4 -> Flow_start
+  | _ -> Flow_end
 
 type ring = {
   pid : int;
   cap : int;
   ts : floatarray;
-  packed : int array; (* (code lsl 2) lor kind *)
+  packed : int array; (* (code lsl 3) lor kind *)
   value : floatarray;
   resv : int Atomic.t;
   head : int Atomic.t;
@@ -107,7 +117,7 @@ let emit r ~kind ~code ~ts ~value =
   Atomic.set r.resv (i + 1);
   let s = i mod r.cap in
   Float.Array.set r.ts s ts;
-  r.packed.(s) <- (code lsl 2) lor kind_to_int kind;
+  r.packed.(s) <- (code lsl 3) lor kind_to_int kind;
   Float.Array.set r.value s value;
   Atomic.set r.head (i + 1)
 
@@ -115,6 +125,15 @@ let span_begin r ~code ~ts = emit r ~kind:Span_begin ~code ~ts ~value:0.
 let span_end r ~code ~ts = emit r ~kind:Span_end ~code ~ts ~value:0.
 let instant r ~code ~ts ~value = emit r ~kind:Instant ~code ~ts ~value
 let counter r ~code ~ts ~value = emit r ~kind:Counter ~code ~ts ~value
+
+(* Flow events carry the flow id in [value] — the same id on the
+   matching start (sending domain) and end (receiving domain) lets
+   Perfetto draw the cross-track arrow. *)
+let flow_start r ~code ~ts ~flow =
+  emit r ~kind:Flow_start ~code ~ts ~value:(float_of_int flow)
+
+let flow_end r ~code ~ts ~flow =
+  emit r ~kind:Flow_end ~code ~ts ~value:(float_of_int flow)
 
 let emitted r = Atomic.get r.head
 let overwritten r = max 0 (Atomic.get r.head - r.cap)
@@ -147,8 +166,8 @@ let drain_ring r =
           e_seq = i;
           e_pid = r.pid;
           e_ts = ts;
-          e_kind = kind_of_int (packed land 3);
-          e_code = packed lsr 2;
+          e_kind = kind_of_int (packed land 7);
+          e_code = packed lsr 3;
           e_value = value;
         }
         :: !acc
@@ -193,6 +212,10 @@ let to_trace ?(mul = 1.) t =
           Trace.instant tr ~ts ~pid ~cat
             ~args:[ ("value", Trace.Float ev.e_value) ]
             name
-      | Counter -> Trace.counter tr ~ts ~pid ~value:ev.e_value name)
+      | Counter -> Trace.counter tr ~ts ~pid ~value:ev.e_value name
+      | Flow_start ->
+          Trace.flow_start tr ~ts ~pid ~id:(int_of_float ev.e_value) ~cat name
+      | Flow_end ->
+          Trace.flow_end tr ~ts ~pid ~id:(int_of_float ev.e_value) ~cat name)
     (events t);
   tr

@@ -20,7 +20,13 @@
 type t
 type ring
 
-type kind = Span_begin | Span_end | Instant | Counter
+type kind =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Counter
+  | Flow_start  (** message departure; flow id in [e_value] *)
+  | Flow_end  (** matching arrival on the receiving domain's ring *)
 
 val create : ?capacity:int -> n:int -> unit -> t
 (** [n] rings (one per domain/node) of [capacity] slots each
@@ -43,6 +49,13 @@ val span_begin : ring -> code:int -> ts:float -> unit
 val span_end : ring -> code:int -> ts:float -> unit
 val instant : ring -> code:int -> ts:float -> value:float -> unit
 val counter : ring -> code:int -> ts:float -> value:float -> unit
+
+val flow_start : ring -> code:int -> ts:float -> flow:int -> unit
+(** Message departure. [flow] is the id tying this event to the
+    {!flow_end} emitted on the receiving domain's ring; {!to_trace} maps
+    the pair to Perfetto flow arrows. *)
+
+val flow_end : ring -> code:int -> ts:float -> flow:int -> unit
 
 val emitted : ring -> int
 (** Events ever written (monotone; not capped by capacity). *)

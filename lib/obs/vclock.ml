@@ -64,60 +64,229 @@ type event = {
   label : string;
 }
 
-type recorder = {
-  n : int;
-  clocks : t array;
-  mutable log : event list; (* newest first *)
-  mutable count : int;
-  mutable next_flow : int;
+(* The recorder is sharded per node: node [i]'s clock and log live in
+   their own shard under their own lock. On the rt backend every node
+   domain (and every in-flight client operation) stamps concurrently —
+   a single recorder-wide mutex serialises the whole message plane
+   through one cache line and, on a loaded box, parks domains in the
+   kernel on every message. A shard is only ever contended by the few
+   threads acting {e as} that node (its handler domain and its single
+   outstanding operation), so the common case is an uncontended lock.
+   Cross-shard event ordering is preserved by drawing [idx] from one
+   atomic counter while holding the shard lock: per-shard log order
+   agrees with [idx] order, and a deliver always draws a larger [idx]
+   than the send it answers.
+
+   Capped shards keep their window in flat preallocated arrays (one
+   slot per event, clocks blitted into a flattened [cap × n] block):
+   the rt backend stamps >100k events/s, and per-event heap records —
+   all retained until truncation, hence all promoted to the major
+   heap — cost more in allocation and GC than the stamping itself.
+   The flat ring makes the stamp hot path allocation-free; [event]
+   records are materialised only at dump time. *)
+type ring = {
+  rg_cap : int;
+  mutable rg_len : int; (* total pushed; the slot cursor is len mod cap *)
+  rg_idx : int array;
+  rg_kind : int array; (* 0 send / 1 deliver / 2 drop / 3 local *)
+  rg_peer : int array;
+  rg_flow : int array;
+  rg_at : float array;
+  rg_vc : int array; (* slot s's clock at rg_vc.[s*n .. s*n+n-1] *)
+  mutable rg_labels : (int * string) list;
+      (* (idx, label) for the rare labelled events — rt stamps carry no
+         labels, sim labelled runs use unbounded shards *)
 }
 
-let recorder ~n =
+type store =
+  | Unbounded of { mutable log : event list (* newest first *) }
+  | Ring of ring
+
+type shard = { s_lock : Mutex.t; s_clock : t; s_store : store }
+
+type recorder = {
+  n : int;
+  shards : shard array;
+  next_flow : int Atomic.t;
+  next_idx : int Atomic.t;
+}
+
+let recorder ?cap ~n () =
   if n <= 0 then invalid_arg "Obs.Vclock.recorder: n must be positive";
-  { n; clocks = Array.init n (fun _ -> make n); log = []; count = 0;
-    next_flow = 1 }
+  let store () =
+    match cap with
+    | None -> Unbounded { log = [] }
+    | Some c ->
+        if c <= 0 then invalid_arg "Obs.Vclock.recorder: cap must be positive";
+        Ring
+          {
+            rg_cap = c;
+            rg_len = 0;
+            rg_idx = Array.make c 0;
+            rg_kind = Array.make c 0;
+            rg_peer = Array.make c 0;
+            rg_flow = Array.make c 0;
+            rg_at = Array.make c 0.0;
+            rg_vc = Array.make (c * n) 0;
+            rg_labels = [];
+          }
+  in
+  {
+    n;
+    shards =
+      Array.init n (fun _ ->
+          { s_lock = Mutex.create (); s_clock = make n; s_store = store () });
+    next_flow = Atomic.make 1;
+    next_idx = Atomic.make 0;
+  }
 
 let nodes r = r.n
-let clock r i = copy r.clocks.(i)
 
-let push r ~node ~kind ~flow ~at ~label =
-  let ev =
-    { idx = r.count; node; kind; flow; at; vc = copy r.clocks.(node); label }
-  in
-  r.log <- ev :: r.log;
-  r.count <- r.count + 1
+let clock r i =
+  let s = r.shards.(i) in
+  Mutex.lock s.s_lock;
+  let c = copy s.s_clock in
+  Mutex.unlock s.s_lock;
+  c
+
+let kind_code = function
+  | Send _ -> 0
+  | Deliver _ -> 1
+  | Drop _ -> 2
+  | Local -> 3
+
+let kind_of_code code peer =
+  match code with
+  | 0 -> Send { dst = peer }
+  | 1 -> Deliver { src = peer }
+  | 2 -> Drop { src = peer }
+  | _ -> Local
+
+(* Callers hold [s.s_lock]. *)
+let push r s ~node ~kind ~flow ~at ~label =
+  let idx = Atomic.fetch_and_add r.next_idx 1 in
+  match s.s_store with
+  | Unbounded u ->
+      u.log <- { idx; node; kind; flow; at; vc = copy s.s_clock; label } :: u.log
+  | Ring rg ->
+      let slot = rg.rg_len mod rg.rg_cap in
+      rg.rg_idx.(slot) <- idx;
+      rg.rg_kind.(slot) <- kind_code kind;
+      rg.rg_peer.(slot) <-
+        (match kind with
+        | Send { dst } -> dst
+        | Deliver { src } | Drop { src } -> src
+        | Local -> 0);
+      rg.rg_flow.(slot) <- flow;
+      rg.rg_at.(slot) <- at;
+      Array.blit s.s_clock 0 rg.rg_vc (slot * r.n) r.n;
+      rg.rg_len <- rg.rg_len + 1;
+      if label <> "" then begin
+        rg.rg_labels <- (idx, label) :: rg.rg_labels;
+        (* keep only labels still inside the retained window *)
+        let floor_idx = idx - rg.rg_cap in
+        if List.length rg.rg_labels > rg.rg_cap then
+          rg.rg_labels <-
+            List.filter (fun (i, _) -> i > floor_idx) rg.rg_labels
+      end
+
+(* Manual loops: the closure-based [Array.iteri] costs on a path run
+   once per delivered message. Caller holds the shard lock. *)
+let merge_tick clk ~(stamp : t) ~me =
+  let n = Array.length clk in
+  for i = 0 to n - 1 do
+    if stamp.(i) > clk.(i) then clk.(i) <- stamp.(i)
+  done;
+  clk.(me) <- clk.(me) + 1
 
 let record_send r ~src ~dst ~at ?(label = "") () =
-  tick r.clocks.(src) src;
-  let flow = r.next_flow in
-  r.next_flow <- flow + 1;
-  push r ~node:src ~kind:(Send { dst }) ~flow ~at ~label;
-  (flow, copy r.clocks.(src))
+  let s = r.shards.(src) in
+  Mutex.lock s.s_lock;
+  tick s.s_clock src;
+  let flow = Atomic.fetch_and_add r.next_flow 1 in
+  push r s ~node:src ~kind:(Send { dst }) ~flow ~at ~label;
+  let stamp = copy s.s_clock in
+  Mutex.unlock s.s_lock;
+  (flow, stamp)
 
 let record_deliver r ~dst ~src ~flow ~stamp ~at ?(label = "") () =
-  merge_into ~src:stamp ~dst:r.clocks.(dst);
-  tick r.clocks.(dst) dst;
-  push r ~node:dst ~kind:(Deliver { src }) ~flow ~at ~label
+  let s = r.shards.(dst) in
+  Mutex.lock s.s_lock;
+  merge_tick s.s_clock ~stamp ~me:dst;
+  push r s ~node:dst ~kind:(Deliver { src }) ~flow ~at ~label;
+  Mutex.unlock s.s_lock
 
 let record_drop r ~dst ~src ~flow ~at ?(label = "") () =
-  push r ~node:dst ~kind:(Drop { src }) ~flow ~at ~label
+  let s = r.shards.(dst) in
+  Mutex.lock s.s_lock;
+  push r s ~node:dst ~kind:(Drop { src }) ~flow ~at ~label;
+  Mutex.unlock s.s_lock
 
 let record_local r ~node ~at name =
-  tick r.clocks.(node) node;
-  push r ~node ~kind:Local ~flow:0 ~at ~label:name
+  let s = r.shards.(node) in
+  Mutex.lock s.s_lock;
+  tick s.s_clock node;
+  push r s ~node ~kind:Local ~flow:0 ~at ~label:name;
+  Mutex.unlock s.s_lock
 
-let events r = List.rev r.log
-let length r = r.count
+(* Snapshot every shard's log (each under its lock, ring slots
+   materialised back into [event] records), then merge by the global
+   index. Dump-time only — never on the message hot path. *)
+let gather r =
+  let materialise node s =
+    match s.s_store with
+    | Unbounded u -> u.log
+    | Ring rg ->
+        let count = min rg.rg_len rg.rg_cap in
+        let evs = ref [] in
+        for k = rg.rg_len - count to rg.rg_len - 1 do
+          let slot = k mod rg.rg_cap in
+          let idx = rg.rg_idx.(slot) in
+          let label =
+            match rg.rg_labels with
+            | [] -> ""
+            | ls -> Option.value ~default:"" (List.assoc_opt idx ls)
+          in
+          evs :=
+            {
+              idx;
+              node;
+              kind = kind_of_code rg.rg_kind.(slot) rg.rg_peer.(slot);
+              flow = rg.rg_flow.(slot);
+              at = rg.rg_at.(slot);
+              vc = Array.sub rg.rg_vc (slot * r.n) r.n;
+              label;
+            }
+            :: !evs
+        done;
+        !evs
+  in
+  let acc = ref [] in
+  Array.iteri
+    (fun i s ->
+      Mutex.lock s.s_lock;
+      let l = materialise i s in
+      Mutex.unlock s.s_lock;
+      acc := List.rev_append l !acc)
+    r.shards;
+  !acc
+
+let events r =
+  List.sort (fun a b -> Int.compare a.idx b.idx) (gather r)
+
+let length r = Atomic.get r.next_idx
 
 let happened_before a b = leq a.vc b.vc && not (equal a.vc b.vc)
 
 let slice r ~vc =
-  List.fold_left
-    (fun acc ev ->
-      match ev.kind with
-      | (Send _ | Deliver _) when leq ev.vc vc -> ev :: acc
-      | _ -> acc)
-    [] r.log
+  List.sort
+    (fun a b -> Int.compare a.idx b.idx)
+    (List.filter
+       (fun ev ->
+         match ev.kind with
+         | Send _ | Deliver _ -> leq ev.vc vc
+         | _ -> false)
+       (gather r))
 
 let pp_kind ppf = function
   | Send { dst } -> Format.fprintf ppf "send->n%d" dst

@@ -6,8 +6,9 @@
     happened-before order: [leq a b] iff the event stamped [a] causally
     precedes (or equals) the event stamped [b].
 
-    {!recorder} maintains one clock per node and an append-only log of
-    stamped network events (send / deliver / drop / local). The
+    {!recorder} maintains one clock per node and a (optionally
+    retention-bounded) log of stamped network events (send / deliver /
+    drop / local). The
     simulator's network layer records into it; the log exports as a
     ShiViz-compatible causal log ({!to_shiviz}) and supports causal-cone
     queries ({!slice}) — the provenance of an online monitor violation
@@ -73,8 +74,20 @@ type event = {
 
 type recorder
 
-val recorder : n:int -> recorder
-(** Fresh recorder over nodes [0..n-1], all clocks zero. *)
+val recorder : ?cap:int -> n:int -> unit -> recorder
+(** Fresh recorder over nodes [0..n-1], all clocks zero. The recorder is
+    thread-safe and sharded per node: node [i]'s clock and log segment
+    live under their own lock, so rt-backend domains recording for
+    different nodes never contend (the sim pays one uncontended lock
+    per event — negligible). Cross-node event order is preserved by a
+    global index drawn under the shard lock.
+
+    [cap] bounds how many events each node's log segment retains
+    (newest win); omitted means unbounded. An rt load run records
+    hundreds of thousands of events per second — retaining them all
+    turns the recorder into a major-heap leak, and the violation
+    forensics ({!slice}) only ever need the recent causal window.
+    @raise Invalid_argument if [n <= 0] or [cap <= 0]. *)
 
 val nodes : recorder -> int
 
@@ -106,7 +119,7 @@ val record_local :
 (** Tick [node]'s clock and log a local milestone named by the string. *)
 
 val events : recorder -> event list
-(** The log, oldest first. *)
+(** The log, oldest first (the retained window, when [cap] was given). *)
 
 val length : recorder -> int
 (** Events recorded so far. *)

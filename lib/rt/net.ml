@@ -7,18 +7,57 @@ type 'm t = {
   c_broadcasts : Obs.Metrics.counter;
   t0 : int64;
   telem : Telem.t option;
+  (* Per-node flight-recorder handles, precomputed so the send hot path
+     does not allocate one per message. *)
+  tnodes : Telem.node option array;
+  causal : Obs.Vclock.recorder option;
+  (* Link-level fault injection (tests only): [cut.(src * n + dst)]
+     silently drops that directed link's messages, counted under
+     [net.dropped]. Plain bool array — writes are rare test-side pokes
+     and a momentarily stale read only shifts when the partition takes
+     effect, never tears. *)
+  cut : bool array;
 }
 
-let create ?(recorder = true) ?parking ~n () =
+let create ?(recorder = true) ?(causal = false) ?parking ~n () =
   if n <= 0 then invalid_arg "Rt.Net.create: n must be positive";
   let metrics = Obs.Metrics.create () in
   let t0 = Monotonic_clock.now () in
   let now () = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9 in
   let telem = if recorder then Some (Telem.create ~n ~now ()) else None in
   let nodes = Array.init n (Node.create ?parking) in
+  let tnodes =
+    match telem with
+    | Some tl -> Array.init n (fun i -> Some (Telem.node tl i))
+    | None -> Array.make n None
+  in
   (match telem with
-  | Some tl ->
-      Array.iteri (fun i nd -> Node.set_telem nd (Some (Telem.node tl i))) nodes
+  | Some _ -> Array.iteri (fun i nd -> Node.set_telem nd tnodes.(i)) nodes
+  | None -> ());
+  (* Retention-bounded: rt stamps hundreds of thousands of events per
+     second, and the slice forensics only need the recent causal
+     window — an unbounded log is a major-heap leak that costs real
+     throughput in GC on long runs. *)
+  let causal =
+    if causal then Some (Obs.Vclock.recorder ~cap:16_384 ~n ()) else None
+  in
+  (* Receive side of the causal wiring: the delivery observer runs on
+     the receiving node's own domain just before the handler — merge the
+     piggy-backed stamp into the receiver's clock and pair the flow
+     arrow on the receiver's ring (single-writer contract holds on both
+     rings: sends are recorded by the sending domain, deliveries by the
+     receiving one). *)
+  (match causal with
+  | Some vr ->
+      Array.iteri
+        (fun dst nd ->
+          Node.set_on_deliver nd (fun ~src (m : Node.meta) ->
+              Obs.Vclock.record_deliver vr ~dst ~src ~flow:m.flow
+                ~stamp:m.stamp ~at:(now ()) ();
+              match tnodes.(dst) with
+              | Some tnd -> Telem.flow_recv tnd ~flow:m.flow
+              | None -> ()))
+        nodes
   | None -> ());
   {
     nodes;
@@ -31,6 +70,9 @@ let create ?(recorder = true) ?parking ~n () =
     c_broadcasts = Obs.Metrics.counter metrics "net.broadcasts";
     t0;
     telem;
+    tnodes;
+    causal;
+    cut = Array.make (n * n) false;
   }
 
 let size t = Array.length t.nodes
@@ -38,15 +80,40 @@ let metrics t = t.metrics
 let node t i = t.nodes.(i)
 let telem t = t.telem
 let recorder t = Option.map Telem.recorder t.telem
+let causal t = t.causal
 
 let now t = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.t0) *. 1e-9
 
+let cut_link t ~src ~dst = t.cut.((src * size t) + dst) <- true
+let heal_link t ~src ~dst = t.cut.((src * size t) + dst) <- false
+
 let send t ~src ~dst msg =
   if not (Node.is_crashed t.nodes.(src)) then begin
-    Obs.Metrics.incr t.c_sent;
-    if Node.post t.nodes.(dst) (Node.Net { src; msg }) then
-      Obs.Metrics.incr t.c_delivered
-    else Obs.Metrics.incr t.c_dropped
+    if t.cut.((src * size t) + dst) then Obs.Metrics.incr t.c_dropped
+    else begin
+      Obs.Metrics.incr t.c_sent;
+      let meta =
+        match t.causal with
+        | None -> None
+        | Some vr ->
+            let flow, stamp =
+              Obs.Vclock.record_send vr ~src ~dst ~at:(now t) ()
+            in
+            (match t.tnodes.(src) with
+            | Some tnd -> Telem.flow_send tnd ~flow
+            | None -> ());
+            Some { Node.flow; stamp }
+      in
+      if Node.post t.nodes.(dst) (Node.Net { src; msg; meta }) then
+        Obs.Metrics.incr t.c_delivered
+      else begin
+        Obs.Metrics.incr t.c_dropped;
+        match (t.causal, meta) with
+        | Some vr, Some m ->
+            Obs.Vclock.record_drop vr ~dst ~src ~flow:m.flow ~at:(now t) ()
+        | _ -> ()
+      end
+    end
   end
 
 let broadcast t ~src msg =

@@ -17,14 +17,24 @@
 
 type 'm t
 
-val create : ?recorder:bool -> ?parking:Node.parking -> n:int -> unit -> 'm t
+val create :
+  ?recorder:bool -> ?causal:bool -> ?parking:Node.parking -> n:int -> unit ->
+  'm t
 (** Allocate nodes and register the network counters ([net.sent] etc. —
     the simulator's names). Domains are not yet running: install
     handlers (via {!backend} and the protocol constructor), then
     {!start}. [recorder] (default [true]) attaches a flight-recorder
     ring to every node ({!Telem}); pass [false] to measure its absence
-    (the bench overhead rows). [parking] selects the mailbox park
-    implementation (default [`Eventcount]; see {!Node.parking}). *)
+    (the bench overhead rows). [causal] (default [false]) attaches an
+    {!Obs.Vclock.recorder} and stamps every message: {!send} records the
+    send, piggy-backs the flow id and the sender's clock as
+    {!Node.meta} next to the untouched payload, and the delivery
+    observer on the receiving domain merges the stamp — mirroring the
+    sim wiring, so rt violations get the same causal-cone slices. Flow
+    events ([net.msg] start/end pairs) land on the sender's and
+    receiver's flight-recorder rings when both are enabled. [parking]
+    selects the mailbox park implementation (default [`Eventcount]; see
+    {!Node.parking}). *)
 
 val size : _ t -> int
 val metrics : _ t -> Obs.Metrics.t
@@ -34,6 +44,10 @@ val telem : _ t -> Telem.t option
 val recorder : _ t -> Obs.Recorder.t option
 (** The flight recorder, when enabled at {!create}. *)
 
+val causal : _ t -> Obs.Vclock.recorder option
+(** The vector-clock recorder, when enabled at {!create} — the handle
+    {!Live_monitor} slices for violation provenance. *)
+
 val now : _ t -> float
 (** Monotonic seconds since {!create}. Safe from any domain. *)
 
@@ -41,6 +55,19 @@ val send : 'm t -> src:int -> dst:int -> 'm -> unit
 (** Drop silently if [src] crashed (a crashed node sends nothing) or
     [dst] crashed (a crashed node receives nothing); counted under
     [net.dropped] in the latter case. *)
+
+val cut_link : _ t -> src:int -> dst:int -> unit
+(** Fault injection (tests): silently drop every message on the
+    directed link [src → dst] from now on, counted under [net.dropped].
+    Safe to poke from any thread while the deployment runs. The
+    asynchronous model lets messages between live nodes stall
+    arbitrarily long, so a cut link is within the envelope the
+    protocols must tolerate for {e safety} — a correct quorum write
+    blocks rather than completes when too many links are out, which is
+    exactly what the quorum-mutant live-monitor test exploits. *)
+
+val heal_link : _ t -> src:int -> dst:int -> unit
+(** Undo {!cut_link} for that directed link. *)
 
 val broadcast : 'm t -> src:int -> 'm -> unit
 (** Send to every node, including [src] itself. *)

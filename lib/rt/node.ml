@@ -1,7 +1,13 @@
 exception Crashed
 
+(* Causal metadata piggy-backed on a network message: the sender's
+   vector-clock stamp and the flow id tying this send to its delivery.
+   Rides next to the payload — protocol message types stay untouched,
+   mirroring how the sim's transport carries stamps out of band. *)
+type meta = { flow : int; stamp : Obs.Vclock.t }
+
 type 'm item =
-  | Net of { src : int; msg : 'm }
+  | Net of { src : int; msg : 'm; meta : meta option }
   | Work of (unit -> unit)
   | Stop
 
@@ -31,6 +37,11 @@ type 'm t = {
   park : park_impl;
   poisoned : bool Atomic.t;
   mutable handler : src:int -> 'm -> unit;
+  (* Delivery observer: runs on this node's domain just before the
+     handler, for every Net item carrying causal [meta]. Installed
+     before [start] (like the handler); the vclock merge and the
+     receive-side flow event live here. *)
+  mutable on_deliver : src:int -> meta -> unit;
   (* Work items that arrived while an operation was blocked in [await]:
      they must not run in the middle of that operation (nodes are
      sequential), so the pump parks them here and the run loop drains
@@ -66,6 +77,7 @@ let create ?(parking = `Eventcount) id =
       | `Eventcount -> PEvent (Park.create ()));
     poisoned = Atomic.make false;
     handler = (fun ~src:_ _ -> ());
+    on_deliver = (fun ~src:_ _ -> ());
     deferred_rev = [];
     stop = false;
     domain = None;
@@ -74,6 +86,11 @@ let create ?(parking = `Eventcount) id =
 
 let id t = t.id
 let set_handler t h = t.handler <- h
+let set_on_deliver t f = t.on_deliver <- f
+
+let deliver t ~src ~meta msg =
+  (match meta with Some m -> t.on_deliver ~src m | None -> ());
+  t.handler ~src msg
 let set_telem t tl = t.telem <- tl
 let is_crashed t = Atomic.get t.poisoned
 
@@ -194,7 +211,7 @@ let next t =
 let await t pred =
   while not (pred ()) do
     match next t with
-    | Net { src; msg } -> t.handler ~src msg
+    | Net { src; msg; meta } -> deliver t ~src ~meta msg
     | Work f -> t.deferred_rev <- f :: t.deferred_rev
     | Stop -> t.stop <- true
   done
@@ -211,7 +228,7 @@ let run t =
   try
     while not t.stop do
       match next t with
-      | Net { src; msg } -> t.handler ~src msg
+      | Net { src; msg; meta } -> deliver t ~src ~meta msg
       | Work f ->
           f ();
           drain_deferred t

@@ -20,8 +20,14 @@ exception Crashed
 (** Raised by a blocking receive on a poisoned (crashed) node; unwinds
     the operation running on the node's domain. *)
 
+type meta = { flow : int; stamp : Obs.Vclock.t }
+(** Causal metadata riding next to a network payload: the sender's
+    vector-clock stamp and the flow id pairing this send with its
+    delivery. Protocol message types stay untouched — this mirrors the
+    sim transport's out-of-band stamping. *)
+
 type 'm item =
-  | Net of { src : int; msg : 'm }
+  | Net of { src : int; msg : 'm; meta : meta option }
   | Work of (unit -> unit)
   | Stop
 
@@ -40,6 +46,12 @@ val id : _ t -> int
 
 val set_handler : 'm t -> (src:int -> 'm -> unit) -> unit
 (** Install the message handler. Must happen before {!start}. *)
+
+val set_on_deliver : 'm t -> (src:int -> meta -> unit) -> unit
+(** Install the delivery observer: called on the node's own domain just
+    before the handler, for every [Net] item carrying [meta]. Must
+    happen before {!start}. {!Net} uses it to merge the piggy-backed
+    vector-clock stamp and emit the receive-side flow event. *)
 
 val set_telem : 'm t -> Telem.node option -> unit
 (** Attach this node's flight-recorder ring. Must happen before

@@ -76,6 +76,12 @@ type t = {
      replay span in [restart_node] (explicit-timestamp events emitted by
      the fresh incarnation). *)
   tnodes : Telem.node option array;
+  (* Live online monitor ([None] unless created with [~online:true]).
+     Producers push feed events under [s.lock], with the event timestamp
+     read inside the same critical section — that is the total order
+     that makes the monitor's time-ordered stream sound (DESIGN.md
+     section 6d). *)
+  live : Live_monitor.t option;
   (* Service-level instruments, live in the deployment's registry so the
      telemetry endpoint exposes them next to the [net.*] counters. *)
   c_updates_ok : Obs.Metrics.counter;
@@ -127,15 +133,41 @@ let unregister s node r =
    both the success and the crash-unwind path. *)
 let tele s node f = match s.tnodes.(node) with Some nd -> f nd | None -> ()
 
+(* Feed pushes for the live monitor. Callers hold [s.lock] and pass the
+   same timestamp they stamped into the history, so feed order agrees
+   with timestamp order (the push itself happens inside the critical
+   section). *)
+let feed s ev = match s.live with Some lm -> Live_monitor.push lm ev | None -> ()
+
+let feed_invoke s ~at (op : History.op) =
+  feed s
+    (Obs.Monitor.Invoke
+       {
+         id = op.id;
+         node = op.node;
+         at;
+         op =
+           (match op.kind with
+           | History.Update v -> Obs.Monitor.Update v
+           | History.Scan _ -> Obs.Monitor.Scan);
+       })
+
 let run_update s ~node v r () =
   tele s node Telem.update_begin;
   Mutex.lock s.lock;
-  let op = History.begin_update s.history ~now:(Net.now s.net) ~node ~value:v in
+  let at = Net.now s.net in
+  let op = History.begin_update s.history ~now:at ~node ~value:v in
+  feed_invoke s ~at op;
   Mutex.unlock s.lock;
   match s.ops.op_update ~node v with
   | () ->
       Mutex.lock s.lock;
-      History.finish_update s.history ~now:(Net.now s.net) op;
+      let at = Net.now s.net in
+      History.finish_update s.history ~now:at op;
+      (* Suppressed if a restart aborted the op first: the monitor saw
+         the Abort, and a respond after it would be a false "wf". *)
+      if op.aborted = None then
+        feed s (Obs.Monitor.Respond_update { id = op.id; at });
       unregister s node r;
       Mutex.unlock s.lock;
       tele s node Telem.update_end;
@@ -151,12 +183,17 @@ let run_update s ~node v r () =
 let run_scan s ~node r () =
   tele s node Telem.scan_begin;
   Mutex.lock s.lock;
-  let op = History.begin_scan s.history ~now:(Net.now s.net) ~node in
+  let at = Net.now s.net in
+  let op = History.begin_scan s.history ~now:at ~node in
+  feed_invoke s ~at op;
   Mutex.unlock s.lock;
   match s.ops.op_scan ~node with
   | snap ->
       Mutex.lock s.lock;
-      History.finish_scan s.history ~now:(Net.now s.net) op ~snap;
+      let at = Net.now s.net in
+      History.finish_scan s.history ~now:at op ~snap;
+      if op.aborted = None then
+        feed s (Obs.Monitor.Respond_scan { id = op.id; at; snap });
       unregister s node r;
       Mutex.unlock s.lock;
       r.snap <- Some snap;
@@ -198,9 +235,9 @@ let rec drain_batch s node () =
       let v = fst (List.nth items (List.length items - 1)) in
       Mutex.lock s.lock;
       s.fused_away <- s.fused_away + List.length items - 1;
-      let op =
-        History.begin_update s.history ~now:(Net.now s.net) ~node ~value:v
-      in
+      let at = Net.now s.net in
+      let op = History.begin_update s.history ~now:at ~node ~value:v in
+      feed_invoke s ~at op;
       Mutex.unlock s.lock;
       tele s node (fun nd ->
           Telem.fuse nd ~n:(List.length items);
@@ -208,7 +245,10 @@ let rec drain_batch s node () =
       match s.ops.op_update ~node v with
       | () ->
           Mutex.lock s.lock;
-          History.finish_update s.history ~now:(Net.now s.net) op;
+          let at = Net.now s.net in
+          History.finish_update s.history ~now:at op;
+          if op.aborted = None then
+            feed s (Obs.Monitor.Respond_update { id = op.id; at });
           Mutex.unlock s.lock;
           tele s node Telem.update_end;
           List.iter (fun (_, r) -> resolve r `Done) items;
@@ -314,10 +354,17 @@ let restart_node s i =
   s.recovering.(i) <- true;
   (* Restart is not resurrection: whatever the old incarnation left
      pending in the history is aborted now — the new incarnation's
-     operations are fresh invocations by the same node id. *)
+     operations are fresh invocations by the same node id. The abort
+     timestamp is re-read inside the lock: [t_restart] was taken before
+     acquisition, and a concurrent op stamped in between would make the
+     feed run backwards. *)
+  let t_abort = Net.now s.net in
   List.iter
     (fun (op : History.op) ->
-      if op.node = i then History.abort s.history ~now:t_restart op)
+      if op.node = i then begin
+        History.abort s.history ~now:t_abort op;
+        feed s (Obs.Monitor.Abort { id = op.id; at = t_abort })
+      end)
     (History.pending s.history);
   Mutex.unlock s.lock;
   (* Stragglers that pushed between the crash sweep and now have
@@ -349,11 +396,16 @@ let restart_node s i =
         (* Probe SCAN: the recovered node's first served operation,
            stamped into the checked history like any client request. *)
         Mutex.lock s.lock;
-        let op = History.begin_scan s.history ~now:(Net.now s.net) ~node:i in
+        let at = Net.now s.net in
+        let op = History.begin_scan s.history ~now:at ~node:i in
+        feed_invoke s ~at op;
         Mutex.unlock s.lock;
         let snap = s.ops.op_scan ~node:i in
         Mutex.lock s.lock;
-        History.finish_scan s.history ~now:(Net.now s.net) op ~snap;
+        let at = Net.now s.net in
+        History.finish_scan s.history ~now:at op ~snap;
+        if op.aborted = None then
+          feed s (Obs.Monitor.Respond_scan { id = op.id; at; snap });
         s.recovering.(i) <- false;
         s.recoveries <-
           {
@@ -398,9 +450,11 @@ let ops_of algo b ~f ~stores ~mutation =
         op_recover = (fun ~node -> Aso_core.Sso.recover t ~node);
       }
 
-let create ?(batch = false) ?(recorder = true) ?parking ?mutation ?wal_dir
-    ~algo ~n ~f () =
-  let net = Net.create ~recorder ?parking ~n () in
+let create ?(batch = false) ?(recorder = true) ?(online = false)
+    ?monitor_throttle ?parking ?mutation ?wal_dir ~algo ~n ~f () =
+  (* Causal stamping rides with the online monitor: the verdict's slice
+     is built from the network's vector-clock log. *)
+  let net = Net.create ~recorder ~causal:online ?parking ~n () in
   (* Every node gets a durable store: file-backed WALs under [wal_dir]
      when given (the real crash-recovery path — survives the process),
      in-memory otherwise (models durable memory; survives [crash_node],
@@ -415,6 +469,20 @@ let create ?(batch = false) ?(recorder = true) ?parking ?mutation ?wal_dir
   in
   let ops = ops_of algo (Net.backend net) ~f ~stores ~mutation in
   let m = Net.metrics net in
+  let live =
+    if online then
+      let mode =
+        match algo with
+        | Eq_aso -> Obs.Monitor.Atomic
+        | Sso_fast_scan -> Obs.Monitor.Sequential
+      in
+      Some
+        (Live_monitor.create ~mode ?causal:(Net.causal net)
+           ?throttle:monitor_throttle ~metrics:m
+           ~now:(fun () -> Net.now net)
+           ~n ())
+    else None
+  in
   {
     net;
     n;
@@ -435,6 +503,7 @@ let create ?(batch = false) ?(recorder = true) ?parking ?mutation ?wal_dir
       (match Net.telem net with
       | Some tl -> Array.init n (fun i -> Some (Telem.node tl i))
       | None -> Array.make n None);
+    live;
     c_updates_ok = Obs.Metrics.counter m "svc.updates_ok";
     c_scans_ok = Obs.Metrics.counter m "svc.scans_ok";
     c_rejected = Obs.Metrics.counter m "svc.rejected";
@@ -443,10 +512,20 @@ let create ?(batch = false) ?(recorder = true) ?parking ?mutation ?wal_dir
     h_scan_lat = Obs.Metrics.log_histogram m "svc.scan_latency_s";
   }
 
-let start s = Net.start s.net
-let stop s = Net.stop s.net
+let start s =
+  Net.start s.net;
+  Option.iter Live_monitor.start s.live
+
+let stop s =
+  Net.stop s.net;
+  (* Drain-then-join: every event stamped before the domains stopped is
+     still checked, so a violation near the end of the run is caught
+     here rather than left to the batch pass. *)
+  Option.iter (fun lm -> ignore (Live_monitor.stop lm : _ option)) s.live
+
 let history s = s.history
 let net s = s.net
+let live_monitor s = s.live
 let metrics s = Net.metrics s.net
 let recorder s = Net.recorder s.net
 let stats_snapshot s = Obs.Metrics.snapshot (Net.metrics s.net)
@@ -474,6 +553,10 @@ type report = {
   messages_sent : int;
   final_metrics : Obs.Metrics.snapshot;
   history : History.t;
+  live_verdict : Live_monitor.verdict option;
+      (** the live monitor's violation, when one tripped mid-run *)
+  monitor_events_checked : int;
+  monitor_scans_verified : int;
 }
 
 let rec pick_node s home j =
@@ -487,9 +570,17 @@ let rec pick_node s home j =
    and log-histograms are atomic, so concurrent client threads need no
    per-client state, and the live telemetry endpoint sees every
    completion as it happens. *)
+let monitor_tripped s =
+  match s.live with
+  | Some lm -> Live_monitor.tripped lm <> None
+  | None -> false
+
 let client_loop s ~deadline ~scan_fraction rng home =
   let live = ref true in
-  while !live && Net.now s.net < deadline do
+  (* Halt intake the moment the live monitor trips: a violated object
+     must stop serving, and the early exit is what makes mid-run
+     detection observable (the run ends well before the deadline). *)
+  while !live && Net.now s.net < deadline && not (monitor_tripped s) do
     match pick_node s home 0 with
     | None -> live := false
     | Some node ->
@@ -510,9 +601,10 @@ let client_loop s ~deadline ~scan_fraction rng home =
           | `Aborted -> Obs.Metrics.incr s.c_aborted
   done
 
-let run ?(batch = false) ?(recorder = true) ?parking ?mutation ?on_start
-    ?(scan_fraction = 0.2) ?(seed = 42) ?(crash = []) ?crash_after
-    ?restart_after ?wal_dir ~algo ~n ~f ~clients ~secs () =
+let run ?(batch = false) ?(recorder = true) ?(online = false) ?monitor_throttle
+    ?parking ?mutation ?on_start ?(scan_fraction = 0.2) ?(seed = 42)
+    ?(crash = []) ?crash_after ?restart_after ?wal_dir ~algo ~n ~f ~clients
+    ~secs () =
   if clients <= 0 then invalid_arg "Rt.Service.run: clients must be positive";
   if secs <= 0. then invalid_arg "Rt.Service.run: secs must be positive";
   let crash = List.sort_uniq compare crash in
@@ -527,7 +619,10 @@ let run ?(batch = false) ?(recorder = true) ?parking ?mutation ?on_start
   | Some r when r <= crash_delay ->
       invalid_arg "Rt.Service.run: restart_after must be after the crash"
   | _ -> ());
-  let s = create ~batch ~recorder ?parking ?mutation ?wal_dir ~algo ~n ~f () in
+  let s =
+    create ~batch ~recorder ~online ?monitor_throttle ?parking ?mutation
+      ?wal_dir ~algo ~n ~f ()
+  in
   start s;
   Option.iter (fun f -> f s) on_start;
   let t_start = Net.now s.net in
@@ -562,6 +657,7 @@ let run ?(batch = false) ?(recorder = true) ?parking ?mutation ?on_start
   Option.iter Thread.join crasher;
   let duration = Net.now s.net -. t_start in
   stop s;
+  let live_verdict = Option.bind s.live Live_monitor.tripped in
   let snapshot = Obs.Metrics.snapshot (Net.metrics s.net) in
   let completed_updates = Obs.Metrics.count s.c_updates_ok in
   let completed_scans = Obs.Metrics.count s.c_scans_ok in
@@ -588,6 +684,11 @@ let run ?(batch = false) ?(recorder = true) ?parking ?mutation ?on_start
       Option.value (Obs.Metrics.find_count snapshot "net.sent") ~default:0;
     final_metrics = snapshot;
     history = s.history;
+    live_verdict;
+    monitor_events_checked =
+      (match s.live with Some lm -> Live_monitor.events_checked lm | None -> 0);
+    monitor_scans_verified =
+      (match s.live with Some lm -> Live_monitor.scans_verified lm | None -> 0);
   }
 
 (* Bench feed: everything here is timing-dependent, hence volatile (the

@@ -60,6 +60,8 @@ type recovery = {
 val create :
   ?batch:bool ->
   ?recorder:bool ->
+  ?online:bool ->
+  ?monitor_throttle:(unit -> unit) ->
   ?parking:Node.parking ->
   ?mutation:Aso_core.Lattice_core.mutation ->
   ?wal_dir:string ->
@@ -73,10 +75,15 @@ val create :
     node [i] writes its mints to [wal_dir/node-i.wal] (created or
     appended); without it, each node gets an in-memory durable store, so
     {!restart_node} works either way. [recorder] (default [true])
-    attaches the per-node flight-recorder rings; [mutation] arms a
-    seeded protocol bug ({!Aso_core.Lattice_core.mutation}) so the
-    checker/forensics pipeline can be demonstrated on a run that is
-    {e guaranteed} to violate. *)
+    attaches the per-node flight-recorder rings; [online] (default
+    [false]) attaches a {!Live_monitor} (fed at every history stamp,
+    started/joined by {!start}/{!stop}) {e and} enables the network's
+    causal stamping, so a live violation carries a causal-cone slice;
+    [monitor_throttle] is the monitor-slowing test hook forwarded to
+    {!Live_monitor.create}; [mutation] arms a seeded protocol bug
+    ({!Aso_core.Lattice_core.mutation}) so the checker/forensics
+    pipeline can be demonstrated on a run that is {e guaranteed} to
+    violate. *)
 
 val start : t -> unit
 val stop : t -> unit
@@ -112,6 +119,10 @@ val restart_node : t -> int -> unit
 
 val history : t -> History.t
 val net : t -> int Aso_core.Lattice_core.Msg.t Net.t
+
+val live_monitor : t -> Live_monitor.t option
+(** The live online monitor, when created with [~online:true] — the
+    sampler line reads its lag and last-checked age from here. *)
 
 val metrics : t -> Obs.Metrics.t
 (** The deployment's registry: [net.*] counters plus the service-level
@@ -152,11 +163,18 @@ type report = {
   messages_sent : int;
   final_metrics : Obs.Metrics.snapshot;  (** registry at shutdown *)
   history : History.t;
+  live_verdict : Live_monitor.verdict option;
+      (** [Some _] iff the live monitor tripped — the run was halted
+          mid-flight (client intake stops at the next poll) *)
+  monitor_events_checked : int;  (** 0 when the monitor is off *)
+  monitor_scans_verified : int;
 }
 
 val run :
   ?batch:bool ->
   ?recorder:bool ->
+  ?online:bool ->
+  ?monitor_throttle:(unit -> unit) ->
   ?parking:Node.parking ->
   ?mutation:Aso_core.Lattice_core.mutation ->
   ?on_start:(t -> unit) ->
@@ -182,6 +200,11 @@ val run :
     client traffic continues, and the report's [recoveries] list carries
     the measured recovery times. The returned history is finished and
     ready for the batch checker.
+
+    With [~online:true] a {!Live_monitor} checks the history as it is
+    produced: a violation halts client intake mid-run (the run returns
+    early) and lands in the report's [live_verdict], complete with a
+    causal-cone slice from the network's vector-clock log.
 
     [on_start] is called with the live deployment right after the node
     domains start and before clients are spawned — the hook the serve

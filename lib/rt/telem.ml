@@ -14,6 +14,7 @@ type t = {
   batch_fuse : int;
   recover_replay : int;
   recover_rejoin : int;
+  net_msg : int;
 }
 
 type node = { ring : Obs.Recorder.ring; sh : t }
@@ -31,6 +32,7 @@ let create ?capacity ~n ~now () =
     batch_fuse = i ~cat:"op" "batch.fuse";
     recover_replay = i ~cat:"recover" "recover.replay";
     recover_rejoin = i ~cat:"recover" "recover.rejoin";
+    net_msg = i ~cat:"net" "net.msg";
   }
 
 let recorder t = t.recorder
@@ -63,6 +65,17 @@ let depth nd ~n =
 let fuse nd ~n =
   Obs.Recorder.counter nd.ring ~code:nd.sh.batch_fuse ~ts:(nd.sh.now ())
     ~value:(float_of_int n)
+
+(* Flow events pair a [net.msg] departure on the sender's ring with the
+   arrival on the receiver's — Perfetto draws the cross-track arrow from
+   the shared flow id. Send-side events are emitted by the sending
+   domain, receive-side by the receiving domain (the Node.on_deliver
+   hook), both honouring the single-writer contract. *)
+let flow_send nd ~flow =
+  Obs.Recorder.flow_start nd.ring ~code:nd.sh.net_msg ~ts:(nd.sh.now ()) ~flow
+
+let flow_recv nd ~flow =
+  Obs.Recorder.flow_end nd.ring ~code:nd.sh.net_msg ~ts:(nd.sh.now ()) ~flow
 
 (* The WAL replay runs on the restarter thread while the node's domain
    is dead; the fresh domain emits the span retroactively with the

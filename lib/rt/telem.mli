@@ -14,7 +14,9 @@
     - [batch.fuse] — counter, value = UPDATEs fused into one quorum
       write;
     - [recover.replay], [recover.rejoin] — spans around the WAL replay
-      and rejoin phases of a crash-restart. *)
+      and rejoin phases of a crash-restart;
+    - [net.msg] — flow-event pairs tying each send to its cross-domain
+      delivery (Perfetto renders them as arrows between node tracks). *)
 
 type t
 type node
@@ -39,3 +41,11 @@ val replay : node -> t0:float -> t1:float -> unit
 
 val rejoin_begin : node -> unit
 val rejoin_end : node -> unit
+
+val flow_send : node -> flow:int -> unit
+(** [net.msg] departure on the sending node's ring; call from the
+    sending domain. *)
+
+val flow_recv : node -> flow:int -> unit
+(** Matching arrival on the receiving node's ring; call from the
+    receiving domain ({!Node.set_on_deliver}). *)

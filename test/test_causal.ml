@@ -64,7 +64,7 @@ let recorded_run ?(n = 4) ~substrate seed =
     Harness.Workload.random rng ~n ~ops_per_node:3 ~scan_fraction:0.5
       ~max_gap:2.0
   in
-  let causal = V.recorder ~n in
+  let causal = V.recorder ~n () in
   let outcome =
     Harness.Runner.run ~workload_seed:seed ~substrate ~causal
       ~watchdog:Harness.Runner.default_watchdog ~make:eq_aso.make config
@@ -175,7 +175,7 @@ let test_perfetto_flows () =
   let workload =
     Harness.Workload.updates_at_zero ~n ~updaters:[ 0 ] ~scanner:(Some 1)
   in
-  let causal = V.recorder ~n in
+  let causal = V.recorder ~n () in
   let tr = Obs.Trace.create () in
   let _ =
     Harness.Runner.run ~trace:tr ~causal ~make:eq_aso.make config ~workload

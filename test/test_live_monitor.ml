@@ -1,0 +1,216 @@
+(* The rt live monitor (PR 9): seeded protocol mutants must be caught
+   by the online monitor domain *mid-run* — strictly before the time
+   budget elapses — with a non-empty causal-cone slice from the
+   vector-clock wiring; clean runs at 2-4 client domains must show zero
+   false positives (the bounded-lag feed never reorders events); and a
+   deliberately slowed monitor must fall behind yet still verify the
+   complete history at shutdown (the drain-then-join contract).
+
+   quorum-off-by-one needs an adversarial schedule on rt: real-time
+   delivery plus the kernel's forward-once relay close the
+   non-intersecting-quorum race almost instantly (the model checker
+   finds the schedule on sim under a lossy substrate; wall-clock
+   scheduling does not). The test builds the schedule with
+   [Rt.Net.cut_link]: isolate nodes 2-3 from inbound traffic, run one
+   update at node 0 — the *correct* quorum (n - f = 3) cannot assemble
+   on the {0,1} island, so the write would block, but the mutated
+   quorum (n - f - 1 = 2) completes it — heal the links, and scan at
+   node 2. The value-bearing messages were dropped while the links were
+   down and nothing retransmits them, so the scan's equivalent views
+   legitimately agree on a base missing a completed update: the A2
+   violation the off-by-one intersection failure permits, manifested
+   deterministically, with no in-flight operation ever stalled on a cut
+   link (the orchestrated ops run in [on_start], before client traffic
+   exists). *)
+
+let budget_secs = 8.0
+
+let run_mutant ?on_start m =
+  Rt.Service.run ~online:true ?on_start ~mutation:m ~algo:Rt.Service.Eq_aso
+    ~n:4 ~f:1 ~clients:4 ~scan_fraction:0.5 ~secs:budget_secs ()
+
+let check_caught_live name (r : Rt.Service.report) =
+  match r.live_verdict with
+  | None ->
+      Alcotest.failf "%s: live monitor missed the mutant (%d ops ran)" name
+        (r.completed_updates + r.completed_scans)
+  | Some v ->
+      (* The trip halts client intake, so the measured duration is the
+         detection latency — strictly before the run would have ended. *)
+      Alcotest.(check bool)
+        (name ^ ": caught strictly before the budget elapsed")
+        true
+        (r.duration < budget_secs *. 0.75);
+      Alcotest.(check bool)
+        (name ^ ": causal slice is non-empty")
+        true (v.slice <> []);
+      Alcotest.(check bool)
+        (name ^ ": slice events carry cross-node arrows")
+        true
+        (List.exists
+           (fun (ev : Obs.Vclock.event) ->
+             match ev.kind with
+             | Obs.Vclock.Send { dst } -> dst <> ev.node
+             | Obs.Vclock.Deliver { src } -> src <> ev.node
+             | _ -> false)
+           v.slice);
+      Alcotest.(check bool)
+        (name ^ ": monitor consumed events before tripping")
+        true
+        (r.monitor_events_checked > 0)
+
+let test_skip_write_tag_live () =
+  check_caught_live "skip-write-tag"
+    (run_mutant Aso_core.Lattice_core.Skip_write_tag)
+
+let test_stale_renewal_live () =
+  check_caught_live "stale-renewal"
+    (run_mutant Aso_core.Lattice_core.Stale_renewal)
+
+let test_quorum_off_by_one_live () =
+  let r =
+    run_mutant
+      ~on_start:(fun s ->
+        let net = Rt.Service.net s in
+        (* Isolate nodes 2 and 3 from inbound traffic. *)
+        List.iter
+          (fun dst ->
+            List.iter
+              (fun src ->
+                if src <> dst then Rt.Net.cut_link net ~src ~dst)
+              [ 0; 1; 2; 3 ])
+          [ 2; 3 ];
+        (* The mutated quorum (2) completes this write on the {0,1}
+           island; the correct quorum (3) would block here. Its value
+           broadcast and the forward-once relays die on the cut links,
+           and nothing ever retransmits them. *)
+        (match Rt.Service.update s ~node:0 (Rt.Service.fresh_value s) with
+        | `Done -> ()
+        | `Rejected | `Aborted ->
+            Alcotest.fail "partitioned-island update did not complete");
+        List.iter
+          (fun dst ->
+            List.iter
+              (fun src ->
+                if src <> dst then Rt.Net.heal_link net ~src ~dst)
+              [ 0; 1; 2; 3 ])
+          [ 2; 3 ];
+        (* Node 2 can never learn the completed value, so this scan's
+           equivalent views agree on a base that is missing it: A2,
+           caught by the monitor domain the moment the scan responds. *)
+        match Rt.Service.scan s ~node:2 with
+        | `Snap _ -> ()
+        | `Rejected | `Aborted -> Alcotest.fail "post-heal scan died")
+      Aso_core.Lattice_core.Quorum_off_by_one
+  in
+  check_caught_live "quorum-off-by-one" r
+
+(* ------------------------------------------------------------------ *)
+(* Zero false positives: clean runs with the monitor on, across client
+   counts (2-4 concurrent submitting domains) and both algorithms. The
+   monitor must check the *entire* history (drain-then-join) and agree
+   with the batch checker that it is clean. *)
+
+let check_clean algo ~n ~clients () =
+  let r =
+    Rt.Service.run ~online:true ~algo ~n ~f:1 ~clients ~secs:0.4 ()
+  in
+  (match r.live_verdict with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "false positive: %a" Rt.Live_monitor.pp_verdict v);
+  Alcotest.(check bool) "ran work" true (r.completed_updates > 0);
+  (* Every stamped history event reached the monitor: 2 per completed
+     op (invoke + respond), nothing pending or aborted in a clean
+     run. *)
+  Alcotest.(check int) "monitor checked the complete history"
+    (2 * (r.completed_updates + r.completed_scans))
+    r.monitor_events_checked;
+  Alcotest.(check bool) "scans verified" true (r.monitor_scans_verified > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded lag: throttle the monitor domain so it provably falls behind
+   the service, then verify (a) no false positive appears under lag,
+   (b) the shutdown drain still checks every event, and (c) the lag
+   actually materialized (the sampled lag distribution has a non-zero
+   max — otherwise this test would not be testing anything). *)
+
+let test_lag_bound_slowed_monitor () =
+  let r =
+    Rt.Service.run ~online:true
+      ~monitor_throttle:(fun () -> Unix.sleepf 0.0002)
+      ~algo:Rt.Service.Eq_aso ~n:3 ~f:1 ~clients:4 ~secs:0.25 ()
+  in
+  (match r.live_verdict with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "false positive under lag: %a" Rt.Live_monitor.pp_verdict
+        v);
+  Alcotest.(check int) "drain checked every event despite the lag"
+    (2 * (r.completed_updates + r.completed_scans))
+    r.monitor_events_checked;
+  let lag_max =
+    match Obs.Metrics.find_dist r.final_metrics "aso.monitor.lag_dist" with
+    | Some d -> Option.value ~default:0.0 (Obs.Hdr.dist_max d)
+    | None -> Alcotest.fail "aso.monitor.lag_dist not exported"
+  in
+  Alcotest.(check bool) "the throttled monitor actually fell behind" true
+    (lag_max > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* The link-cut fault injection itself: a cut link drops (and counts)
+   instead of delivering; healing restores the flow. *)
+
+let test_cut_link_drops () =
+  let net : int Rt.Net.t = Rt.Net.create ~recorder:false ~n:2 () in
+  let got = Atomic.make 0 in
+  let b = Rt.Net.backend net in
+  b.Backend.set_handler 0 (fun ~src:_ _ -> ());
+  b.Backend.set_handler 1 (fun ~src:_ v -> Atomic.set got v);
+  Rt.Net.start net;
+  let eventually pred =
+    let rec go n =
+      pred () || (n > 0 && (Unix.sleepf 0.001; go (n - 1)))
+    in
+    go 2_000
+  in
+  Rt.Net.send net ~src:0 ~dst:1 41;
+  Alcotest.(check bool) "delivered before the cut" true
+    (eventually (fun () -> Atomic.get got = 41));
+  Rt.Net.cut_link net ~src:0 ~dst:1;
+  Rt.Net.send net ~src:0 ~dst:1 42;
+  Rt.Net.send net ~src:0 ~dst:1 43;
+  Rt.Net.heal_link net ~src:0 ~dst:1;
+  Rt.Net.send net ~src:0 ~dst:1 44;
+  Alcotest.(check bool) "healed link delivers again" true
+    (eventually (fun () -> Atomic.get got = 44));
+  Alcotest.(check bool) "cut messages never arrived" true
+    (Atomic.get got = 44);
+  Rt.Net.stop net;
+  let snap = Obs.Metrics.snapshot (Rt.Net.metrics net) in
+  Alcotest.(check (option int)) "drops counted" (Some 2)
+    (Obs.Metrics.find_count snap "net.dropped")
+
+let case name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let suites =
+  [
+    ( "live monitor (rt)",
+      [
+        case "cut link drops, heal restores" test_cut_link_drops;
+        case "clean eq-aso, 2 clients: no false positive"
+          (check_clean Rt.Service.Eq_aso ~n:3 ~clients:2);
+        case "clean eq-aso, 4 clients: no false positive"
+          (check_clean Rt.Service.Eq_aso ~n:4 ~clients:4);
+        case "clean sso, 3 clients: no false positive"
+          (check_clean Rt.Service.Sso_fast_scan ~n:4 ~clients:3);
+        case "slowed monitor: lag bounded, full drain, no false positive"
+          test_lag_bound_slowed_monitor;
+        slow "skip-write-tag caught live, mid-run"
+          test_skip_write_tag_live;
+        slow "stale-renewal caught live, mid-run" test_stale_renewal_live;
+        slow "quorum-off-by-one caught live under partition"
+          test_quorum_off_by_one_live;
+      ] );
+  ]

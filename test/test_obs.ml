@@ -371,6 +371,9 @@ let gate_report ~ops_per_sec ~updates =
     messages_sent = updates * 50;
     final_metrics = [];
     history = History.create ();
+    live_verdict = None;
+    monitor_events_checked = 0;
+    monitor_scans_verified = 0;
   }
 
 let test_drift_gate_ignores_volatile () =
