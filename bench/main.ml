@@ -703,6 +703,138 @@ let table_runtime_throughput () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Distributed throughput: the same protocols over the socket backend
+   (lib/dist). The cluster is in-process ([Dist.Local]: every node a
+   thread) but the data path is the real off-box one — framed wire
+   codec, unix-socket streams, seq/ack/retransmit transport — so this
+   prices the socket stack, not just the protocol. Every wall-clock
+   rate goes under the JSON rows' "volatile" section; the gated metrics
+   are the run shape and the checker verdict on the merged history. *)
+
+let dist_check algo ~n history =
+  let fail e =
+    Printf.eprintf "dist checker (%s): %s\n%!" (Rt.Service.algo_name algo) e;
+    false
+  in
+  match algo with
+  | Rt.Service.Eq_aso -> (
+      match Checker.Feed.check ~n history with
+      | Ok () -> true
+      | Error v -> fail (Format.asprintf "%a" Obs.Monitor.pp_violation v))
+  | Rt.Service.Sso_fast_scan -> (
+      match Checker.Batch.check ~n Checker.Batch.Sequential history with
+      | Ok () -> true
+      | Error e -> fail e)
+
+type dist_numbers = {
+  d_updates : int;
+  d_scans : int;
+  d_aborted : int;
+  d_ops_per_sec : float;
+  d_upd_lat : float array;  (** sorted, seconds, completed updates only *)
+  d_retx : int;
+  d_ok : bool;
+}
+
+let dist_run algo =
+  let n = 3 and f = 1 and clients = 4 and secs = 0.3 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aso-bench-dist-%s" (Rt.Service.algo_name algo))
+  in
+  let cluster = Dist.Local.start ~algo ~n ~f ~dir () in
+  let recs =
+    Dist.Supervisor.drive_clients
+      ~eps:(Dist.Local.endpoints cluster)
+      ~clients ~secs
+      ~seed:(Int64.to_int seed)
+      ()
+  in
+  let retx = ref 0 in
+  for i = 0 to n - 1 do
+    let snap =
+      Obs.Metrics.snapshot (Dist.Net.metrics (Dist.Local.net cluster i))
+    in
+    match Obs.Metrics.find_count snap "dist.retransmits" with
+    | Some c -> retx := !retx + c
+    | None -> ()
+  done;
+  Dist.Local.stop cluster;
+  let completed = List.filter (fun r -> r.Dist.Supervisor.o_ok) recs in
+  let updates, scans =
+    List.partition
+      (fun r ->
+        match r.Dist.Supervisor.o_kind with
+        | Dist.Supervisor.K_update _ -> true
+        | Dist.Supervisor.K_scan _ -> false)
+      completed
+  in
+  let duration =
+    match
+      List.concat_map
+        (fun r -> [ r.Dist.Supervisor.o_inv; r.Dist.Supervisor.o_resp ])
+        completed
+    with
+    | [] -> secs
+    | s :: rest ->
+        let lo = List.fold_left min s rest and hi = List.fold_left max s rest in
+        Float.max (float_of_int (hi - lo) *. 1e-9) 1e-9
+  in
+  let d_upd_lat =
+    updates
+    |> List.map (fun r ->
+           float_of_int (r.Dist.Supervisor.o_resp - r.Dist.Supervisor.o_inv)
+           *. 1e-9)
+    |> List.sort compare |> Array.of_list
+  in
+  let history = Dist.Supervisor.merge_history recs in
+  {
+    d_updates = List.length updates;
+    d_scans = List.length scans;
+    d_aborted = List.length recs - List.length completed;
+    d_ops_per_sec = float_of_int (List.length completed) /. duration;
+    d_upd_lat;
+    d_retx = !retx;
+    d_ok = dist_check algo ~n history;
+  }
+
+let table_dist_throughput () =
+  let rows =
+    List.map
+      (fun algo ->
+        let r = dist_run algo in
+        let pct q =
+          if Array.length r.d_upd_lat = 0 then "-"
+          else
+            Printf.sprintf "%.2f"
+              (r.d_upd_lat.(int_of_float
+                              (q *. float_of_int (Array.length r.d_upd_lat - 1)))
+              *. 1e3)
+        in
+        [
+          Rt.Service.algo_name algo;
+          string_of_int r.d_updates;
+          string_of_int r.d_scans;
+          string_of_int r.d_aborted;
+          Printf.sprintf "%.0f" r.d_ops_per_sec;
+          pct 0.5;
+          pct 0.99;
+          string_of_int r.d_retx;
+          (if r.d_ok then "pass" else "FAIL");
+        ])
+      rt_algos
+  in
+  Harness.Table.print
+    ~title:
+      "Distributed throughput — socket backend (n=3, f=1, 4 clients, \
+       unix sockets, wall-clock)"
+    ~header:
+      [ "algorithm"; "updates"; "scans"; "aborted"; "ops/s"; "upd p50 ms";
+        "upd p99 ms"; "retx"; "checker" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Online monitor overhead: the same closed-loop run with the live
    monitor off and on. "On" buys the full PR 9 observability slice —
    the service feeds every history event to the monitor domain (one
@@ -1292,6 +1424,32 @@ let json_runtime_throughput () =
   in
   ("runtime_throughput", rows)
 
+(* Socket-backend rows, same discipline: wall-clock rates and counts
+   under "volatile" (the committed floors are deliberately ~5x below
+   a cold CI box), the run shape and merged-history verdict gated. *)
+let json_dist_throughput () =
+  let rows =
+    List.map
+      (fun algo ->
+        let r = dist_run algo in
+        jrow
+          (Rt.Service.algo_name algo)
+          ~volatile:
+            [
+              ("ops_per_sec", jnum r.d_ops_per_sec);
+              ("completed_updates", jnum (float_of_int r.d_updates));
+              ("completed_scans", jnum (float_of_int r.d_scans));
+            ]
+          [
+            ("history_ok", J_bool r.d_ok);
+            ("n", J_int 3);
+            ("f", J_int 1);
+            ("clients", J_int 4);
+          ])
+      rt_algos
+  in
+  ("dist_throughput", rows)
+
 (* Recovery rows: the catch-up cost in rounds is simulated (virtual
    time, deterministic — gated tightly); every wall-clock rate lives
    under "volatile" and is expressed so that bigger is better, matching
@@ -1476,6 +1634,7 @@ let emit_json file =
       json_rounds_per_update ();
       json_mc_throughput ();
       json_runtime_throughput ();
+      json_dist_throughput ();
       json_recovery ();
       json_recorder_overhead ();
       json_online_monitor ();
@@ -1534,6 +1693,7 @@ let run_all_tables () =
   ablation_renewal ();
   table_mc_throughput ();
   table_runtime_throughput ();
+  table_dist_throughput ();
   table_recovery ();
   table_recorder_overhead ();
   table_online_monitor ();

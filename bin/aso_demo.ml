@@ -938,27 +938,27 @@ let check_sequential_scalable ~n history =
    constructive witness + Wing-Gong oracle); large ones get the scalable
    passes: the streaming A0-A4 monitor for eq-aso, the transitivity-
    based (S1)-(S3) walk above for sso. *)
-let serve_check_history algo ~n (r : Rt.Service.report) =
-  let total = List.length (History.ops r.history) in
+let serve_check_history algo ~n history =
+  let total = List.length (History.ops history) in
   let small = total <= 1500 in
   match algo with
   | Rt.Service.Eq_aso -> (
-      match Checker.Feed.check ~n r.history with
+      match Checker.Feed.check ~n history with
       | Error v ->
           Error (Format.asprintf "%a" Obs.Monitor.pp_violation v)
       | Ok () ->
           if small then
-            match Checker.Batch.check ~n Checker.Batch.Atomic r.history with
+            match Checker.Batch.check ~n Checker.Batch.Atomic history with
             | Ok () -> Ok "linearizable (A0-A4 monitor + batch cross-check)"
             | Error e -> Error e
           else Ok "linearizable (A0-A4, streaming monitor)")
   | Rt.Service.Sso_fast_scan ->
       if small then
-        match Checker.Batch.check ~n Checker.Batch.Sequential r.history with
+        match Checker.Batch.check ~n Checker.Batch.Sequential history with
         | Ok () -> Ok "sequentially consistent (S1-S3 batch + oracle)"
         | Error e -> Error e
       else (
-        match check_sequential_scalable ~n r.history with
+        match check_sequential_scalable ~n history with
         | Ok () -> Ok "sequentially consistent (S1-S3, scalable pass)"
         | Error e -> Error e)
 
@@ -1171,7 +1171,7 @@ let serve_impl algo_name n clients secs batch scan_fraction seed crash
      dump_forensics "no node completed recovery";
      exit 1));
   let total_ops = List.length (History.ops report.history) in
-  match serve_check_history algo ~n report with
+  match serve_check_history algo ~n report.history with
   | Ok label -> Format.printf "history     : %s, %d ops@." label total_ops
   | Error e ->
       Format.printf "history     : VIOLATION — %s@." e;
@@ -1384,6 +1384,310 @@ let stats_cmd =
           & info [] ~docv:"FILE"
               ~doc:"Snapshot file, e.g. flight-recorder.stats."))
 
+(* ---- dist-node / dist-serve: multi-process socket backend ---------- *)
+
+let dist_algo_of_name name =
+  match Rt.Service.algo_of_name name with
+  | Some a -> a
+  | None ->
+      Format.eprintf
+        "error: the dist backend serves eq-aso and sso-fast-scan (got %S)@."
+        name;
+      exit 1
+
+(* The chaos knobs are shared verbatim between dist-node (what a worker
+   actually applies) and dist-serve (which forwards them to every worker
+   it spawns). *)
+let chaos_drop_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "chaos-drop" ] ~docv:"P"
+        ~doc:"Drop each data frame with probability P (sender side).")
+
+let chaos_dup_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "chaos-dup" ] ~docv:"P"
+        ~doc:"Write each data frame twice with probability P.")
+
+let chaos_delay_prob_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "chaos-delay-prob" ] ~docv:"P"
+        ~doc:"Hold each data frame back with probability P.")
+
+let chaos_delay_ms_arg =
+  Arg.(
+    value & opt string "0:5"
+    & info [ "chaos-delay-ms" ] ~docv:"A:B"
+        ~doc:
+          "Delay window in milliseconds (uniform in [A, B]) for frames \
+           selected by --chaos-delay-prob.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Chaos PRNG seed.")
+
+let parse_chaos ~drop ~dup ~delay_prob ~delay_ms ~seed =
+  let delay_min, delay_max =
+    match String.index_opt delay_ms ':' with
+    | Some i -> (
+        let a = String.sub delay_ms 0 i in
+        let b =
+          String.sub delay_ms (i + 1) (String.length delay_ms - i - 1)
+        in
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some a, Some b when 0. <= a && a <= b -> (a *. 1e-3, b *. 1e-3)
+        | _ ->
+            Format.eprintf "error: --chaos-delay-ms wants A:B milliseconds@.";
+            exit 1)
+    | None ->
+        Format.eprintf "error: --chaos-delay-ms wants A:B milliseconds@.";
+        exit 1
+  in
+  let c =
+    {
+      Dist.Chaos.drop;
+      dup;
+      delay_prob;
+      delay_min;
+      delay_max;
+      cut = None;
+      seed;
+    }
+  in
+  if Dist.Chaos.is_active c then Some c else None
+
+let dist_node_impl algo_name me peers f_opt wal recover telemetry chaos_drop
+    chaos_dup chaos_delay_prob chaos_delay_ms chaos_seed =
+  let algo = dist_algo_of_name algo_name in
+  let eps =
+    peers |> String.split_on_char ','
+    |> List.map (fun s ->
+           match Dist.Conn.endpoint_of_string (String.trim s) with
+           | Ok ep -> ep
+           | Error e ->
+               Format.eprintf "error: %s@." e;
+               exit 1)
+    |> Array.of_list
+  in
+  let n = Array.length eps in
+  if me < 0 || me >= n then (
+    Format.eprintf "error: --me %d out of range for %d peers@." me n;
+    exit 1);
+  if n < 3 then (
+    Format.eprintf "error: need n >= 3 for crash tolerance (n > 2f)@.";
+    exit 1);
+  let f = Option.value f_opt ~default:(Quorum.max_crash_faults n) in
+  let chaos =
+    parse_chaos ~drop:chaos_drop ~dup:chaos_dup ~delay_prob:chaos_delay_prob
+      ~delay_ms:chaos_delay_ms ~seed:chaos_seed
+  in
+  let t =
+    Dist.Node_main.start ?telemetry
+      { Dist.Node_main.me; eps; f; algo; wal; recover; chaos }
+  in
+  (* Graceful shutdown: SIGTERM/SIGINT post a Stop behind whatever is in
+     the mailbox, so in-flight operations complete and the exit status
+     is 0 — the supervisor tells this apart from a crash. *)
+  let stop _ = Dist.Node_main.request_stop t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Dist.Node_main.run t;
+  Dist.Node_main.shutdown t
+
+let dist_node_cmd =
+  Cmd.v
+    (Cmd.info "dist-node"
+       ~doc:
+         "One protocol node as an OS process: listen on this node's \
+          endpoint, dial the peers, run the algorithm over the socket \
+          backend, and serve client update/scan requests on the same \
+          listener. Normally spawned by dist-serve; runnable by hand for \
+          a real multi-host deployment (tcp endpoints). With --wal every \
+          mint is write-ahead logged; with --recover the node replays \
+          the log and runs the rejoin protocol before serving. SIGTERM \
+          exits cleanly after the in-flight operation.")
+    Term.(
+      const dist_node_impl
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"ALGO" ~doc:"Algorithm: eq-aso or sso-fast-scan.")
+      $ Arg.(
+          required
+          & opt (some int) None
+          & info [ "me" ] ~docv:"I" ~doc:"This node's id (index into --peers).")
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "peers" ] ~docv:"EPS"
+              ~doc:
+                "Comma-separated endpoints for all nodes, in id order \
+                 (unix:PATH or tcp:HOST:PORT).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "f"; "faults" ] ~docv:"F"
+              ~doc:"Crash-fault bound (default: max for n, n > 2f).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "wal" ] ~docv:"FILE" ~doc:"Write-ahead log path.")
+      $ Arg.(
+          value & flag
+          & info [ "recover" ]
+              ~doc:
+                "Replay the WAL and run the rejoin protocol before \
+                 serving (requires --wal).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "telemetry" ] ~docv:"ADDR"
+              ~doc:
+                "Serve this node's metrics (Prometheus text exposition) \
+                 over HTTP on HOST:PORT.")
+      $ chaos_drop_arg $ chaos_dup_arg $ chaos_delay_prob_arg
+      $ chaos_delay_ms_arg $ chaos_seed_arg)
+
+let dist_serve_impl algo_name nodes clients secs kill dir tcp_base
+    scan_fraction seed chaos_drop chaos_dup chaos_delay_prob chaos_delay_ms
+    chaos_seed =
+  let algo = dist_algo_of_name algo_name in
+  if nodes < 3 then (
+    Format.eprintf "error: need n >= 3 for crash tolerance (n > 2f)@.";
+    exit 1);
+  let f = Quorum.max_crash_faults nodes in
+  if kill > f then (
+    Format.eprintf "error: --kill %d exceeds f=%d for n=%d@." kill f nodes;
+    exit 1);
+  let chaos =
+    parse_chaos ~drop:chaos_drop ~dup:chaos_dup ~delay_prob:chaos_delay_prob
+      ~delay_ms:chaos_delay_ms ~seed:chaos_seed
+  in
+  Format.printf "backend     : dist (%d worker processes over %s)@." nodes
+    (match tcp_base with
+    | Some base -> Printf.sprintf "tcp 127.0.0.1:%d+" base
+    | None -> "unix sockets");
+  Format.printf "algorithm   : %s (f = %d)@." (Rt.Service.algo_name algo) f;
+  (match chaos with
+  | Some c ->
+      Format.printf
+        "chaos       : drop %.2f  dup %.2f  delay p=%.2f [%g, %g] ms@."
+        c.Dist.Chaos.drop c.dup c.delay_prob (c.delay_min *. 1e3)
+        (c.delay_max *. 1e3)
+  | None -> ());
+  if kill > 0 then
+    Format.printf
+      "fault plan  : SIGKILL %d node(s) at half-time, respawn with \
+       --recover at three-quarter time@."
+      kill;
+  let report =
+    Dist.Supervisor.run
+      {
+        Dist.Supervisor.algo;
+        nodes;
+        f;
+        clients;
+        secs;
+        kill;
+        dir;
+        tcp_base;
+        scan_fraction;
+        seed;
+        chaos;
+        worker_argv = [| Sys.executable_name; "dist-node" |];
+      }
+  in
+  Format.printf "%a@." Dist.Supervisor.pp_report report;
+  (* Clean-exit discipline: the only tolerable non-zero exit is the
+     SIGKILL we sent on purpose. Anything else is a worker crash, and a
+     crash we did not schedule fails the run even if the history passes. *)
+  let unexpected =
+    List.filter
+      (fun (x : Dist.Supervisor.node_exit) ->
+        match x.x_status with
+        | Dist.Supervisor.Clean -> false
+        | Dist.Supervisor.Signaled s
+          when s = Sys.sigkill && List.mem x.x_node report.killed ->
+            false
+        | _ -> true)
+      report.exits
+  in
+  List.iter
+    (fun (x : Dist.Supervisor.node_exit) ->
+      Format.printf "exit        : UNEXPECTED — node %d %a@." x.x_node
+        (fun ppf -> function
+          | Dist.Supervisor.Clean -> Format.pp_print_string ppf "clean"
+          | Dist.Supervisor.Exited c -> Format.fprintf ppf "exit code %d" c
+          | Dist.Supervisor.Signaled s -> Format.fprintf ppf "signal %d" s)
+        x.x_status)
+    unexpected;
+  let failed = ref (unexpected <> []) in
+  if kill > 0 && report.recoveries = [] then begin
+    Format.printf "history     : VIOLATION — no killed node completed \
+                   recovery@.";
+    failed := true
+  end;
+  let total_ops = List.length (History.ops report.history) in
+  (match serve_check_history algo ~n:nodes report.history with
+  | Ok label -> Format.printf "history     : %s, %d ops@." label total_ops
+  | Error e ->
+      Format.printf "history     : VIOLATION — %s@." e;
+      failed := true);
+  if !failed then exit 1
+
+let dist_serve_cmd =
+  Cmd.v
+    (Cmd.info "dist-serve"
+       ~doc:
+         "Run an algorithm across real OS processes: spawn N dist-node \
+          workers talking over sockets, drive closed-loop client load \
+          against them, optionally SIGKILL up to f workers mid-run and \
+          respawn them through write-ahead-log recovery, then merge \
+          every node's operation timestamps (shared CLOCK_MONOTONIC) \
+          into one history and batch-check it (A0-A4 for eq-aso, S1-S3 \
+          for sso-fast-scan). Exits non-zero on a violation, a missing \
+          recovery, or an unscheduled worker death.")
+    Term.(
+      const dist_serve_impl
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"ALGO" ~doc:"Algorithm: eq-aso or sso-fast-scan.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Worker processes.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "c"; "clients" ] ~docv:"M"
+              ~doc:"Closed-loop client threads.")
+      $ Arg.(
+          value & opt float 2.0
+          & info [ "secs" ] ~docv:"S" ~doc:"Run duration, wall seconds.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "kill" ] ~docv:"K"
+              ~doc:
+                "SIGKILL K workers (K <= f) at half-time and respawn \
+                 them with --recover at three-quarter time.")
+      $ Arg.(
+          value & opt string "dist-run"
+          & info [ "dir" ] ~docv:"DIR"
+              ~doc:
+                "Run directory: unix sockets, per-node WALs and logs \
+                 (created if missing).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "tcp-base" ] ~docv:"PORT"
+              ~doc:
+                "Use tcp 127.0.0.1 endpoints on PORT, PORT+1, ... \
+                 instead of unix sockets.")
+      $ scan_frac_arg $ seed_arg $ chaos_drop_arg $ chaos_dup_arg
+      $ chaos_delay_prob_arg $ chaos_delay_ms_arg $ chaos_seed_arg)
+
 (* The ONE subcommand table: the group's command list and the no-args /
    --help enumeration are both derived from it, so a new subcommand
    cannot appear in one and not the other (README's list mirrors
@@ -1402,6 +1706,8 @@ let subcommands =
     (explore_cmd, "bounded model checking");
     (replay_cmd, "counterexample replay");
     (serve_cmd, "parallel runtime backend under load, live telemetry");
+    (dist_node_cmd, "one protocol node as an OS process");
+    (dist_serve_cmd, "multi-process socket deployment with kill -9 chaos");
     (recover_cmd, "offline write-ahead-log replay");
     (stats_cmd, "pretty-print a metrics snapshot dump");
   ]

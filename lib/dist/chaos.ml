@@ -1,0 +1,55 @@
+type t = {
+  drop : float;
+  dup : float;
+  delay_prob : float;
+  delay_min : float;
+  delay_max : float;
+  cut : (int list * float * float) option;
+  seed : int;
+}
+
+let none =
+  {
+    drop = 0.;
+    dup = 0.;
+    delay_prob = 0.;
+    delay_min = 0.;
+    delay_max = 0.;
+    cut = None;
+    seed = 1;
+  }
+
+let is_none t = t = none
+
+let is_active t =
+  t.drop > 0. || t.dup > 0. || t.delay_prob > 0. || t.cut <> None
+
+type state = { spec : t; rng : Random.State.t; mu : Mutex.t }
+
+let make spec = { spec; rng = Random.State.make [| spec.seed |]; mu = Mutex.create () }
+
+type verdict = Pass | Drop | Duplicate | Delay of float
+
+let judge st ~now ~dst =
+  let s = st.spec in
+  let in_cut =
+    match s.cut with
+    | Some (peers, from_, until) ->
+        now >= from_ && now < until && List.mem dst peers
+    | None -> false
+  in
+  if in_cut then Drop
+  else begin
+    Mutex.lock st.mu;
+    let roll () = Random.State.float st.rng 1.0 in
+    let v =
+      if s.drop > 0. && roll () < s.drop then Drop
+      else if s.dup > 0. && roll () < s.dup then Duplicate
+      else if s.delay_prob > 0. && roll () < s.delay_prob then
+        Delay (s.delay_min +. Random.State.float st.rng
+                 (Float.max 0. (s.delay_max -. s.delay_min)))
+      else Pass
+    in
+    Mutex.unlock st.mu;
+    v
+  end

@@ -1,0 +1,45 @@
+(** Socket-layer fault injection, mirroring the simulator's
+    {!Sim.Link} knobs (drop / duplicate / delay / partition) so the
+    chaos campaigns that run against virtual links can run against real
+    processes.
+
+    Faults apply on the {e sender} side to [Data] frames only — never
+    to the handshake, and not to acks (dropping or delaying the data is
+    already observationally equivalent for the protocol, and a lost ack
+    just makes the next retransmission carry it). A dropped frame stays
+    on the retransmission queue, so chaos exercises exactly the
+    recovery machinery it is supposed to: at-least-once delivery with
+    receiver-side dedup.
+
+    Every verdict comes from one seeded PRNG behind a mutex, so a chaos
+    run is reproducible per process modulo thread scheduling — same
+    spirit as the sim, which it cannot match exactly (real time is not
+    virtual time). *)
+
+type t = {
+  drop : float;  (** P(frame silently not written) *)
+  dup : float;  (** P(frame written twice) *)
+  delay_prob : float;  (** P(frame held back before writing) *)
+  delay_min : float;  (** seconds, uniform in [delay_min, delay_max] *)
+  delay_max : float;
+  cut : (int list * float * float) option;
+      (** [(peers, from, until)]: all data to [peers] is dropped while
+          [now] (seconds since the net started) is inside the window —
+          a timed partition *)
+  seed : int;
+}
+
+val none : t
+val is_none : t -> bool
+
+val is_active : t -> bool
+(** Some knob is turned: worth paying for a verdict per frame. *)
+
+type state
+
+val make : t -> state
+
+type verdict = Pass | Drop | Duplicate | Delay of float
+
+val judge : state -> now:float -> dst:int -> verdict
+(** Roll the dice for one frame to [dst]. Thread-safe. *)

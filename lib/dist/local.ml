@@ -1,0 +1,38 @@
+type t = {
+  nodes : Node_main.t array;
+  threads : Thread.t array;
+  eps : Conn.endpoint array;
+}
+
+let start ?chaos ?(wal = false) ~algo ~n ~f ~dir () =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let eps =
+    Array.init n (fun i ->
+        Conn.Unix_ep (Filename.concat dir (Printf.sprintf "node-%d.sock" i)))
+  in
+  let nodes =
+    Array.init n (fun i ->
+        Node_main.start
+          {
+            Node_main.me = i;
+            eps;
+            f;
+            algo;
+            wal =
+              (if wal then
+                 Some (Filename.concat dir (Printf.sprintf "node-%d.wal" i))
+               else None);
+            recover = false;
+            chaos;
+          })
+  in
+  let threads = Array.map (fun nd -> Thread.create Node_main.run nd) nodes in
+  { nodes; threads; eps }
+
+let endpoints t = t.eps
+let net t i = Node_main.net t.nodes.(i)
+
+let stop t =
+  Array.iter Node_main.request_stop t.nodes;
+  Array.iter Thread.join t.threads;
+  Array.iter Node_main.shutdown t.nodes

@@ -1,0 +1,27 @@
+(** An in-process dist cluster: every node is a {!Node_main} instance
+    on its own thread, talking over real sockets exactly like separate
+    processes would. Tests and benches use this to exercise the whole
+    wire / transport / reconnect stack without forking — forking is
+    [bin/aso_demo dist-serve]'s job. *)
+
+type t
+
+val start :
+  ?chaos:Chaos.t ->
+  ?wal:bool ->
+  algo:Rt.Service.algo ->
+  n:int ->
+  f:int ->
+  dir:string ->
+  unit ->
+  t
+(** Unix-socket endpoints (and WALs, when [wal]) under [dir], which is
+    created if needed. Returns once every node is listening. *)
+
+val endpoints : t -> Conn.endpoint array
+
+val net : t -> int -> Net.t
+(** Node [i]'s network stack (metrics live there). *)
+
+val stop : t -> unit
+(** Graceful: stop each node's loop, join its thread, close sockets. *)

@@ -1,0 +1,537 @@
+type msg = Wire.msg
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Per-peer outbound state: the dialer/writer thread owns the
+   connection; [mu] guards everything else. [tx_gen] bumps when the
+   peer comes back as a new process (sequence numbers restarted), so
+   stale acks and stale chaos-delayed frames from the previous
+   numbering can be recognized and dropped. *)
+type peer = {
+  dst : int;
+  pmu : Mutex.t;
+  pcv : Condition.t;
+  outq : Wire.frame Queue.t;
+  ptx : msg Transport.tx;
+  mutable tx_gen : int;
+  mutable fd : Unix.file_descr option;
+  mutable peer_boot : int option;
+}
+
+(* Per-source inbound state, shared by however many connections that
+   source opens over time (a restart can briefly leave two). *)
+type inbound = {
+  imu : Mutex.t;
+  irx : msg Transport.rx;
+  mutable iboot : int option;
+}
+
+type t = {
+  me : int;
+  n : int;
+  boot : int;
+  eps : Conn.endpoint array;
+  node : msg Rt.Node.t;
+  peers : peer option array;
+  inbound : inbound array;
+  chaos : Chaos.state option;
+  rto0 : float;
+  rto_max : float;
+  t0 : int64;
+  metrics : Obs.Metrics.t;
+  c_sent : Obs.Metrics.counter;
+  c_delivered : Obs.Metrics.counter;
+  c_broadcasts : Obs.Metrics.counter;
+  c_data : Obs.Metrics.counter;
+  c_retx : Obs.Metrics.counter;
+  c_acks : Obs.Metrics.counter;
+  c_reconnects : Obs.Metrics.counter;
+  c_chaos_drop : Obs.Metrics.counter;
+  c_chaos_dup : Obs.Metrics.counter;
+  c_chaos_delay : Obs.Metrics.counter;
+  stopping : bool Atomic.t;
+  mutable listener : Unix.file_descr option;
+  mutable threads : Thread.t list;
+  cmu : Mutex.t;  (* guards [conns] and [client_handler] *)
+  mutable conns : Unix.file_descr list;
+  mutable client_handler : Wire.frame -> reply:(Wire.frame -> unit) -> unit;
+  dmu : Mutex.t;  (* guards [delayed] *)
+  mutable delayed : (float * peer * int * Wire.frame) list;
+}
+
+let create ?chaos ?(rto0 = 0.1) ?(rto_max = 2.0) ~me ~eps () =
+  let n = Array.length eps in
+  if me < 0 || me >= n then invalid_arg "Net.create: me out of range";
+  (* A peer writing into our dead socket must not kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let metrics = Obs.Metrics.create () in
+  let chaos =
+    match chaos with
+    | Some c when Chaos.is_active c -> Some (Chaos.make c)
+    | _ -> None
+  in
+  {
+    me;
+    n;
+    (* Incarnation id: must differ across restarts of the same node id.
+       Monotonic nanoseconds xor pid, kept positive. *)
+    boot = now_ns () lxor (Unix.getpid () lsl 24) land max_int;
+    eps = Array.copy eps;
+    node = Rt.Node.create ~parking:`Mutex me;
+    peers =
+      Array.init n (fun dst ->
+          if dst = me then None
+          else
+            Some
+              {
+                dst;
+                pmu = Mutex.create ();
+                pcv = Condition.create ();
+                outq = Queue.create ();
+                ptx = Transport.tx ~rto0 ~rto_max ();
+                tx_gen = 0;
+                fd = None;
+                peer_boot = None;
+              });
+    inbound =
+      Array.init n (fun _ ->
+          { imu = Mutex.create (); irx = Transport.rx (); iboot = None });
+    chaos;
+    rto0;
+    rto_max;
+    t0 = Monotonic_clock.now ();
+    metrics;
+    c_sent = Obs.Metrics.counter metrics "net.sent";
+    c_delivered = Obs.Metrics.counter metrics "net.delivered";
+    c_broadcasts = Obs.Metrics.counter metrics "net.broadcasts";
+    c_data = Obs.Metrics.counter metrics "dist.data_sent";
+    c_retx = Obs.Metrics.counter metrics "dist.retransmits";
+    c_acks = Obs.Metrics.counter metrics "dist.acks_sent";
+    c_reconnects = Obs.Metrics.counter metrics "dist.reconnects";
+    c_chaos_drop = Obs.Metrics.counter metrics "dist.chaos_dropped";
+    c_chaos_dup = Obs.Metrics.counter metrics "dist.chaos_dupped";
+    c_chaos_delay = Obs.Metrics.counter metrics "dist.chaos_delayed";
+    stopping = Atomic.make false;
+    listener = None;
+    threads = [];
+    cmu = Mutex.create ();
+    conns = [];
+    client_handler = (fun _ ~reply:_ -> ());
+    dmu = Mutex.create ();
+    delayed = [];
+  }
+
+let me t = t.me
+let size t = t.n
+let boot t = t.boot
+let metrics t = t.metrics
+
+let now t =
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.t0) *. 1e-9
+
+let close_quietly fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let track_conn t fd =
+  Mutex.lock t.cmu;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.cmu
+
+let untrack_conn t fd =
+  Mutex.lock t.cmu;
+  t.conns <- List.filter (fun fd' -> fd' != fd) t.conns;
+  Mutex.unlock t.cmu
+
+(* ------------------------------------------------------------------ *)
+(* Outbound: dialer / writer / ack reader, one trio per peer.          *)
+
+let mark_conn_dead p fd =
+  Mutex.lock p.pmu;
+  if p.fd = Some fd then begin
+    p.fd <- None;
+    Condition.broadcast p.pcv
+  end;
+  Mutex.unlock p.pmu
+
+(* Drains acks coming back on the outbound connection. [gen] pins the
+   numbering this connection was speaking: after the peer reboots and
+   the channel renumbers, a late ack from the old connection must not
+   trim the renumbered queue. *)
+let ack_reader_loop t p fd reader gen =
+  let rec loop () =
+    match Conn.read_frame reader with
+    | Ok (Wire.Ack { upto }) ->
+        Mutex.lock p.pmu;
+        if p.tx_gen = gen then
+          ignore (Transport.tx_ack p.ptx ~now:(now t) ~upto);
+        Mutex.unlock p.pmu;
+        loop ()
+    | Ok _ | Error _ -> ()
+  in
+  loop ();
+  mark_conn_dead p fd
+
+let delay_frame t release p gen frame =
+  Mutex.lock t.dmu;
+  t.delayed <- (release, p, gen, frame) :: t.delayed;
+  Mutex.unlock t.dmu
+
+(* Release chaos-delayed frames back into their peer's queue once their
+   time comes. Polling at 5 ms is fine: delays are chaos-scale
+   (milliseconds), not protocol-scale. *)
+let delayer_loop t =
+  while not (Atomic.get t.stopping) do
+    let now_ = now t in
+    Mutex.lock t.dmu;
+    let due, rest =
+      List.partition (fun (release, _, _, _) -> release <= now_) t.delayed
+    in
+    t.delayed <- rest;
+    Mutex.unlock t.dmu;
+    List.iter
+      (fun (_, p, gen, frame) ->
+        Mutex.lock p.pmu;
+        if p.tx_gen = gen then begin
+          Queue.push frame p.outq;
+          Condition.broadcast p.pcv
+        end;
+        Mutex.unlock p.pmu)
+      due;
+    Thread.delay 0.005
+  done
+
+let write_data t p fd frame =
+  let ok = Conn.write_frame fd frame in
+  if ok then Obs.Metrics.incr t.c_data else mark_conn_dead p fd;
+  ok
+
+(* Pop frames and put them on the wire until the connection dies or we
+   stop. Chaos applies to Data frames only — handshakes and acks always
+   go through, so faults exercise retransmission rather than jamming
+   connection establishment. A dropped frame simply stays unacked. *)
+let writer_loop t p fd =
+  let rec loop () =
+    Mutex.lock p.pmu;
+    while
+      Queue.is_empty p.outq && p.fd = Some fd && not (Atomic.get t.stopping)
+    do
+      Condition.wait p.pcv p.pmu
+    done;
+    if Atomic.get t.stopping || p.fd <> Some fd then Mutex.unlock p.pmu
+    else begin
+      let frame = Queue.pop p.outq in
+      let gen = p.tx_gen in
+      Mutex.unlock p.pmu;
+      (match (frame, t.chaos) with
+      | Wire.Data _, Some st -> (
+          match Chaos.judge st ~now:(now t) ~dst:p.dst with
+          | Chaos.Pass -> ignore (write_data t p fd frame)
+          | Chaos.Drop -> Obs.Metrics.incr t.c_chaos_drop
+          | Chaos.Duplicate ->
+              Obs.Metrics.incr t.c_chaos_dup;
+              if write_data t p fd frame then
+                ignore (write_data t p fd frame)
+          | Chaos.Delay d ->
+              Obs.Metrics.incr t.c_chaos_delay;
+              delay_frame t (now t +. d) p gen frame)
+      | _ ->
+          if not (Conn.write_frame fd frame) then mark_conn_dead p fd);
+      loop ()
+    end
+  in
+  loop ()
+
+(* One established outbound connection: handshake, resync the channel,
+   then write until it dies. Returns when the connection is gone. *)
+let run_connection t p fd =
+  if not (Conn.write_frame fd (Wire.Hello { src = t.me; boot = t.boot }))
+  then close_quietly fd
+  else
+    let reader = Conn.reader fd in
+    match Conn.read_frame reader with
+    | Ok (Wire.Welcome { boot; rx_expected }) ->
+        let gen =
+          Mutex.lock p.pmu;
+          let rebooted =
+            match p.peer_boot with
+            | None -> false
+            | Some b -> b <> boot
+          in
+          if rebooted then p.tx_gen <- p.tx_gen + 1;
+          if p.peer_boot <> None then Obs.Metrics.incr t.c_reconnects;
+          p.peer_boot <- Some boot;
+          (* Frames queued for the dead connection are all unacked, so
+             tx_reconnect re-emits them with the right numbering; the
+             stale queue entries would duplicate (or, after a renumber,
+             corrupt) them. *)
+          Queue.clear p.outq;
+          let frames =
+            Transport.tx_reconnect p.ptx ~now:(now t)
+              ~peer_rebooted:rebooted ~rx_expected
+          in
+          List.iter
+            (fun (seq, m) -> Queue.push (Wire.Data { seq; msg = m }) p.outq)
+            frames;
+          p.fd <- Some fd;
+          let gen = p.tx_gen in
+          Mutex.unlock p.pmu;
+          gen
+        in
+        let ack_thread =
+          Thread.create (fun () -> ack_reader_loop t p fd reader gen) ()
+        in
+        writer_loop t p fd;
+        close_quietly fd;
+        Thread.join ack_thread
+    | Ok _ | Error _ -> close_quietly fd
+
+let dialer_loop t p =
+  let stop () = Atomic.get t.stopping in
+  let rec loop () =
+    if not (stop ()) then begin
+      (match Conn.dial ~stop t.eps.(p.dst) with
+      | None -> ()
+      | Some fd -> run_connection t p fd);
+      if not (stop ()) then begin
+        Thread.delay 0.01;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Retransmission timer: poll every 20 ms, re-queue whatever is due on a
+   live connection. With the connection down there is no point — the
+   reconnect handshake re-emits everything anyway. *)
+let retransmit_loop t =
+  while not (Atomic.get t.stopping) do
+    Array.iter
+      (function
+        | None -> ()
+        | Some p ->
+            Mutex.lock p.pmu;
+            if p.fd <> None then begin
+              match Transport.tx_due p.ptx ~now:(now t) with
+              | [] -> ()
+              | frames ->
+                  List.iter
+                    (fun (seq, m) ->
+                      Obs.Metrics.incr t.c_retx;
+                      Queue.push (Wire.Data { seq; msg = m }) p.outq)
+                    frames;
+                  Condition.broadcast p.pcv
+            end;
+            Mutex.unlock p.pmu)
+      t.peers;
+    Thread.delay 0.02
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Inbound: accept loop + one reader thread per connection.            *)
+
+(* A peer connection: reset the channel if this is a new incarnation of
+   [src], then deliver Data in order and ack after every frame (the
+   lost packet may have been our ack). Posting to the mailbox inside
+   [imu] keeps delivery FIFO even if a reconnecting src briefly has two
+   live connections racing here. *)
+let peer_conn_loop t fd reader ~src ~src_boot =
+  let ib = t.inbound.(src) in
+  Mutex.lock ib.imu;
+  if ib.iboot <> Some src_boot then begin
+    Transport.rx_reset ib.irx;
+    ib.iboot <- Some src_boot
+  end;
+  let expected = Transport.rx_expected ib.irx in
+  Mutex.unlock ib.imu;
+  if Conn.write_frame fd (Wire.Welcome { boot = t.boot; rx_expected = expected })
+  then
+    let rec loop () =
+      match Conn.read_frame reader with
+      | Ok (Wire.Data { seq; msg }) ->
+          Mutex.lock ib.imu;
+          let stale = ib.iboot <> Some src_boot in
+          let upto =
+            if stale then 0
+            else begin
+              List.iter
+                (fun m ->
+                  Obs.Metrics.incr t.c_delivered;
+                  ignore
+                    (Rt.Node.post t.node (Rt.Node.Net { src; msg = m; meta = None })))
+                (Transport.rx_data ib.irx ~seq msg);
+              Transport.rx_expected ib.irx
+            end
+          in
+          Mutex.unlock ib.imu;
+          (* A newer incarnation of src took over the channel: this
+             connection is an orphan — stop speaking for it. *)
+          if (not stale) && Conn.write_frame fd (Wire.Ack { upto }) then begin
+            Obs.Metrics.incr t.c_acks;
+            loop ()
+          end
+      | Ok _ | Error _ -> ()
+    in
+    loop ()
+
+(* A client connection: Req frames in, Resp frames out. The handler
+   typically defers to protocol context and calls [reply] later, from
+   the node's run loop — hence the write lock. *)
+let client_conn_loop t fd reader first =
+  let wmu = Mutex.create () in
+  let reply frame =
+    Mutex.lock wmu;
+    ignore (Conn.write_frame fd frame);
+    Mutex.unlock wmu
+  in
+  let handler =
+    Mutex.lock t.cmu;
+    let h = t.client_handler in
+    Mutex.unlock t.cmu;
+    h
+  in
+  let rec loop frame =
+    handler frame ~reply;
+    match Conn.read_frame reader with
+    | Ok (Wire.Req _ as next) -> loop next
+    | Ok _ | Error _ -> ()
+  in
+  loop first
+
+let conn_thread t fd =
+  track_conn t fd;
+  let reader = Conn.reader fd in
+  (match Conn.read_frame reader with
+  | Ok (Wire.Hello { src; boot })
+    when src >= 0 && src < t.n && src <> t.me ->
+      peer_conn_loop t fd reader ~src ~src_boot:boot
+  | Ok (Wire.Req _ as first) -> client_conn_loop t fd reader first
+  | Ok _ | Error _ -> ());
+  close_quietly fd;
+  untrack_conn t fd
+
+let accept_loop t listener =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept listener with
+      | fd, _ ->
+          ignore (Thread.create (fun () -> conn_thread t fd) ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ ->
+          (* Listener closed (shutdown) or transient accept failure. *)
+          if not (Atomic.get t.stopping) then begin
+            Thread.delay 0.01;
+            loop ()
+          end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let start t =
+  let listener = Conn.listen t.eps.(t.me) in
+  t.listener <- Some listener;
+  let spawn f = t.threads <- Thread.create f () :: t.threads in
+  spawn (fun () -> accept_loop t listener);
+  spawn (fun () -> retransmit_loop t);
+  if t.chaos <> None then spawn (fun () -> delayer_loop t);
+  Array.iter
+    (function
+      | None -> ()
+      | Some p -> spawn (fun () -> dialer_loop t p))
+    t.peers
+
+let run t = Rt.Node.run t.node
+let post_work t f = ignore (Rt.Node.post t.node (Rt.Node.Work f))
+let request_stop t = ignore (Rt.Node.post t.node Rt.Node.Stop)
+
+let set_client_handler t h =
+  Mutex.lock t.cmu;
+  t.client_handler <- h;
+  Mutex.unlock t.cmu
+
+let stop t =
+  Atomic.set t.stopping true;
+  request_stop t;
+  (match t.listener with
+  | Some fd ->
+      close_quietly fd;
+      t.listener <- None
+  | None -> ());
+  (match t.eps.(t.me) with
+  | Conn.Unix_ep path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Conn.Tcp_ep _ -> ());
+  Array.iter
+    (function
+      | None -> ()
+      | Some p ->
+          Mutex.lock p.pmu;
+          (match p.fd with Some fd -> close_quietly fd | None -> ());
+          p.fd <- None;
+          Condition.broadcast p.pcv;
+          Mutex.unlock p.pmu)
+    t.peers;
+  Mutex.lock t.cmu;
+  let conns = t.conns in
+  Mutex.unlock t.cmu;
+  List.iter close_quietly conns;
+  List.iter Thread.join t.threads;
+  t.threads <- []
+
+(* ------------------------------------------------------------------ *)
+(* The engine surface.                                                 *)
+
+let send t ~src ~dst m =
+  if src = t.me && dst >= 0 && dst < t.n then begin
+    Obs.Metrics.incr t.c_sent;
+    if dst = t.me then begin
+      if Rt.Node.post t.node (Rt.Node.Net { src; msg = m; meta = None }) then
+        Obs.Metrics.incr t.c_delivered
+    end
+    else
+      match t.peers.(dst) with
+      | None -> ()
+      | Some p ->
+          Mutex.lock p.pmu;
+          let seq = Transport.tx_send p.ptx ~now:(now t) m in
+          Queue.push (Wire.Data { seq; msg = m }) p.outq;
+          Condition.broadcast p.pcv;
+          Mutex.unlock p.pmu
+  end
+
+let backend t =
+  {
+    Backend.n = t.n;
+    backend_name = "dist";
+    now = (fun () -> now t);
+    send = (fun ~src ~dst m -> send t ~src ~dst m);
+    broadcast =
+      (fun ~src m ->
+        if src = t.me then begin
+          Obs.Metrics.incr t.c_broadcasts;
+          for dst = 0 to t.n - 1 do
+            send t ~src ~dst m
+          done
+        end);
+    set_handler =
+      (fun i h -> if i = t.me then Rt.Node.set_handler t.node h);
+    set_msg_label = (fun _ -> ());
+    new_condition =
+      (fun ~node ->
+        if node = t.me then
+          {
+            Backend.await = (fun pred -> Rt.Node.await t.node pred);
+            signal = (fun () -> ());
+          }
+        else
+          {
+            Backend.await =
+              (fun _ ->
+                invalid_arg
+                  "Dist.Net: only the local node's condition can be awaited");
+            signal = (fun () -> ());
+          });
+    trace = Obs.Trace.noop;
+    metrics = t.metrics;
+  }

@@ -1,0 +1,81 @@
+(** The dist backend: one OS process per protocol node, a full mesh of
+    stream sockets between them, satisfying the same {!Backend.net}
+    surface as the simulator and the domains runtime — so
+    [Lattice_core]/[Eq_aso]/[Sso] run on it unmodified via
+    [create_on].
+
+    One [Net.t] {e is} one node (unlike [Rt.Net], which owns all [n]
+    domains): node [me] listens on its own endpoint and dials every
+    peer. Each directed channel (me, dst) rides me's outbound
+    connection to dst as [Data] frames; the acceptor acks cumulatively
+    on the same socket, so a channel's ack path dies exactly when its
+    data path does. {!Transport} gives each channel reliable-FIFO
+    delivery across drops, reconnects and peer restarts; the handshake
+    ([Hello]/[Welcome] with boot incarnation ids) tells a plain
+    reconnect apart from a peer that came back as a new process.
+
+    Threading: the caller's thread runs the {!Rt.Node} mailbox loop
+    ({!run}) — handlers and operations interleave only at [await]
+    pump points, the execution contract every backend honours. Around
+    it: an accept thread, one reader thread per live connection, one
+    dialer/writer thread per peer, a retransmission timer, and (under
+    chaos) a delayer. All of them touch protocol state only by posting
+    mailbox items. *)
+
+type msg = Wire.msg
+
+type t
+
+val create :
+  ?chaos:Chaos.t ->
+  ?rto0:float ->
+  ?rto_max:float ->
+  me:int ->
+  eps:Conn.endpoint array ->
+  unit ->
+  t
+(** Build node [me] of the deployment described by [eps] (one endpoint
+    per node, everyone agreeing on the array). Nothing listens or
+    dials until {!start}. *)
+
+val me : t -> int
+val size : t -> int
+val boot : t -> int
+val metrics : t -> Obs.Metrics.t
+
+val backend : t -> msg Backend.net
+(** The engine surface ([backend_name = "dist"]). Only node [me]'s
+    condition may be awaited — the other nodes live in other
+    processes. *)
+
+val now_ns : unit -> int
+(** Absolute [CLOCK_MONOTONIC] nanoseconds — system-wide on Linux, so
+    stamps from different node processes on one machine are mutually
+    comparable. This is what [Resp] frames carry and what the
+    supervisor merges into one history. *)
+
+val start : t -> unit
+(** Bind the listener, start dialing peers, start the retransmission
+    timer. Call after the protocol installed its handler. *)
+
+val run : t -> unit
+(** The node's main loop (blocking): deliver messages, run client work,
+    return once {!request_stop} was called. *)
+
+val post_work : t -> (unit -> unit) -> unit
+(** Enqueue a thunk to run in protocol context (serialized with every
+    other operation and handler). *)
+
+val set_client_handler :
+  t -> (Wire.frame -> reply:(Wire.frame -> unit) -> unit) -> unit
+(** Install the handler for client connections (first frame is a
+    [Req]). Runs on the connection's reader thread; [reply] is safe
+    from any thread. Install before {!start}. *)
+
+val request_stop : t -> unit
+(** Make {!run} return after the current mailbox item. Safe from a
+    signal handler's deferred context or any thread. *)
+
+val stop : t -> unit
+(** Tear the sockets and helper threads down. Call after {!run}
+    returned. *)

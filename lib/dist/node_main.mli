@@ -1,0 +1,40 @@
+(** One protocol node as a process: wire a {!Net} backend to an
+    algorithm instance, serve client [Req] frames over the same
+    listener, optionally persist through a WAL and run the rejoin
+    protocol on startup. [bin/aso_demo dist-node] is a thin CLI shell
+    around this module; {!Local} embeds it in-process for tests and
+    benches. *)
+
+type config = {
+  me : int;
+  eps : Conn.endpoint array;
+  f : int;
+  algo : Rt.Service.algo;
+  wal : string option;  (** WAL path — enables persistence *)
+  recover : bool;  (** replay the WAL and run the rejoin protocol first *)
+  chaos : Chaos.t option;
+}
+
+type t
+
+val start : ?telemetry:string -> config -> t
+(** Build the backend, instantiate the algorithm on it, install the
+    client handler, open sockets. With [?telemetry] (["HOST:PORT"]), a
+    Prometheus exposition endpoint serves the node's metrics registry.
+    The node is live once this returns, but operations only run once
+    {!run} is looping. *)
+
+val net : t -> Net.t
+
+val run : t -> unit
+(** The node's protocol loop (blocking; the caller's thread). Returns
+    after {!request_stop}. *)
+
+val request_stop : t -> unit
+(** Graceful shutdown trigger — safe from a signal handler. In-flight
+    client operations complete before {!run} returns (the [Stop] is
+    just another mailbox item behind them). *)
+
+val shutdown : t -> unit
+(** Close sockets, stop helper threads and the telemetry endpoint.
+    Call after {!run} returned. *)

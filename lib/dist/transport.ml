@@ -1,0 +1,108 @@
+(* Sender side of one ordered channel. [unacked] holds (seq, payload)
+   in increasing seq order, exactly like Sim.Transport's tx; the timer
+   is a deadline the caller polls instead of an engine event. *)
+type 'm tx = {
+  mutable next_seq : int;
+  mutable unacked : (int * 'm) Queue.t;
+  rto0 : float;
+  rto_max : float;
+  mutable rto : float;
+  mutable deadline : float;  (* next retransmission time; infinity = idle *)
+}
+
+let tx ?(rto0 = 0.1) ?(rto_max = 2.0) () =
+  assert (rto0 > 0. && rto_max >= rto0);
+  {
+    next_seq = 0;
+    unacked = Queue.create ();
+    rto0;
+    rto_max;
+    rto = rto0;
+    deadline = infinity;
+  }
+
+let tx_send t ~now m =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Queue.push (seq, m) t.unacked;
+  if t.deadline = infinity then t.deadline <- now +. t.rto;
+  seq
+
+let tx_ack t ~now ~upto =
+  let progressed = ref false in
+  while
+    (not (Queue.is_empty t.unacked)) && fst (Queue.peek t.unacked) < upto
+  do
+    ignore (Queue.pop t.unacked);
+    progressed := true
+  done;
+  if !progressed then begin
+    t.rto <- t.rto0;
+    t.deadline <-
+      (if Queue.is_empty t.unacked then infinity else now +. t.rto)
+  end;
+  !progressed
+
+let tx_due t ~now =
+  if Queue.is_empty t.unacked || now < t.deadline then []
+  else begin
+    t.rto <- Float.min (t.rto *. 2.) t.rto_max;
+    t.deadline <- now +. t.rto;
+    List.of_seq (Queue.to_seq t.unacked)
+  end
+
+let tx_reconnect t ~now ~peer_rebooted ~rx_expected =
+  (* Trim what the peer already delivered — its ack may have died with
+     the old connection. *)
+  while
+    (not (Queue.is_empty t.unacked)) && fst (Queue.peek t.unacked) < rx_expected
+  do
+    ignore (Queue.pop t.unacked)
+  done;
+  if peer_rebooted then begin
+    (* Fresh incarnation: its rx state is gone, so the channel restarts
+       at 0. Renumber the survivors contiguously — their original
+       numbers would sit in the new rx's out-of-order buffer forever,
+       waiting for predecessors that no longer exist. *)
+    let fresh = Queue.create () in
+    let n = ref 0 in
+    Queue.iter
+      (fun (_, m) ->
+        Queue.push (!n, m) fresh;
+        incr n)
+      t.unacked;
+    t.unacked <- fresh;
+    t.next_seq <- !n
+  end;
+  t.rto <- t.rto0;
+  t.deadline <-
+    (if Queue.is_empty t.unacked then infinity else now +. t.rto);
+  List.of_seq (Queue.to_seq t.unacked)
+
+let tx_unacked t = Queue.length t.unacked
+let tx_next_seq t = t.next_seq
+
+(* Receiver side: [expected] is the next in-order sequence number;
+   later frames wait in [ooo]. Same structure as Sim.Transport's rx. *)
+type 'm rx = { mutable expected : int; ooo : (int, 'm) Hashtbl.t }
+
+let rx () = { expected = 0; ooo = Hashtbl.create 8 }
+
+let rx_data t ~seq m =
+  if seq >= t.expected && not (Hashtbl.mem t.ooo seq) then begin
+    Hashtbl.replace t.ooo seq m;
+    let delivered = ref [] in
+    while Hashtbl.mem t.ooo t.expected do
+      delivered := Hashtbl.find t.ooo t.expected :: !delivered;
+      Hashtbl.remove t.ooo t.expected;
+      t.expected <- t.expected + 1
+    done;
+    List.rev !delivered
+  end
+  else []
+
+let rx_expected t = t.expected
+
+let rx_reset t =
+  t.expected <- 0;
+  Hashtbl.reset t.ooo

@@ -1,0 +1,64 @@
+(** Reliable-FIFO channel state machines for the socket backend — the
+    same sequence-number / cumulative-ack / retransmit-with-backoff
+    logic as {!Sim.Transport}, re-shaped for threads: where the
+    simulator owns timers and a lossy link, these are pure-ish state
+    machines the caller drives under its own lock, with real time
+    passed in. One [tx] per outgoing peer, one [rx] per incoming peer.
+
+    The extra twist over the simulator is {e reconnection}: a TCP/unix
+    stream can die and come back, and either end can be a whole new
+    process. {!tx_reconnect} re-synchronizes the sender after a
+    handshake — trimming what the peer already delivered and, when the
+    peer is a fresh incarnation (its volatile [rx] state is gone),
+    renumbering the survivors from zero. Between stable incarnations
+    this gives exactly-once in-order delivery; across a crash it
+    degrades to at-least-once, which the protocol absorbs (collectors
+    dedup by sender, the kernel is idempotent, and the lost messages a
+    dead incarnation had acked are recovered by the quorum state
+    pull). *)
+
+type 'm tx
+
+val tx : ?rto0:float -> ?rto_max:float -> unit -> 'm tx
+(** Defaults: 0.1 s initial retransmission timeout, doubling to 2 s —
+    loopback/LAN numbers. *)
+
+val tx_send : 'm tx -> now:float -> 'm -> int
+(** Assign the next sequence number, queue as unacked, arm the timer if
+    idle. Returns the sequence number to put on the wire. *)
+
+val tx_ack : 'm tx -> now:float -> upto:int -> bool
+(** Cumulative ack: drop every unacked [seq < upto]. True if anything
+    was dropped (progress — the RTO resets). *)
+
+val tx_due : 'm tx -> now:float -> (int * 'm) list
+(** Frames to retransmit now ([[]] if the timer has not expired or
+    nothing is unacked). A non-empty result backs the RTO off (doubling
+    up to the cap) and re-arms. *)
+
+val tx_reconnect :
+  'm tx -> now:float -> peer_rebooted:bool -> rx_expected:int ->
+  (int * 'm) list
+(** Post-handshake resync: drop unacked frames the peer already
+    delivered ([seq < rx_expected]); if [peer_rebooted], renumber the
+    survivors from 0 (the new incarnation expects a fresh channel).
+    Returns every surviving frame for immediate retransmission, RTO
+    reset and re-armed. *)
+
+val tx_unacked : 'm tx -> int
+val tx_next_seq : 'm tx -> int
+
+type 'm rx
+
+val rx : unit -> 'm rx
+
+val rx_data : 'm rx -> seq:int -> 'm -> 'm list
+(** One incoming data frame: returns the messages that just became
+    deliverable, in order (empty on duplicates and gaps). The caller
+    acks cumulatively with {!rx_expected} after {e every} data frame,
+    duplicates included — the lost packet may have been the ack. *)
+
+val rx_expected : 'm rx -> int
+val rx_reset : 'm rx -> unit
+(** The peer is a fresh incarnation: expect a channel renumbered
+    from 0. *)

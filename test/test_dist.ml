@@ -1,0 +1,418 @@
+(* The dist backend: wire-codec fuzz (round-trip + garbage rejection,
+   mirroring test_persist's torn-record matrix), transport state-machine
+   units, and in-process end-to-end runs — a Local cluster over real
+   unix sockets, closed-loop clients, and the merged history fed to the
+   same A0–A4 / S1–S3 checkers the simulator runs use. *)
+
+module W = Dist.Wire
+module T = Dist.Transport
+module LC = Aso_core.Lattice_core
+
+let qcase t = QCheck_alcotest.to_alcotest t
+
+(* ---- generators ----------------------------------------------------- *)
+
+(* Values cross the wire zigzag-varint encoded; the interesting inputs
+   are the sign boundary and the 63-bit extremes. *)
+let wild_int =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, small_signed_int);
+        (2, int_range (-1_000_000) 1_000_000);
+        (1, return 0);
+        (1, return (-1));
+        (1, return max_int);
+        (1, return min_int);
+      ])
+
+let nat_gen = QCheck.Gen.(frequency [ (4, small_nat); (1, int_range 0 (1 lsl 40)) ])
+
+let ts_gen =
+  QCheck.Gen.(
+    map2
+      (fun tag writer -> Timestamp.make ~tag ~writer)
+      nat_gen (int_range 0 8))
+
+let msg_gen : W.msg QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun ts value -> LC.Msg.Value { ts; value }) ts_gen wild_int;
+        map (fun req -> LC.Msg.Read_tag { req }) nat_gen;
+        map2 (fun req tag -> LC.Msg.Read_ack { req; tag }) nat_gen nat_gen;
+        map2 (fun req tag -> LC.Msg.Write_tag { req; tag }) nat_gen nat_gen;
+        map (fun req -> LC.Msg.Write_ack { req }) nat_gen;
+        map (fun tag -> LC.Msg.Echo_tag { tag }) nat_gen;
+        map (fun tag -> LC.Msg.Good_la { tag }) nat_gen;
+        map (fun req -> LC.Msg.Recover_pull { req }) nat_gen;
+        map3
+          (fun req entries max_tag ->
+            LC.Msg.Recover_push { req; entries; max_tag })
+          nat_gen
+          (list_size (int_range 0 6) (pair ts_gen wild_int))
+          nat_gen;
+      ])
+
+let result_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return W.R_update_done;
+        map
+          (fun l -> W.R_scan (Array.of_list l))
+          (list_size (int_range 0 9) (opt wild_int));
+      ])
+
+let frame_gen : W.frame QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun src boot -> W.Hello { src; boot }) (int_range 0 8) nat_gen;
+        map2
+          (fun boot rx_expected -> W.Welcome { boot; rx_expected })
+          nat_gen nat_gen;
+        map2 (fun seq msg -> W.Data { seq; msg }) nat_gen msg_gen;
+        map (fun upto -> W.Ack { upto }) nat_gen;
+        map2
+          (fun rid op -> W.Req { rid; op })
+          nat_gen
+          (oneof [ map (fun v -> W.Op_update v) wild_int; return W.Op_scan ]);
+        map3
+          (fun rid (t_inv, t_resp) result ->
+            W.Resp { rid; t_inv; t_resp; result })
+          nat_gen (pair nat_gen nat_gen) result_gen;
+      ])
+
+let frame_kind = function
+  | W.Hello _ -> "Hello"
+  | W.Welcome _ -> "Welcome"
+  | W.Data _ -> "Data"
+  | W.Ack _ -> "Ack"
+  | W.Req _ -> "Req"
+  | W.Resp _ -> "Resp"
+
+let print_frame f =
+  let s = W.encode f in
+  Printf.sprintf "%s[%d bytes]" (frame_kind f) (String.length s)
+
+let frame_arb = QCheck.make ~print:print_frame frame_gen
+
+(* ---- round-trip ------------------------------------------------------ *)
+
+let prop_roundtrip f =
+  let s = W.encode f in
+  match W.decode s ~pos:0 with
+  | Ok (f', stop) -> f' = f && stop = String.length s
+  | Error _ -> false
+
+let wire_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"wire encode/decode round-trip"
+    frame_arb prop_roundtrip
+
+let wire_stream =
+  QCheck.Test.make ~count:500 ~name:"wire decode walks concatenated frames"
+    (QCheck.pair frame_arb frame_arb)
+    (fun (a, b) ->
+      let s = W.encode a ^ W.encode b in
+      match W.decode s ~pos:0 with
+      | Error _ -> false
+      | Ok (a', p) -> (
+          a' = a
+          &&
+          match W.decode s ~pos:p with
+          | Ok (b', q) -> b' = b && q = String.length s
+          | Error _ -> false))
+
+(* ---- garbage rejection ---------------------------------------------- *)
+
+(* Every proper prefix of a valid frame is [Truncated] — the streaming
+   reader's "wait for more bytes" signal, never a mis-parse. *)
+let prop_torn f =
+  let s = W.encode f in
+  let ok = ref true in
+  for cut = 0 to String.length s - 1 do
+    match W.decode (String.sub s 0 cut) ~pos:0 with
+    | Error W.Truncated -> ()
+    | Ok _ | Error _ -> ok := false
+  done;
+  !ok
+
+let wire_torn =
+  QCheck.Test.make ~count:500 ~name:"wire torn frame reads as Truncated"
+    frame_arb prop_torn
+
+let flip s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+  Bytes.to_string b
+
+(* A flipped payload byte never survives: the checksum was computed over
+   the original bytes. *)
+let prop_flip_payload f =
+  let s = W.encode f in
+  if String.length s = W.header_len then QCheck.assume_fail ()
+  else
+    let ok = ref true in
+    for i = W.header_len to String.length s - 1 do
+      match W.decode (flip s i) ~pos:0 with
+      | Error W.Bad_checksum -> ()
+      | Ok _ | Error _ -> ok := false
+    done;
+    !ok
+
+let wire_flip_payload =
+  QCheck.Test.make ~count:500 ~name:"wire payload bit-flip fails checksum"
+    frame_arb prop_flip_payload
+
+let wire_flip_checksum =
+  QCheck.Test.make ~count:500
+    ~name:"wire checksum-field bit-flip fails checksum" frame_arb (fun f ->
+      let s = W.encode f in
+      let ok = ref true in
+      for i = 7 to 10 do
+        match W.decode (flip s i) ~pos:0 with
+        | Error W.Bad_checksum -> ()
+        | Ok _ | Error _ -> ok := false
+      done;
+      !ok)
+
+(* Manual header assembly, for frames [encode] refuses to produce. *)
+let reframe payload =
+  let n = String.length payload in
+  let b = Bytes.create (W.header_len + n) in
+  Bytes.set b 0 'A';
+  Bytes.set b 1 'W';
+  Bytes.set b 2 (Char.chr W.version);
+  Bytes.set_int32_le b 3 (Int32.of_int n);
+  Bytes.set_int32_le b 7 (Int32.of_int (W.checksum payload));
+  Bytes.blit_string payload 0 b W.header_len n;
+  Bytes.to_string b
+
+let check_err name expected got =
+  match got with
+  | Error e when e = expected -> ()
+  | Ok _ -> Alcotest.failf "%s: decoded Ok" name
+  | Error e ->
+      Alcotest.failf "%s: expected %a, got %a" name W.pp_error expected
+        W.pp_error e
+
+let test_header_rejection () =
+  let s = W.encode (W.Ack { upto = 42 }) in
+  check_err "corrupt magic byte 0" W.Bad_magic (W.decode (flip s 0) ~pos:0);
+  check_err "corrupt magic byte 1" W.Bad_magic (W.decode (flip s 1) ~pos:0);
+  (let v = W.decode (flip s 2) ~pos:0 in
+   match v with
+   | Error (W.Bad_version got) when got <> W.version -> ()
+   | _ -> Alcotest.fail "version bump not rejected");
+  (* length field claiming more than the sanity cap *)
+  let b = Bytes.of_string s in
+  Bytes.set_int32_le b 3 (Int32.of_int (W.max_payload + 1));
+  (match W.decode (Bytes.to_string b) ~pos:0 with
+  | Error (W.Oversize n) when n = W.max_payload + 1 -> ()
+  | _ -> Alcotest.fail "oversize length not rejected");
+  (* checksummed frame whose payload has trailing garbage: the parser
+     must consume the payload exactly *)
+  let payload =
+    let s = W.encode (W.Ack { upto = 7 }) in
+    String.sub s W.header_len (String.length s - W.header_len) ^ "\x00"
+  in
+  check_err "trailing payload garbage" W.Bad_payload
+    (W.decode (reframe payload) ~pos:0);
+  (* empty payload: no frame kind byte at all *)
+  check_err "empty payload" W.Bad_payload (W.decode (reframe "") ~pos:0);
+  (* unknown frame kind *)
+  check_err "unknown frame kind" W.Bad_payload
+    (W.decode (reframe "\xff") ~pos:0)
+
+(* Arbitrary bytes with a well-formed header must decode to *something*
+   (almost always [Bad_payload]) without raising. *)
+let wire_garbage_no_crash =
+  QCheck.Test.make ~count:1000 ~name:"wire garbage payload never raises"
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun payload ->
+      (match W.decode (reframe payload) ~pos:0 with
+      | Ok _ | Error _ -> ());
+      (* and raw garbage without the header courtesy *)
+      (match W.decode payload ~pos:0 with Ok _ | Error _ -> ());
+      true)
+
+(* ---- transport state machines --------------------------------------- *)
+
+let test_rx_order () =
+  let r = T.rx () in
+  Alcotest.(check (list string)) "in-order 0" [ "a" ] (T.rx_data r ~seq:0 "a");
+  Alcotest.(check (list string)) "in-order 1" [ "b" ] (T.rx_data r ~seq:1 "b");
+  Alcotest.(check (list string)) "dup dropped" [] (T.rx_data r ~seq:0 "a");
+  Alcotest.(check (list string)) "gap buffers" [] (T.rx_data r ~seq:3 "d");
+  Alcotest.(check (list string))
+    "gap fill flushes in order" [ "c"; "d" ]
+    (T.rx_data r ~seq:2 "c");
+  Alcotest.(check int) "expected advances" 4 (T.rx_expected r);
+  T.rx_reset r;
+  Alcotest.(check int) "reset rewinds" 0 (T.rx_expected r);
+  Alcotest.(check (list string)) "fresh channel" [ "z" ] (T.rx_data r ~seq:0 "z")
+
+let test_tx_ack_trim () =
+  let t = T.tx ~rto0:0.1 ~rto_max:2.0 () in
+  Alcotest.(check int) "seq 0" 0 (T.tx_send t ~now:0.0 "a");
+  Alcotest.(check int) "seq 1" 1 (T.tx_send t ~now:0.0 "b");
+  Alcotest.(check int) "seq 2" 2 (T.tx_send t ~now:0.0 "c");
+  Alcotest.(check bool) "ack trims" true (T.tx_ack t ~now:0.01 ~upto:2);
+  Alcotest.(check int) "one left" 1 (T.tx_unacked t);
+  Alcotest.(check bool) "stale ack is no progress" false
+    (T.tx_ack t ~now:0.02 ~upto:2);
+  Alcotest.(check bool) "final ack" true (T.tx_ack t ~now:0.03 ~upto:3);
+  Alcotest.(check int) "drained" 0 (T.tx_unacked t)
+
+let test_tx_backoff () =
+  let t = T.tx ~rto0:0.1 ~rto_max:0.3 () in
+  ignore (T.tx_send t ~now:0.0 "a");
+  Alcotest.(check int) "not yet due" 0 (List.length (T.tx_due t ~now:0.05));
+  Alcotest.(check (list (pair int string)))
+    "due after rto" [ (0, "a") ] (T.tx_due t ~now:0.11);
+  (* rto doubled to 0.2, re-armed at 0.11 *)
+  Alcotest.(check int) "backed off" 0 (List.length (T.tx_due t ~now:0.25));
+  Alcotest.(check (list (pair int string)))
+    "due after doubled rto" [ (0, "a") ] (T.tx_due t ~now:0.32);
+  (* rto capped at 0.3, re-armed at 0.32 *)
+  Alcotest.(check int) "capped not yet" 0 (List.length (T.tx_due t ~now:0.60));
+  Alcotest.(check (list (pair int string)))
+    "due after capped rto" [ (0, "a") ] (T.tx_due t ~now:0.63)
+
+let test_tx_reconnect () =
+  let t = T.tx () in
+  ignore (T.tx_send t ~now:0.0 "a");
+  ignore (T.tx_send t ~now:0.0 "b");
+  ignore (T.tx_send t ~now:0.0 "c");
+  (* same incarnation: the peer already delivered seq 0 and 1 *)
+  Alcotest.(check (list (pair int string)))
+    "resync trims delivered" [ (2, "c") ]
+    (T.tx_reconnect t ~now:0.1 ~peer_rebooted:false ~rx_expected:2);
+  Alcotest.(check int) "numbering preserved" 3 (T.tx_next_seq t);
+  (* peer restarted: volatile rx state gone, channel renumbers from 0 *)
+  ignore (T.tx_send t ~now:0.1 "d");
+  Alcotest.(check (list (pair int string)))
+    "reboot renumbers survivors" [ (0, "c"); (1, "d") ]
+    (T.tx_reconnect t ~now:0.2 ~peer_rebooted:true ~rx_expected:0);
+  Alcotest.(check int) "next_seq follows" 2 (T.tx_next_seq t)
+
+(* ---- end-to-end over real sockets ----------------------------------- *)
+
+let fresh_dir name =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "aso-dist-%s-%d" name (Unix.getpid ()))
+  in
+  (try
+     Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  dir
+
+let retransmits cluster n =
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let snap = Obs.Metrics.snapshot (Dist.Net.metrics (Dist.Local.net cluster i)) in
+    match Obs.Metrics.find_count snap "dist.retransmits" with
+    | Some c -> total := !total + c
+    | None -> ()
+  done;
+  !total
+
+let run_cluster ?chaos ~name ~algo ~n ~clients ~secs () =
+  let cluster =
+    Dist.Local.start ?chaos ~algo ~n ~f:1 ~dir:(fresh_dir name) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Dist.Local.stop cluster)
+    (fun () ->
+      let recs =
+        Dist.Supervisor.drive_clients
+          ~eps:(Dist.Local.endpoints cluster)
+          ~clients ~secs ~seed:42 ()
+      in
+      (recs, retransmits cluster n))
+
+let test_e2e_eq_aso () =
+  let recs, _ =
+    run_cluster ~name:"eq" ~algo:Rt.Service.Eq_aso ~n:3 ~clients:4 ~secs:0.4 ()
+  in
+  let completed = List.length (List.filter (fun r -> r.Dist.Supervisor.o_ok) recs) in
+  Alcotest.(check bool) "made progress" true (completed > 20);
+  match Checker.Feed.check ~n:3 (Dist.Supervisor.merge_history recs) with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "socket run not linearizable: %a" Obs.Monitor.pp_violation
+        v
+
+let test_e2e_chaos () =
+  let chaos =
+    {
+      Dist.Chaos.none with
+      drop = 0.12;
+      dup = 0.05;
+      delay_prob = 0.3;
+      delay_min = 0.0;
+      delay_max = 0.002;
+      seed = 7;
+    }
+  in
+  let recs, retx =
+    run_cluster ~chaos ~name:"chaos" ~algo:Rt.Service.Eq_aso ~n:3 ~clients:3
+      ~secs:1.2 ()
+  in
+  let completed = List.length (List.filter (fun r -> r.Dist.Supervisor.o_ok) recs) in
+  Alcotest.(check bool) "progress under chaos" true (completed > 0);
+  Alcotest.(check bool) "chaos forced retransmissions" true (retx > 0);
+  match Checker.Feed.check ~n:3 (Dist.Supervisor.merge_history recs) with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "chaos run not linearizable: %a" Obs.Monitor.pp_violation v
+
+let test_e2e_sso () =
+  let recs, _ =
+    run_cluster ~name:"sso" ~algo:Rt.Service.Sso_fast_scan ~n:3 ~clients:2
+      ~secs:0.25 ()
+  in
+  let completed = List.length (List.filter (fun r -> r.Dist.Supervisor.o_ok) recs) in
+  Alcotest.(check bool) "made progress" true (completed > 10);
+  match
+    Checker.Conditions.check_sequential ~n:3 (Dist.Supervisor.merge_history recs)
+  with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "sso socket run not sequentially consistent: %a"
+        Checker.Conditions.pp_violation v
+
+(* ---- suites ---------------------------------------------------------- *)
+
+let suites =
+  [
+    ( "dist_wire",
+      [
+        qcase wire_roundtrip;
+        qcase wire_stream;
+        qcase wire_torn;
+        qcase wire_flip_payload;
+        qcase wire_flip_checksum;
+        qcase wire_garbage_no_crash;
+        Alcotest.test_case "header rejection matrix" `Quick
+          test_header_rejection;
+      ] );
+    ( "dist_transport",
+      [
+        Alcotest.test_case "rx order, dups, gaps, reset" `Quick test_rx_order;
+        Alcotest.test_case "tx cumulative ack trim" `Quick test_tx_ack_trim;
+        Alcotest.test_case "tx retransmit backoff" `Quick test_tx_backoff;
+        Alcotest.test_case "tx reconnect resync" `Quick test_tx_reconnect;
+      ] );
+    ( "dist_e2e",
+      [
+        Alcotest.test_case "eq-aso over sockets linearizable" `Quick
+          test_e2e_eq_aso;
+        Alcotest.test_case "eq-aso under socket chaos" `Quick test_e2e_chaos;
+        Alcotest.test_case "sso over sockets sequential" `Quick test_e2e_sso;
+      ] );
+  ]

@@ -29,4 +29,5 @@ let () =
          Test_verif.suites;
          Test_persist.suites;
          Test_configs.suites;
+         Test_dist.suites;
        ])
